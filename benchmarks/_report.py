@@ -1,0 +1,23 @@
+"""Shared reporting helper for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper. Besides
+the pytest-benchmark timing table, the *content* of each artefact (the
+rows/series the paper reports) is written to
+``benchmarks/results/<name>.txt`` and echoed to stdout (visible with
+``pytest -s``). EXPERIMENTS.md is assembled from these files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, lines: list[str]) -> None:
+    """Persist and print one benchmark's artefact rows."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n===== {name} =====")
+    print(text)

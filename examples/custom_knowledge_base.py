@@ -1,0 +1,108 @@
+"""Bring-your-own data: TSV knowledge base, raw text, persistence.
+
+The workflow a downstream user follows with their own entities and
+documents:
+
+1. load a knowledge base from a TSV dump (type, name, aliases,
+   attributes);
+2. mine opinions from raw text documents;
+3. persist the opinion table and fitted parameters as JSON;
+4. reload and query later, and inspect contested pairs.
+
+Run:  python examples/custom_knowledge_base.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import Annotator, EvidenceExtractor, Surveyor
+from repro.analysis import find_controversial
+from repro.core import Polarity, PropertyTypeKey, SubjectiveProperty
+from repro.kb import dump_tsv, load_tsv
+from repro.storage import load, save
+
+workdir = Path(tempfile.mkdtemp(prefix="repro-example-"))
+
+# ---------------------------------------------------------------------------
+# 1. A TSV knowledge base, as a user would export from their systems.
+# ---------------------------------------------------------------------------
+kb_tsv = workdir / "restaurants.tsv"
+kb_tsv.write_text(
+    "#type\tname\taliases\tattributes\n"
+    "restaurant\tLuna Bistro\tthe Luna\tseats=40\n"
+    "restaurant\tHarbor Grill\t\tseats=120\n"
+    "restaurant\tNoodle Barn\t\tseats=25\n"
+    "restaurant\tThe Gilded Fork\tGilded Fork\tseats=60\n"
+)
+kb = load_tsv(kb_tsv)
+print(f"loaded {len(kb)} entities from {kb_tsv.name}")
+
+# ---------------------------------------------------------------------------
+# 2. Raw review-style documents (one author each).
+# ---------------------------------------------------------------------------
+REVIEWS = [
+    "Luna Bistro is charming. We visited it last summer.",
+    "I think that Luna Bistro is really charming.",
+    "The Luna is a charming restaurant.",
+    "Luna Bistro is not cheap.",
+    "Harbor Grill is not charming.",
+    "I don't think that Harbor Grill is charming.",
+    "Harbor Grill is a noisy restaurant.",
+    "Harbor Grill is cheap.",
+    "Honestly, Harbor Grill is cheap.",
+    "Noodle Barn is cheap. It is charming.",
+    "I don't think that Noodle Barn is never charming.",
+    "The Gilded Fork is not cheap.",
+    "The Gilded Fork is an elegant restaurant.",
+    "The Gilded Fork is charming. Some people disagree though.",
+    "The Gilded Fork is not charming.",
+]
+
+annotator = Annotator(kb)
+extractor = EvidenceExtractor()
+evidence = extractor.extract_corpus(
+    annotator.annotate(f"review-{i}", text)
+    for i, text in enumerate(REVIEWS)
+)
+print(
+    f"extracted {evidence.n_statements} statements over "
+    f"{evidence.n_pairs} pairs"
+)
+
+result = Surveyor(catalog=kb, occurrence_threshold=1).run(
+    evidence.as_evidence()
+)
+
+# ---------------------------------------------------------------------------
+# 3. Persist everything.
+# ---------------------------------------------------------------------------
+opinions_path = save(result.opinions, workdir / "opinions.json")
+params_path = save(
+    {key: fit.parameters for key, fit in result.fits.items()},
+    workdir / "parameters.json",
+)
+dump_tsv(kb, workdir / "kb-export.tsv")
+print(f"saved opinions -> {opinions_path.name}, "
+      f"parameters -> {params_path.name}")
+
+# ---------------------------------------------------------------------------
+# 4. Reload in a "later session" and query.
+# ---------------------------------------------------------------------------
+table = load(opinions_path)
+charming = PropertyTypeKey(
+    SubjectiveProperty("charming"), "restaurant"
+)
+print("\ncharming restaurants (reloaded table):")
+for opinion in table.entities_with(charming, Polarity.POSITIVE):
+    print(f"  {opinion.entity_id:28s} p={opinion.probability:.3f}")
+print("not charming:")
+for opinion in table.entities_with(charming, Polarity.NEGATIVE):
+    print(f"  {opinion.entity_id:28s} p={opinion.probability:.3f}")
+
+print("\nmost contested pairs:")
+for report in find_controversial(
+    result.opinions, result.fits, min_statements=2, top=3
+):
+    print("  " + report.row())

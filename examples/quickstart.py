@@ -1,0 +1,66 @@
+"""Quickstart: mine a dominant opinion from raw text in ~40 lines.
+
+Builds a three-entity knowledge base, feeds a handful of raw Web-style
+documents through annotation and extraction, fits the user-behaviour
+model, and prints the mined opinions.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Annotator,
+    Entity,
+    EvidenceExtractor,
+    KnowledgeBase,
+    Surveyor,
+)
+
+# 1. A tiny knowledge base: entities with their most notable type.
+kb = KnowledgeBase(
+    [
+        Entity.create("kitten", "animal"),
+        Entity.create("snake", "animal"),
+        Entity.create("axolotl", "animal"),  # never mentioned below!
+    ]
+)
+
+# 2. Raw documents, one per (hypothetical) author.
+DOCUMENTS = [
+    "Kittens are cute.",
+    "I think that kittens are really cute.",
+    "The kitten is a cute animal.",
+    "Honestly, kittens are adorable and cute.",
+    "I don't think that snakes are cute.",
+    "Snakes are not cute.",
+    "Snakes are dangerous animals.",
+    "I don't think that kittens are never cute.",  # double negation!
+    "Kittens are bad for allergies.",  # non-intrinsic: filtered out
+]
+
+# 3. Annotate (tokenize, tag, link entities, parse) and extract
+#    positive/negative statements with the paper's final patterns.
+annotator = Annotator(kb)
+extractor = EvidenceExtractor()
+evidence = extractor.extract_corpus(
+    annotator.annotate(f"doc-{i}", text)
+    for i, text in enumerate(DOCUMENTS)
+)
+print("Extracted statements:")
+for key in evidence.keys():
+    for entity_id, counts in sorted(evidence.counts_for(key).items()):
+        print(f"  ({entity_id}, {key}) -> +{counts.positive} / -{counts.negative}")
+
+# 4. Fit the probabilistic model per property-type combination and
+#    decide the dominant opinion for every animal — including the
+#    axolotl, for which silence itself is evidence.
+surveyor = Surveyor(catalog=kb, occurrence_threshold=1)
+result = surveyor.run(evidence.as_evidence())
+
+print("\nMined dominant opinions:")
+for opinion in sorted(result.opinions, key=lambda o: str(o.key)):
+    print(
+        f"  {opinion.entity_id:18s} {str(opinion.key):18s} "
+        f"{opinion.polarity.value}  (p={opinion.probability:.3f})"
+    )

@@ -1,0 +1,98 @@
+"""Region-specific opinions and the subjective-objective bridge.
+
+Section 2 of the paper notes that what counts as a "big city" differs
+between user groups, and that Surveyor can specialize its output by
+restricting the input corpus to documents authored by one group.
+Section 9 proposes connecting subjective properties to objective ones
+("the population bound above which users call a city big").
+
+This example combines the two: it simulates a region whose authors set
+the "big" bar at 100k inhabitants and one that sets it at 500k, mines
+each region's sub-corpus separately, and then *recovers each region's
+population bound from the mined opinions alone* with the calibration
+module.
+
+Run:  python examples/regional_bias.py
+"""
+
+from __future__ import annotations
+
+from repro import CorpusGenerator, KnowledgeBase, fit_link
+from repro.baselines import SurveyorInterpreter
+from repro.corpus import TrueParameters, covariate_scenario
+from repro.kb import california_cities
+from repro.pipeline import SurveyorPipeline
+
+REGION_BOUNDS = {"lowrise": 100_000.0, "metro": 500_000.0}
+
+cities = california_cities(count=461)
+kb = KnowledgeBase(cities)
+
+# ---------------------------------------------------------------------------
+# 1. Author populations: same cities, different notions of "big".
+# ---------------------------------------------------------------------------
+corpora = {}
+for region, bound in REGION_BOUNDS.items():
+    scenario = covariate_scenario(
+        name=f"big-cities-{region}",
+        entities=cities,
+        property_text="big",
+        attribute="population",
+        threshold=bound,
+        params=TrueParameters(
+            agreement=0.88, rate_positive=45.0, rate_negative=2.0
+        ),
+        occurrence_exponent=0.5,
+        spurious_positive_rate=0.05,
+    )
+    corpora[region] = CorpusGenerator(
+        seed=17, region=region
+    ).generate(scenario)
+
+merged = corpora["lowrise"].merged_with(corpora["metro"])
+print(
+    f"merged corpus: {len(merged)} documents from regions "
+    f"{merged.regions()}\n"
+)
+
+# ---------------------------------------------------------------------------
+# 2. Mine each region's slice of the merged corpus separately.
+# ---------------------------------------------------------------------------
+key = None
+links = {}
+for region in REGION_BOUNDS:
+    sub_corpus = merged.restricted_to_region(region)
+    pipeline = SurveyorPipeline(kb=kb, occurrence_threshold=100)
+    report = pipeline.run(sub_corpus)
+    key = next(iter(report.result.fits))
+    table = report.opinions
+    n_big = len(table.entities_with(key))
+    print(
+        f"[{region:8s}] {len(sub_corpus)} docs -> "
+        f"{n_big} cities mined as big"
+    )
+
+    # 3. Recover the region's population bound (Section 9).
+    links[region] = fit_link(table, key, cities, "population")
+    print(f"           {links[region].describe()}")
+
+# ---------------------------------------------------------------------------
+# 4. The regional contrast, city by city.
+# ---------------------------------------------------------------------------
+print("\npopulation bound set by authors vs recovered from opinions:")
+for region, bound in REGION_BOUNDS.items():
+    recovered = links[region].threshold
+    print(
+        f"  {region:8s} authors' bar: {bound:>9,.0f}   "
+        f"recovered: {recovered:>9,.0f}   "
+        f"(x{recovered / bound:.2f})"
+    )
+
+print("\ncities big only to the lowrise region:")
+lowrise_only = [
+    entity.name
+    for entity in cities
+    if links["lowrise"].applies(entity.attribute("population"))
+    and not links["metro"].applies(entity.attribute("population"))
+]
+print("  " + ", ".join(sorted(lowrise_only)[:12]) + ", ...")

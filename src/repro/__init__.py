@@ -1,0 +1,109 @@
+"""Surveyor — mining subjective properties on the Web.
+
+A faithful, laptop-scale reproduction of Trummer et al., *Mining
+Subjective Properties on the Web* (SIGMOD 2015). The package mines the
+dominant opinion about whether a subjective property (``cute``,
+``very big``) applies to a typed knowledge-base entity, from positive
+and negative statements extracted from text, using an unsupervised
+probabilistic model of author behaviour fit per property-type
+combination via EM.
+
+Quickstart::
+
+    from repro import (
+        CorpusGenerator, Surveyor, SurveyorPipeline, evaluation_kb,
+    )
+
+See ``examples/quickstart.py`` for a runnable end-to-end walkthrough.
+"""
+
+from .baselines import (
+    MajorityVote,
+    ScaledMajorityVote,
+    SurveyorInterpreter,
+    WebChildLike,
+    standard_interpreters,
+)
+from .analysis import find_controversial
+from .core import (
+    EMLearner,
+    QueryEngine,
+    SubjectiveQuery,
+    fit_link,
+    SubjectiveObjectiveLink,
+    EvidenceCounts,
+    ModelParameters,
+    Opinion,
+    OpinionTable,
+    Polarity,
+    PropertyTypeKey,
+    SubjectiveProperty,
+    Surveyor,
+    SurveyorResult,
+    UserBehaviorModel,
+)
+from .corpus import (
+    CorpusGenerator,
+    NoiseProfile,
+    Scenario,
+    TrueParameters,
+    WebCorpus,
+    covariate_scenario,
+    curated_scenario,
+)
+from .crowd import SurveyRunner, curated_cases
+from .evaluation import EvaluationHarness, evaluate_table
+from .extraction import EvidenceCounter, EvidenceExtractor
+from .kb import Entity, KnowledgeBase, evaluation_kb, full_kb, load_tsv
+from .nlp import Annotator
+from .pipeline import SurveyorPipeline
+from .storage import load, save
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Annotator",
+    "CorpusGenerator",
+    "EMLearner",
+    "Entity",
+    "EvaluationHarness",
+    "EvidenceCounter",
+    "EvidenceCounts",
+    "EvidenceExtractor",
+    "KnowledgeBase",
+    "MajorityVote",
+    "ModelParameters",
+    "NoiseProfile",
+    "Opinion",
+    "OpinionTable",
+    "Polarity",
+    "PropertyTypeKey",
+    "QueryEngine",
+    "SubjectiveQuery",
+    "ScaledMajorityVote",
+    "Scenario",
+    "SubjectiveProperty",
+    "SurveyRunner",
+    "Surveyor",
+    "SurveyorInterpreter",
+    "SurveyorPipeline",
+    "SubjectiveObjectiveLink",
+    "SurveyorResult",
+    "TrueParameters",
+    "UserBehaviorModel",
+    "WebChildLike",
+    "WebCorpus",
+    "covariate_scenario",
+    "curated_cases",
+    "curated_scenario",
+    "evaluate_table",
+    "evaluation_kb",
+    "find_controversial",
+    "fit_link",
+    "load",
+    "load_tsv",
+    "save",
+    "full_kb",
+    "standard_interpreters",
+    "__version__",
+]

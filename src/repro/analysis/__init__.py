@@ -1,0 +1,17 @@
+"""Post-mining analysis: controversy, disagreement, table diffing."""
+
+from .compare import OpinionDelta, TableComparison, compare_tables
+from .controversy import (
+    ControversyReport,
+    controversy_report,
+    find_controversial,
+)
+
+__all__ = [
+    "ControversyReport",
+    "OpinionDelta",
+    "TableComparison",
+    "compare_tables",
+    "controversy_report",
+    "find_controversial",
+]

@@ -1,0 +1,158 @@
+"""Comparing opinion tables — regional or temporal divergence.
+
+Section 2 notes that Chinese and American users may disagree about
+what makes a city big; mining per-region sub-corpora yields one
+opinion table per user group. This module diffs two such tables:
+pairs decided by both sides, pairs where they disagree, and pairs only
+one side can decide, each with the posterior confidence of both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.result import OpinionTable
+from ..core.types import Polarity, PropertyTypeKey
+
+
+@dataclass(frozen=True, slots=True)
+class OpinionDelta:
+    """One pair's standing in the two tables."""
+
+    entity_id: str
+    key: PropertyTypeKey
+    left_probability: float | None
+    right_probability: float | None
+
+    @property
+    def left_polarity(self) -> Polarity:
+        return _polarity(self.left_probability)
+
+    @property
+    def right_polarity(self) -> Polarity:
+        return _polarity(self.right_probability)
+
+    @property
+    def disagrees(self) -> bool:
+        """Both sides decided, with opposite polarity."""
+        return (
+            self.left_polarity is not Polarity.NEUTRAL
+            and self.right_polarity is not Polarity.NEUTRAL
+            and self.left_polarity is not self.right_polarity
+        )
+
+    @property
+    def confidence_gap(self) -> float:
+        """How far apart the two posteriors are (0 when either side
+        is undecided/unknown)."""
+        if self.left_probability is None or self.right_probability is None:
+            return 0.0
+        return abs(self.left_probability - self.right_probability)
+
+    def row(self) -> str:
+        left = _format(self.left_probability)
+        right = _format(self.right_probability)
+        return (
+            f"{self.entity_id:28s} {str(self.key):24s} "
+            f"{left} vs {right}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TableComparison:
+    """The full diff between two opinion tables."""
+
+    left_name: str
+    right_name: str
+    agreements: tuple[OpinionDelta, ...]
+    disagreements: tuple[OpinionDelta, ...]
+    left_only: tuple[OpinionDelta, ...]
+    right_only: tuple[OpinionDelta, ...]
+
+    @property
+    def n_shared(self) -> int:
+        return len(self.agreements) + len(self.disagreements)
+
+    @property
+    def agreement_rate(self) -> float:
+        if self.n_shared == 0:
+            return 0.0
+        return len(self.agreements) / self.n_shared
+
+    def summary(self) -> str:
+        return (
+            f"{self.left_name} vs {self.right_name}: "
+            f"{self.n_shared} shared decisions, "
+            f"{len(self.disagreements)} disagreements "
+            f"(agreement rate {self.agreement_rate:.2f}), "
+            f"{len(self.left_only)} only-{self.left_name}, "
+            f"{len(self.right_only)} only-{self.right_name}"
+        )
+
+
+def compare_tables(
+    left: OpinionTable,
+    right: OpinionTable,
+    left_name: str = "left",
+    right_name: str = "right",
+) -> TableComparison:
+    """Diff two opinion tables over the union of their decided pairs."""
+    pairs: set[tuple[str, PropertyTypeKey]] = set()
+    for table in (left, right):
+        for opinion in table:
+            if opinion.decided:
+                pairs.add((opinion.entity_id, opinion.key))
+
+    agreements: list[OpinionDelta] = []
+    disagreements: list[OpinionDelta] = []
+    left_only: list[OpinionDelta] = []
+    right_only: list[OpinionDelta] = []
+    for entity_id, key in sorted(pairs, key=lambda p: (str(p[1]), p[0])):
+        left_opinion = left.get(entity_id, key)
+        right_opinion = right.get(entity_id, key)
+        delta = OpinionDelta(
+            entity_id=entity_id,
+            key=key,
+            left_probability=(
+                left_opinion.probability
+                if left_opinion is not None
+                else None
+            ),
+            right_probability=(
+                right_opinion.probability
+                if right_opinion is not None
+                else None
+            ),
+        )
+        left_decided = delta.left_polarity is not Polarity.NEUTRAL
+        right_decided = delta.right_polarity is not Polarity.NEUTRAL
+        if left_decided and right_decided:
+            if delta.disagrees:
+                disagreements.append(delta)
+            else:
+                agreements.append(delta)
+        elif left_decided:
+            left_only.append(delta)
+        else:
+            right_only.append(delta)
+    disagreements.sort(key=lambda d: -d.confidence_gap)
+    return TableComparison(
+        left_name=left_name,
+        right_name=right_name,
+        agreements=tuple(agreements),
+        disagreements=tuple(disagreements),
+        left_only=tuple(left_only),
+        right_only=tuple(right_only),
+    )
+
+
+def _polarity(probability: float | None) -> Polarity:
+    if probability is None or probability == 0.5:
+        return Polarity.NEUTRAL
+    return Polarity.POSITIVE if probability > 0.5 else Polarity.NEGATIVE
+
+
+def _format(probability: float | None) -> str:
+    if probability is None:
+        return "  ?  "
+    return f"{_polarity(probability).value}:{probability:.2f}"

@@ -1,0 +1,133 @@
+"""Controversy analysis over mined evidence.
+
+The paper's Section 2 observes that "a significant fraction of users
+disagrees with the dominant opinion" for many pairs. Once the model is
+fit, that disagreement is measurable per entity:
+
+* the **observed minority share** — the fraction of statements that
+  contradict the mined dominant opinion;
+* the **expected minority share** under the fitted model — for a
+  positive-dominant entity, `λ−+ / (λ++ + λ−+)`;
+* the **controversy score** — how far the observed mix exceeds the
+  expectation, normalized to [0, 1] via the binomial tail. A pair
+  whose statements split far more evenly than the combination's
+  agreement parameter predicts is genuinely contested (the paper's
+  `frog`-is-cute case), not merely noisy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.result import OpinionTable
+from ..core.surveyor import FittedCombination
+from ..core.types import (
+    EvidenceCounts,
+    Opinion,
+    Polarity,
+    PropertyTypeKey,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ControversyReport:
+    """Disagreement diagnostics for one entity-property pair."""
+
+    entity_id: str
+    key: PropertyTypeKey
+    polarity: Polarity
+    evidence: EvidenceCounts
+    observed_minority_share: float
+    expected_minority_share: float
+    score: float
+
+    def row(self) -> str:
+        return (
+            f"{self.entity_id:28s} {self.polarity.value} "
+            f"minority observed={self.observed_minority_share:.2f} "
+            f"expected={self.expected_minority_share:.2f} "
+            f"score={self.score:.3f} "
+            f"(+{self.evidence.positive}/-{self.evidence.negative})"
+        )
+
+
+def controversy_report(
+    opinion: Opinion, fit: FittedCombination
+) -> ControversyReport:
+    """Diagnose one mined opinion against its combination's fit."""
+    rates = fit.parameters.poisson_rates()
+    if opinion.polarity is Polarity.NEGATIVE:
+        minority_count = opinion.evidence.positive
+        rate_minority = rates.pos_given_neg
+        rate_majority = rates.neg_given_neg
+    else:
+        # NEUTRAL pairs are treated like positives for the expectation;
+        # their score is dominated by the even observed mix anyway.
+        minority_count = opinion.evidence.negative
+        rate_minority = rates.neg_given_pos
+        rate_majority = rates.pos_given_pos
+    total = opinion.evidence.total
+    observed = minority_count / total if total else 0.0
+    denominator = rate_minority + rate_majority
+    expected = rate_minority / denominator if denominator > 0 else 0.0
+    score = _binomial_excess(minority_count, total, expected)
+    return ControversyReport(
+        entity_id=opinion.entity_id,
+        key=opinion.key,
+        polarity=opinion.polarity,
+        evidence=opinion.evidence,
+        observed_minority_share=observed,
+        expected_minority_share=expected,
+        score=score,
+    )
+
+
+def find_controversial(
+    table: OpinionTable,
+    fits: dict[PropertyTypeKey, FittedCombination],
+    min_statements: int = 5,
+    top: int = 20,
+) -> list[ControversyReport]:
+    """Most-contested pairs across the table, highest score first.
+
+    Pairs with fewer than ``min_statements`` are skipped: with two
+    statements an even split carries no signal.
+    """
+    reports = []
+    for opinion in table:
+        if opinion.evidence.total < min_statements:
+            continue
+        fit = fits.get(opinion.key)
+        if fit is None:
+            continue
+        reports.append(controversy_report(opinion, fit))
+    reports.sort(key=lambda report: report.score, reverse=True)
+    return reports[:top]
+
+
+def _binomial_excess(successes: int, trials: int, p: float) -> float:
+    """``Pr(X <= successes)`` shortfall turned into an excess score.
+
+    Returns the probability that a Binomial(trials, p) sample shows
+    *fewer* minority statements than observed — near 1 when the
+    observed disagreement far exceeds the model's expectation, near 0
+    when the mix is at or below expectation.
+    """
+    if trials == 0:
+        return 0.0
+    p = min(max(p, 1e-12), 1 - 1e-12)
+    cumulative = 0.0
+    for k in range(successes):
+        cumulative += math.exp(
+            _log_comb(trials, k)
+            + k * math.log(p)
+            + (trials - k) * math.log(1.0 - p)
+        )
+    return min(max(cumulative, 0.0), 1.0)
+
+
+def _log_comb(n: int, k: int) -> float:
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )

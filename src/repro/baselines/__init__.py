@@ -1,0 +1,25 @@
+"""Baseline interpreters compared against Surveyor in Section 7."""
+
+from .base import Evidence, Interpreter
+from .majority import MajorityVote, ScaledMajorityVote
+from .surveyor_adapter import SurveyorInterpreter
+from .webchild import WebChildLike
+
+__all__ = [
+    "Evidence",
+    "Interpreter",
+    "MajorityVote",
+    "ScaledMajorityVote",
+    "SurveyorInterpreter",
+    "WebChildLike",
+]
+
+
+def standard_interpreters() -> list[Interpreter]:
+    """The four methods of Table 3, in the paper's row order."""
+    return [
+        MajorityVote(),
+        ScaledMajorityVote(),
+        WebChildLike(),
+        SurveyorInterpreter(),
+    ]

@@ -1,0 +1,80 @@
+"""Common interface for evidence interpreters.
+
+An interpreter turns the extracted evidence (per property-type, per
+entity statement counts) into an :class:`~repro.core.result.OpinionTable`.
+The experimental section compares four interpreters on the same
+evidence: majority vote, scaled majority vote, a WebChild-like
+comparator, and Surveyor's probabilistic model.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Mapping
+
+from ..core.result import OpinionTable
+from ..core.surveyor import EntityCatalog
+from ..core.types import (
+    EvidenceCounts,
+    Opinion,
+    Polarity,
+    PropertyTypeKey,
+)
+
+Evidence = Mapping[PropertyTypeKey, Mapping[str, EvidenceCounts]]
+
+
+class Interpreter(abc.ABC):
+    """Turns evidence counts into dominant-opinion decisions."""
+
+    #: Display name used in benchmark tables.
+    name: str = "interpreter"
+
+    @abc.abstractmethod
+    def interpret(
+        self, evidence: Evidence, catalog: EntityCatalog
+    ) -> OpinionTable:
+        """Produce opinions for all entities of every evidenced type.
+
+        Implementations must include *undecided* pairs (probability
+        0.5) so evaluation can distinguish "decided wrong" from "no
+        decision" when computing coverage.
+        """
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def full_pairs(
+        evidence: Evidence, catalog: EntityCatalog
+    ) -> dict[PropertyTypeKey, dict[str, EvidenceCounts]]:
+        """Join evidence with the catalog, padding absentees with zeros."""
+        joined: dict[PropertyTypeKey, dict[str, EvidenceCounts]] = {}
+        for key, per_entity in evidence.items():
+            ids = set(catalog.entity_ids_of_type(key.entity_type))
+            ids.update(per_entity)
+            joined[key] = {
+                entity_id: per_entity.get(entity_id, EvidenceCounts.ZERO)
+                for entity_id in sorted(ids)
+            }
+        return joined
+
+    @staticmethod
+    def opinion_from_polarity(
+        entity_id: str,
+        key: PropertyTypeKey,
+        polarity: Polarity,
+        counts: EvidenceCounts,
+    ) -> Opinion:
+        """Wrap a hard decision as an opinion (probability 1 / 0 / 0.5)."""
+        probability = {
+            Polarity.POSITIVE: 1.0,
+            Polarity.NEGATIVE: 0.0,
+            Polarity.NEUTRAL: 0.5,
+        }[polarity]
+        return Opinion(
+            entity_id=entity_id,
+            key=key,
+            probability=probability,
+            evidence=counts,
+        )

@@ -1,0 +1,93 @@
+"""Majority-vote and scaled-majority-vote baselines (Section 7.4).
+
+**Majority Vote (MV)** marks a property as applying when positive
+statements outnumber negative ones and vice versa; equal counters
+(including the common zero-zero case) yield no decision.
+
+**Scaled Majority Vote (SMV)** first scales the negative counter by the
+global average ratio of positive to negative statements — a gross,
+type-and-property-independent correction of the Web's bias against
+negative statements — and then votes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.result import OpinionTable
+from ..core.surveyor import EntityCatalog
+from ..core.types import EvidenceCounts, Polarity
+from .base import Evidence, Interpreter
+
+
+class MajorityVote(Interpreter):
+    """Plain count comparison per entity-property pair."""
+
+    name = "Majority Vote"
+
+    def interpret(
+        self, evidence: Evidence, catalog: EntityCatalog
+    ) -> OpinionTable:
+        table = OpinionTable()
+        for key, per_entity in self.full_pairs(evidence, catalog).items():
+            for entity_id, counts in per_entity.items():
+                table.add(
+                    self.opinion_from_polarity(
+                        entity_id, key, counts.majority(), counts
+                    )
+                )
+        return table
+
+
+@dataclass
+class ScaledMajorityVote(Interpreter):
+    """Majority vote after scaling negatives by the global bias ratio.
+
+    The scale factor is ``total positive / total negative`` across the
+    *entire* evidence set — deliberately global: the paper uses SMV to
+    show that a universal polarity-bias correction is not enough, as
+    the bias varies per property-type combination.
+    """
+
+    name = "Scaled Majority Vote"
+
+    #: Fallback scale when no negative statements exist at all.
+    default_scale: float = 1.0
+
+    def interpret(
+        self, evidence: Evidence, catalog: EntityCatalog
+    ) -> OpinionTable:
+        scale = self.global_scale(evidence)
+        table = OpinionTable()
+        for key, per_entity in self.full_pairs(evidence, catalog).items():
+            for entity_id, counts in per_entity.items():
+                table.add(
+                    self.opinion_from_polarity(
+                        entity_id,
+                        key,
+                        self.scaled_vote(counts, scale),
+                        counts,
+                    )
+                )
+        return table
+
+    def global_scale(self, evidence: Evidence) -> float:
+        """Average ratio of positive to negative statements."""
+        positive = 0
+        negative = 0
+        for per_entity in evidence.values():
+            for counts in per_entity.values():
+                positive += counts.positive
+                negative += counts.negative
+        if negative == 0:
+            return self.default_scale
+        return positive / negative
+
+    @staticmethod
+    def scaled_vote(counts: EvidenceCounts, scale: float) -> Polarity:
+        scaled_negative = counts.negative * scale
+        if counts.positive > scaled_negative:
+            return Polarity.POSITIVE
+        if counts.positive < scaled_negative:
+            return Polarity.NEGATIVE
+        return Polarity.NEUTRAL

@@ -1,0 +1,50 @@
+"""Adapter exposing the Surveyor model through the interpreter API.
+
+Lets the evaluation harness treat the paper's system and the baselines
+uniformly. Pairs below the occurrence threshold (which Surveyor skips)
+are reported as undecided so coverage accounting stays comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.em import EMLearner
+from ..core.result import OpinionTable
+from ..core.surveyor import EntityCatalog, Surveyor
+from ..core.types import Polarity
+from .base import Evidence, Interpreter
+
+
+@dataclass
+class SurveyorInterpreter(Interpreter):
+    """The probabilistic model behind the interpreter interface."""
+
+    name = "Surveyor"
+
+    occurrence_threshold: int = 1
+    learner: EMLearner = field(default_factory=EMLearner)
+
+    def interpret(
+        self, evidence: Evidence, catalog: EntityCatalog
+    ) -> OpinionTable:
+        surveyor = Surveyor(
+            catalog=catalog,
+            occurrence_threshold=self.occurrence_threshold,
+            learner=self.learner,
+            emit_undecided=True,
+        )
+        result = surveyor.run(evidence)
+        table = result.opinions
+        # Pairs in skipped combinations: undecided, for fair coverage.
+        for key in result.skipped:
+            per_entity = self.full_pairs(
+                {key: evidence[key]}, catalog
+            )[key]
+            for entity_id, counts in per_entity.items():
+                table.add(
+                    self.opinion_from_polarity(
+                        entity_id, key, Polarity.NEUTRAL, counts
+                    )
+                )
+        return table

@@ -1,0 +1,108 @@
+"""WebChild-like comparator (Tandon et al., WSDM 2014).
+
+WebChild harvests noun-adjective associations for commonsense
+relations. Used as a comparator for subjective property mining it has
+two structural handicaps the paper calls out (Section 7.4):
+
+* it does **not** detect negations — a sentence "tigers are not cute"
+  still counts as a (tiger, cute) co-occurrence, producing false
+  positives on controversial properties;
+* an entity-property pair is asserted only if the pair made it into
+  the harvested knowledge base; absence is read as a negative
+  assertion, so coverage is limited to harvested entities.
+
+This module reconstructs that behaviour from our evidence counts: the
+harvested KB contains the entities whose *negation-blind* mention count
+reaches a support threshold — plus a hash-random slice of everything
+else, standing in for WebChild's independent harvesting pipeline whose
+recall only partially overlaps our extraction — and a property is
+asserted for a harvested entity when the blind co-occurrence count
+reaches the assertion threshold.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..core.result import OpinionTable
+from ..core.surveyor import EntityCatalog
+from ..core.types import Polarity
+from .base import Evidence, Interpreter
+
+
+@dataclass
+class WebChildLike(Interpreter):
+    """Negation-blind, co-occurrence-thresholded comparator.
+
+    Parameters
+    ----------
+    membership_threshold:
+        Minimum total (blind) statements across all properties for an
+        entity to enter the harvested KB; entities below it yield no
+        decision for any property (the coverage loss).
+    assertion_threshold:
+        Minimum blind co-occurrence count for asserting a property of
+        a harvested entity.
+    harvest_rate:
+        Probability (by stable hash of the entity ID) that an entity
+        enters the harvested KB independently of our evidence counts —
+        WebChild mines with its own patterns over its own crawl.
+    """
+
+    name = "WebChild"
+
+    membership_threshold: int = 12
+    assertion_threshold: int = 2
+    harvest_rate: float = 0.1
+
+    def interpret(
+        self, evidence: Evidence, catalog: EntityCatalog
+    ) -> OpinionTable:
+        harvested = self.harvested_entities(evidence)
+        table = OpinionTable()
+        for key, per_entity in self.full_pairs(evidence, catalog).items():
+            for entity_id, counts in per_entity.items():
+                if entity_id not in harvested and not self._lucky_harvest(
+                    entity_id
+                ):
+                    polarity = Polarity.NEUTRAL
+                elif counts.total >= self.assertion_threshold:
+                    # Negation-blind: any co-occurrence is support.
+                    polarity = Polarity.POSITIVE
+                else:
+                    # In the KB but the pair was not harvested:
+                    # absence read as a negative assertion.
+                    polarity = Polarity.NEGATIVE
+                table.add(
+                    self.opinion_from_polarity(
+                        entity_id, key, polarity, counts
+                    )
+                )
+        return table
+
+    def harvested_entities(self, evidence: Evidence) -> set[str]:
+        """Entities with enough blind support to enter the KB.
+
+        Besides the support-thresholded entities, every entity seen in
+        the evidence join passes an independent hash-random harvest
+        check (see ``harvest_rate``).
+        """
+        support: dict[str, int] = defaultdict(int)
+        for per_entity in evidence.values():
+            for entity_id in per_entity:
+                support[entity_id] += per_entity[entity_id].total
+        return {
+            entity_id
+            for entity_id, total in support.items()
+            if total >= self.membership_threshold
+            or self._lucky_harvest(entity_id)
+        }
+
+    def _lucky_harvest(self, entity_id: str) -> bool:
+        digest = hashlib.sha256(
+            f"webchild/{entity_id}".encode("utf-8")
+        ).digest()
+        fraction = int.from_bytes(digest[:4], "big") / 2**32
+        return fraction < self.harvest_rate

@@ -1,0 +1,287 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro demo                      end-to-end demo run
+    python -m repro mine  ...                 mine opinions from raw text
+    python -m repro query ...                 query a mined opinion table
+    python -m repro eval                      reproduce the Table 3 comparison
+    python -m repro calibrate ...             subjective->objective bridge
+
+``mine`` reads documents from a file (one document per line) or a
+directory of ``.txt`` files, against a knowledge base saved with
+:mod:`repro.storage` (or the built-in evaluation KB).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.result import OpinionTable
+from .core.types import Polarity, PropertyTypeKey, SubjectiveProperty
+from .corpus.document import Document, WebCorpus
+from .extraction.patterns import PATTERN_VERSIONS
+from .kb.knowledge_base import KnowledgeBase
+from .kb.seeds import evaluation_kb
+from .pipeline.runner import SurveyorPipeline
+from .storage import load, save
+
+
+def _read_corpus(path: Path, region: str = "") -> WebCorpus:
+    """One document per line of a file, or one per .txt file of a dir."""
+    corpus = WebCorpus()
+    if path.is_dir():
+        for index, file in enumerate(sorted(path.glob("*.txt"))):
+            corpus.add(
+                Document(
+                    doc_id=file.stem,
+                    text=file.read_text(),
+                    region=region,
+                )
+            )
+    else:
+        with path.open() as handle:
+            for index, line in enumerate(handle):
+                line = line.strip()
+                if line:
+                    corpus.add(
+                        Document(
+                            doc_id=f"line-{index:06d}",
+                            text=line,
+                            region=region,
+                        )
+                    )
+    if not len(corpus):
+        raise SystemExit(f"no documents found under {path}")
+    return corpus
+
+
+def _load_kb(path: str | None) -> KnowledgeBase:
+    if path is None:
+        return evaluation_kb()
+    kb = load(path)
+    if not isinstance(kb, KnowledgeBase):
+        raise SystemExit(f"{path} is not a knowledge-base artefact")
+    return kb
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from .corpus.generator import CorpusGenerator
+    from .evaluation.harness import EvaluationHarness
+
+    harness = EvaluationHarness(seed=args.seed)
+    corpus = CorpusGenerator(seed=args.seed).generate(
+        *harness.scenarios()
+    )
+    pipeline = SurveyorPipeline(kb=harness.kb, occurrence_threshold=100)
+    report = pipeline.run(corpus)
+    print(report.summary())
+    cute = PropertyTypeKey(SubjectiveProperty("cute"), "animal")
+    if cute in report.result.fits:
+        print("\ncute animals, most confident first:")
+        for opinion in report.opinions.entities_with(cute)[:8]:
+            print(
+                f"  {opinion.entity_id:24s} p={opinion.probability:.3f}"
+            )
+    return 0
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    kb = _load_kb(args.kb)
+    corpus = _read_corpus(Path(args.corpus), region=args.region)
+    if args.region:
+        corpus = corpus.restricted_to_region(args.region)
+    pipeline = SurveyorPipeline(
+        kb=kb,
+        pattern_config=PATTERN_VERSIONS[args.patterns],
+        occurrence_threshold=args.threshold,
+        n_workers=args.workers,
+    )
+    report = pipeline.run(corpus)
+    print(report.summary(), file=sys.stderr)
+    save(report.opinions, args.out)
+    print(f"wrote {len(report.opinions)} opinions to {args.out}")
+    if args.params_out:
+        save(
+            {
+                key: fit.parameters
+                for key, fit in report.result.fits.items()
+            },
+            args.params_out,
+        )
+        print(f"wrote parameters to {args.params_out}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    table = load(args.opinions)
+    if not isinstance(table, OpinionTable):
+        raise SystemExit(f"{args.opinions} is not an opinions artefact")
+    key = PropertyTypeKey(
+        property=SubjectiveProperty.parse(args.property),
+        entity_type=args.type,
+    )
+    polarity = Polarity.NEGATIVE if args.negative else Polarity.POSITIVE
+    hits = table.entities_with(
+        key, polarity, min_probability=args.min_probability
+    )
+    if not hits:
+        print("no matching entities")
+        return 1
+    for opinion in hits[: args.top]:
+        print(
+            f"{opinion.entity_id:30s} p={opinion.probability:.3f} "
+            f"(+{opinion.evidence.positive}/-{opinion.evidence.negative})"
+        )
+    return 0
+
+
+def cmd_ask(args: argparse.Namespace) -> int:
+    from .core.query import QueryEngine, QueryError
+
+    table = load(args.opinions)
+    if not isinstance(table, OpinionTable):
+        raise SystemExit(f"{args.opinions} is not an opinions artefact")
+    try:
+        hits = QueryEngine(table).answer(args.query, top=args.top)
+    except QueryError as error:
+        raise SystemExit(f"cannot parse query: {error}") from None
+    if not hits:
+        print("no answers")
+        return 1
+    for hit in hits:
+        marker = "*" if hit.confident else " "
+        terms = " ".join(f"{p:.2f}" for p in hit.per_term)
+        print(
+            f"{marker} {hit.entity_id:30s} score={hit.score:.3f} "
+            f"[{terms}]"
+        )
+    return 0
+
+
+def cmd_eval(args: argparse.Namespace) -> int:
+    from .evaluation.harness import EvaluationHarness
+
+    harness = EvaluationHarness(seed=args.seed)
+    print("Table 3 — method comparison")
+    for score in harness.table3():
+        print("  " + score.row())
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    from .evaluation.report import full_report
+
+    report = full_report(seed=args.seed, fast=not args.full)
+    print(report.text())
+    if args.out:
+        Path(args.out).write_text(report.text() + "\n")
+        print(f"\nwrote report to {args.out}", file=sys.stderr)
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    from .core.calibration import fit_link
+
+    table = load(args.opinions)
+    kb = _load_kb(args.kb)
+    key = PropertyTypeKey(
+        property=SubjectiveProperty.parse(args.property),
+        entity_type=args.type,
+    )
+    link = fit_link(
+        table, key, kb.entities_of_type(args.type), args.attribute
+    )
+    print(link.describe())
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Surveyor: mining subjective properties on the Web",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the end-to-end demo")
+    demo.add_argument("--seed", type=int, default=2015)
+    demo.set_defaults(func=cmd_demo)
+
+    mine = sub.add_parser("mine", help="mine opinions from raw text")
+    mine.add_argument("corpus", help="text file (one doc/line) or dir of .txt")
+    mine.add_argument("--kb", help="knowledge-base JSON (default: built-in)")
+    mine.add_argument("--out", default="opinions.json")
+    mine.add_argument("--params-out", help="also save fitted parameters")
+    mine.add_argument("--threshold", type=int, default=100,
+                      help="occurrence threshold rho (default 100)")
+    mine.add_argument("--patterns", type=int, choices=(1, 2, 3, 4),
+                      default=4, help="extraction pattern version")
+    mine.add_argument("--region", default="",
+                      help="restrict to documents of this region")
+    mine.add_argument("--workers", type=int, default=4)
+    mine.set_defaults(func=cmd_mine)
+
+    query = sub.add_parser("query", help="query a mined opinion table")
+    query.add_argument("opinions", help="opinions JSON from 'mine'")
+    query.add_argument("property", help='e.g. "cute" or "very big"')
+    query.add_argument("type", help="entity type, e.g. animal")
+    query.add_argument("--negative", action="store_true",
+                       help="list entities NOT having the property")
+    query.add_argument("--top", type=int, default=10)
+    query.add_argument("--min-probability", type=float, default=0.0)
+    query.set_defaults(func=cmd_query)
+
+    ask = sub.add_parser(
+        "ask", help='answer a free-text query like "calm cheap cities"'
+    )
+    ask.add_argument("opinions", help="opinions JSON from 'mine'")
+    ask.add_argument("query", help='e.g. "calm cheap cities"')
+    ask.add_argument("--top", type=int, default=10)
+    ask.set_defaults(func=cmd_ask)
+
+    evaluate = sub.add_parser("eval", help="run the Table 3 comparison")
+    evaluate.add_argument("--seed", type=int, default=2015)
+    evaluate.set_defaults(func=cmd_eval)
+
+    reproduce = sub.add_parser(
+        "reproduce",
+        help="run the core experiments and print a paper-vs-measured report",
+    )
+    reproduce.add_argument("--seed", type=int, default=2015)
+    reproduce.add_argument("--full", action="store_true",
+                           help="full-size Table 5 (803 combinations)")
+    reproduce.add_argument("--out", help="also write the report here")
+    reproduce.set_defaults(func=cmd_reproduce)
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="fit the subjective-to-objective bridge (Section 9)",
+    )
+    calibrate.add_argument("opinions")
+    calibrate.add_argument("property")
+    calibrate.add_argument("type")
+    calibrate.add_argument("attribute", help="e.g. population")
+    calibrate.add_argument("--kb")
+    calibrate.set_defaults(func=cmd_calibrate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+"""Core of the reproduction: the Surveyor probabilistic model and driver."""
+
+from .calibration import (
+    CalibrationError,
+    SubjectiveObjectiveLink,
+    fit_link,
+)
+from .em import EMLearner, EMResult, EMTrace
+from .model import UserBehaviorModel
+from .params import (
+    DEFAULT_AGREEMENT_GRID,
+    DEFAULT_INITIAL_PARAMETERS,
+    ModelParameters,
+    PoissonRates,
+)
+from .query import (
+    QueryEngine,
+    QueryError,
+    QueryHit,
+    SubjectiveQuery,
+)
+from .result import OpinionTable
+from .surveyor import (
+    DEFAULT_OCCURRENCE_THRESHOLD,
+    FittedCombination,
+    Surveyor,
+    SurveyorResult,
+)
+from .types import (
+    EvidenceCounts,
+    Opinion,
+    Polarity,
+    PropertyTypeKey,
+    SubjectiveProperty,
+)
+
+__all__ = [
+    "CalibrationError",
+    "DEFAULT_AGREEMENT_GRID",
+    "DEFAULT_INITIAL_PARAMETERS",
+    "DEFAULT_OCCURRENCE_THRESHOLD",
+    "EMLearner",
+    "EMResult",
+    "EMTrace",
+    "EvidenceCounts",
+    "FittedCombination",
+    "ModelParameters",
+    "Opinion",
+    "OpinionTable",
+    "PoissonRates",
+    "Polarity",
+    "PropertyTypeKey",
+    "QueryEngine",
+    "QueryError",
+    "QueryHit",
+    "SubjectiveObjectiveLink",
+    "SubjectiveQuery",
+    "SubjectiveProperty",
+    "Surveyor",
+    "SurveyorResult",
+    "UserBehaviorModel",
+    "fit_link",
+]

@@ -1,0 +1,267 @@
+"""Expectation-maximization learning of the model parameters (Section 6).
+
+Algorithm 2 of the paper: alternate between computing posterior opinion
+probabilities ``r+_i = Pr(D_i = + | theta, E_i)`` (E-step) and choosing
+the parameter vector that maximizes the expected complete-data
+log-likelihood ``Q_k`` (M-step). The paper derives a closed-form M-step:
+for a fixed agreement value ``pA`` drawn from a small grid, the optimal
+statement rates are
+
+    n*p+S = (g++ + g+-) / (g- + pA*g+ - pA*g-)
+    n*p-S = (g-+ + g--) / (g+ + pA*g- - pA*g+)
+
+where the ``g`` statistics are responsibility-weighted count sums. Each
+iteration is O(m) in the number of entities, which is what let the
+authors process 380,000 property-type pairs in ten minutes.
+
+The implementation is vectorized with numpy: the per-entity state is
+three aligned arrays (positive counts, negative counts,
+responsibilities).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .model import UserBehaviorModel
+from .params import (
+    DEFAULT_AGREEMENT_GRID,
+    DEFAULT_INITIAL_PARAMETERS,
+    ModelParameters,
+)
+from .types import EvidenceCounts
+
+_RATE_FLOOR = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class EMTrace:
+    """Diagnostics for one EM run."""
+
+    iterations: int
+    converged: bool
+    log_likelihoods: tuple[float, ...]
+    parameters_path: tuple[ModelParameters, ...]
+
+    @property
+    def final_log_likelihood(self) -> float:
+        return self.log_likelihoods[-1]
+
+
+@dataclass(frozen=True, slots=True)
+class EMResult:
+    """Learned parameters plus per-entity posteriors and diagnostics."""
+
+    parameters: ModelParameters
+    responsibilities: np.ndarray
+    trace: EMTrace
+
+    def model(self) -> UserBehaviorModel:
+        return UserBehaviorModel(self.parameters)
+
+
+@dataclass
+class EMLearner:
+    """Fits :class:`ModelParameters` to one property-type's evidence.
+
+    Parameters
+    ----------
+    agreement_grid:
+        Fixed set of ``pA`` values tried in each M-step (paper
+        Section 6). Values must lie in ``(0, 1)``; values at or below
+        0.5 make the dominant-opinion labels unidentifiable and values
+        of exactly 1 degenerate the negative-rate denominator, so both
+        are rejected.
+    max_iterations:
+        Upper bound ``X`` on EM iterations.
+    tolerance:
+        Convergence threshold on the change in expected log-likelihood.
+    initial_parameters:
+        Algorithm 2's initial guess ``theta_0``.
+    """
+
+    agreement_grid: Sequence[float] = DEFAULT_AGREEMENT_GRID
+    max_iterations: int = 50
+    tolerance: float = 1e-7
+    initial_parameters: ModelParameters = DEFAULT_INITIAL_PARAMETERS
+    record_path: bool = False
+    _grid: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        grid = np.asarray(sorted(set(self.agreement_grid)), dtype=float)
+        if grid.size == 0:
+            raise ValueError("agreement grid must be non-empty")
+        if np.any(grid <= 0.5) or np.any(grid >= 1.0):
+            raise ValueError("agreement grid values must lie in (0.5, 1)")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        self._grid = grid
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def fit(self, evidence: Iterable[EvidenceCounts]) -> EMResult:
+        """Run EM over the evidence of all entities of one type.
+
+        The iterable must contain one tuple per entity *including*
+        entities with zero counts — the paper stresses that absence of
+        mentions is itself evidence.
+        """
+        pos, neg = _counts_to_arrays(evidence)
+        if pos.size == 0:
+            raise ValueError("evidence must contain at least one entity")
+
+        theta = self.initial_parameters
+        log_likelihoods: list[float] = []
+        path: list[ModelParameters] = [theta] if self.record_path else []
+        responsibilities = np.full(pos.shape, 0.5)
+        converged = False
+        iterations = 0
+
+        for iterations in range(1, self.max_iterations + 1):
+            responsibilities = self._e_step(pos, neg, theta)
+            theta, expected_ll = self._m_step(pos, neg, responsibilities)
+            log_likelihoods.append(expected_ll)
+            if self.record_path:
+                path.append(theta)
+            if (
+                len(log_likelihoods) >= 2
+                and abs(log_likelihoods[-1] - log_likelihoods[-2])
+                <= self.tolerance
+            ):
+                converged = True
+                break
+
+        # Final E-step so the posteriors reflect the returned parameters.
+        responsibilities = self._e_step(pos, neg, theta)
+        trace = EMTrace(
+            iterations=iterations,
+            converged=converged,
+            log_likelihoods=tuple(log_likelihoods),
+            parameters_path=tuple(path),
+        )
+        return EMResult(
+            parameters=theta, responsibilities=responsibilities, trace=trace
+        )
+
+    # ------------------------------------------------------------------
+    # E-step
+    # ------------------------------------------------------------------
+    def _e_step(
+        self, pos: np.ndarray, neg: np.ndarray, theta: ModelParameters
+    ) -> np.ndarray:
+        """Vectorized ``r+_i = Pr(D_i = + | theta, E_i)`` with uniform prior."""
+        rates = theta.poisson_rates()
+        log_pos = _poisson_log_pmf_vec(
+            pos, rates.pos_given_pos
+        ) + _poisson_log_pmf_vec(neg, rates.neg_given_pos)
+        log_neg = _poisson_log_pmf_vec(
+            pos, rates.pos_given_neg
+        ) + _poisson_log_pmf_vec(neg, rates.neg_given_neg)
+        # Stable sigmoid of the log-odds.
+        delta = np.clip(log_neg - log_pos, -700.0, 700.0)
+        return 1.0 / (1.0 + np.exp(delta))
+
+    # ------------------------------------------------------------------
+    # M-step
+    # ------------------------------------------------------------------
+    def _m_step(
+        self, pos: np.ndarray, neg: np.ndarray, resp: np.ndarray
+    ) -> tuple[ModelParameters, float]:
+        """Closed-form maximization of Q' over the agreement grid.
+
+        Returns the best parameter vector together with its Q' value
+        (used as the convergence signal; Q' differs from the true
+        expected log-likelihood only by theta-independent constants).
+        """
+        g_pp = float(np.dot(pos, resp))  # positive statements, D=+
+        g_np = float(np.dot(neg, resp))  # negative statements, D=+
+        g_pn = float(np.dot(pos, 1.0 - resp))  # positive statements, D=-
+        g_nn = float(np.dot(neg, 1.0 - resp))  # negative statements, D=-
+        g_pos = float(np.sum(resp))
+        g_neg = float(np.sum(1.0 - resp))
+
+        best: tuple[float, ModelParameters] | None = None
+        for p_a in self._grid:
+            denom_pos = g_neg + p_a * (g_pos - g_neg)
+            denom_neg = g_pos + p_a * (g_neg - g_pos)
+            rate_positive = float(
+                max(
+                    (g_pp + g_pn) / denom_pos if denom_pos > 0 else 0.0,
+                    _RATE_FLOOR,
+                )
+            )
+            rate_negative = float(
+                max(
+                    (g_np + g_nn) / denom_neg if denom_neg > 0 else 0.0,
+                    _RATE_FLOOR,
+                )
+            )
+            candidate = ModelParameters(
+                agreement=float(p_a),
+                rate_positive=rate_positive,
+                rate_negative=rate_negative,
+            )
+            score = _expected_q(
+                candidate, g_pp, g_np, g_pn, g_nn, g_pos, g_neg
+            )
+            if best is None or score > best[0]:
+                best = (score, candidate)
+        assert best is not None
+        return best[1], best[0]
+
+
+def _expected_q(
+    theta: ModelParameters,
+    g_pp: float,
+    g_np: float,
+    g_pn: float,
+    g_nn: float,
+    g_pos: float,
+    g_neg: float,
+) -> float:
+    """Evaluate Q'(theta) using the sufficient statistics.
+
+    Q' = sum_i [ r_i (c+_i log l++ - l++ + c-_i log l-+ - l-+)
+               + (1-r_i)(c+_i log l+- - l+- + c-_i log l-- - l--) ]
+    which collapses onto the g statistics.
+    """
+    rates = theta.poisson_rates()
+    log = np.log
+    l_pp = max(rates.pos_given_pos, _RATE_FLOOR)
+    l_np = max(rates.neg_given_pos, _RATE_FLOOR)
+    l_pn = max(rates.pos_given_neg, _RATE_FLOOR)
+    l_nn = max(rates.neg_given_neg, _RATE_FLOOR)
+    return float(
+        g_pp * log(l_pp)
+        - g_pos * l_pp
+        + g_np * log(l_np)
+        - g_pos * l_np
+        + g_pn * log(l_pn)
+        - g_neg * l_pn
+        + g_nn * log(l_nn)
+        - g_neg * l_nn
+    )
+
+
+def _counts_to_arrays(
+    evidence: Iterable[EvidenceCounts],
+) -> tuple[np.ndarray, np.ndarray]:
+    pairs = [(e.positive, e.negative) for e in evidence]
+    if not pairs:
+        return np.empty(0), np.empty(0)
+    array = np.asarray(pairs, dtype=float)
+    return array[:, 0], array[:, 1]
+
+
+def _poisson_log_pmf_vec(counts: np.ndarray, rate: float) -> np.ndarray:
+    """Vectorized Poisson log-pmf; mirrors :func:`repro.core.poisson`."""
+    if rate <= 0.0:
+        out = np.where(counts == 0, 0.0, -np.inf)
+        return out
+    from scipy.special import gammaln
+
+    return counts * np.log(rate) - rate - gammaln(counts + 1.0)

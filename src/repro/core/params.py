@@ -1,0 +1,106 @@
+"""Model parameters for one property-type combination.
+
+The user-behaviour model of Section 5 has three free parameters:
+
+* ``agreement`` (``pA``): probability that an author agrees with the
+  dominant opinion on a given entity-property pair;
+* ``rate_positive`` (``n * p+S``): expected number of statements from
+  authors whose own opinion is positive;
+* ``rate_negative`` (``n * p-S``): likewise for negative opinions.
+
+The paper works with the products ``n * p±S`` rather than the raw
+per-author probabilities to avoid rounding issues (Section 6); we adopt
+the same convention and call them *rates*. From these, the four Poisson
+rates of Section 5.2 follow:
+
+    lambda++ = pA * rate_positive        lambda-+ = (1 - pA) * rate_negative
+    lambda-- = pA * rate_negative        lambda+- = (1 - pA) * rate_positive
+
+where the subscript is the dominant opinion and the superscript is the
+statement polarity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class PoissonRates:
+    """The four Poisson rates ``lambda^{statement}_{dominant}``."""
+
+    pos_given_pos: float  # lambda++
+    neg_given_pos: float  # lambda-+
+    pos_given_neg: float  # lambda+-
+    neg_given_neg: float  # lambda--
+
+    def for_dominant(self, positive_dominant: bool) -> tuple[float, float]:
+        """Return ``(lambda+, lambda-)`` for the given dominant opinion."""
+        if positive_dominant:
+            return self.pos_given_pos, self.neg_given_pos
+        return self.pos_given_neg, self.neg_given_neg
+
+
+@dataclass(frozen=True, slots=True)
+class ModelParameters:
+    """The learned parameter vector ``theta = <pA, n*p+S, n*p-S>``."""
+
+    agreement: float
+    rate_positive: float
+    rate_negative: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.agreement <= 1.0:
+            raise ValueError(
+                f"agreement must be in [0, 1], got {self.agreement}"
+            )
+        if self.rate_positive < 0 or self.rate_negative < 0:
+            raise ValueError("statement rates must be non-negative")
+
+    def poisson_rates(self) -> PoissonRates:
+        """Derive the four Poisson rates of Section 5.2."""
+        p_a = self.agreement
+        return PoissonRates(
+            pos_given_pos=p_a * self.rate_positive,
+            neg_given_pos=(1.0 - p_a) * self.rate_negative,
+            pos_given_neg=(1.0 - p_a) * self.rate_positive,
+            neg_given_neg=p_a * self.rate_negative,
+        )
+
+    def statement_probabilities(
+        self, positive_dominant: bool, n_documents: int
+    ) -> tuple[float, float, float]:
+        """Per-document probabilities ``(Pr(S=+), Pr(S=-), Pr(S=N))``.
+
+        These are the Multinomial cell probabilities that the Poisson
+        product approximates; ``n_documents`` recovers ``p±S`` from the
+        stored rates.
+        """
+        if n_documents <= 0:
+            raise ValueError("n_documents must be positive")
+        pos_rate, neg_rate = self.poisson_rates().for_dominant(
+            positive_dominant
+        )
+        p_pos = pos_rate / n_documents
+        p_neg = neg_rate / n_documents
+        if p_pos + p_neg > 1.0:
+            raise ValueError(
+                "rates exceed document count; Poisson regime violated"
+            )
+        return p_pos, p_neg, 1.0 - p_pos - p_neg
+
+
+#: Default starting point for EM (Algorithm 2's "guess initial vector").
+#: A mildly optimistic agreement with asymmetric rates breaks the
+#: label-swap symmetry of the likelihood in a direction matching the
+#: paper's observation that positive statements dominate on the Web.
+DEFAULT_INITIAL_PARAMETERS = ModelParameters(
+    agreement=0.8, rate_positive=10.0, rate_negative=1.0
+)
+
+#: The fixed grid of agreement values tried during the M-step. The paper
+#: speeds up maximization by trying "a fixed set of values for pA" and
+#: solving the remaining two parameters in closed form.
+DEFAULT_AGREEMENT_GRID: tuple[float, ...] = tuple(
+    round(0.5 + 0.01 * i, 2) for i in range(1, 50)
+)

@@ -1,0 +1,171 @@
+"""Subjective query answering over a mined opinion table.
+
+The paper's motivation: search queries like ``safe cities`` or
+``cute animals`` should be answerable from structured data. This
+module parses such queries — one or more subjective properties
+followed by a type noun ("calm cheap cities") — and answers them from
+an :class:`~repro.core.result.OpinionTable`, ranking entities by the
+joint posterior of holding every requested property. Negated terms
+("not hectic cities") invert the corresponding posterior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nlp import lexicon
+from .result import OpinionTable
+from .types import PropertyTypeKey, SubjectiveProperty
+
+
+class QueryError(ValueError):
+    """Raised when a query cannot be parsed."""
+
+
+@dataclass(frozen=True, slots=True)
+class QueryTerm:
+    """One property requirement, possibly negated."""
+
+    property: SubjectiveProperty
+    negated: bool = False
+
+    def key(self, entity_type: str) -> PropertyTypeKey:
+        return PropertyTypeKey(
+            property=self.property, entity_type=entity_type
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SubjectiveQuery:
+    """A parsed query: property terms over one entity type."""
+
+    entity_type: str
+    terms: tuple[QueryTerm, ...]
+
+    @classmethod
+    def parse(cls, text: str) -> "SubjectiveQuery":
+        """Parse ``[not] <adj> [[not] <adj> ...] <type-noun>``.
+
+        The final token must be a known type noun (``cities``,
+        ``animals``, ...); every other token is an adjective, an
+        adverb attaching to the following adjective, or the negator
+        ``not`` applying to the next property.
+
+        >>> SubjectiveQuery.parse("calm cheap cities").entity_type
+        'city'
+        """
+        tokens = text.strip().lower().split()
+        if len(tokens) < 2:
+            raise QueryError(
+                "query needs at least one property and a type noun"
+            )
+        entity_type = lexicon.TYPE_NOUNS.get(tokens[-1])
+        if entity_type is None:
+            raise QueryError(
+                f"unknown type noun {tokens[-1]!r}; known: "
+                f"{sorted(set(lexicon.TYPE_NOUNS.values()))}"
+            )
+        terms: list[QueryTerm] = []
+        negate_next = False
+        pending_adverbs: list[str] = []
+        for token in tokens[:-1]:
+            if token == "not":
+                negate_next = True
+                continue
+            if token in lexicon.ADVERBS:
+                pending_adverbs.append(token)
+                continue
+            terms.append(
+                QueryTerm(
+                    property=SubjectiveProperty(
+                        token, tuple(pending_adverbs)
+                    ),
+                    negated=negate_next,
+                )
+            )
+            negate_next = False
+            pending_adverbs = []
+        if negate_next or pending_adverbs:
+            raise QueryError(
+                "dangling 'not' or adverb without an adjective"
+            )
+        if not terms:
+            raise QueryError("query needs at least one property")
+        return cls(entity_type=entity_type, terms=tuple(terms))
+
+    def text(self) -> str:
+        parts = []
+        for term in self.terms:
+            if term.negated:
+                parts.append("not")
+            parts.append(term.property.text)
+        parts.append(self.entity_type)
+        return " ".join(parts)
+
+
+@dataclass(frozen=True, slots=True)
+class QueryHit:
+    """One ranked answer."""
+
+    entity_id: str
+    score: float
+    per_term: tuple[float, ...]
+
+    @property
+    def confident(self) -> bool:
+        """Whether every term individually clears 0.5."""
+        return all(p > 0.5 for p in self.per_term)
+
+
+class QueryEngine:
+    """Answers subjective queries against one opinion table.
+
+    Unknown pairs contribute the agnostic prior 0.5 — missing
+    knowledge neither qualifies nor disqualifies an entity.
+    """
+
+    def __init__(self, table: OpinionTable) -> None:
+        self._table = table
+
+    def answer(
+        self, query: SubjectiveQuery | str, top: int = 10
+    ) -> list[QueryHit]:
+        if isinstance(query, str):
+            query = SubjectiveQuery.parse(query)
+        entity_ids = self._entities_of_type(query.entity_type)
+        if not entity_ids:
+            return []
+        hits = []
+        for entity_id in entity_ids:
+            per_term = []
+            for term in query.terms:
+                opinion = self._table.get(
+                    entity_id, term.key(query.entity_type)
+                )
+                probability = (
+                    opinion.probability if opinion is not None else 0.5
+                )
+                if term.negated:
+                    probability = 1.0 - probability
+                per_term.append(probability)
+            score = 1.0
+            for probability in per_term:
+                score *= probability
+            hits.append(
+                QueryHit(
+                    entity_id=entity_id,
+                    score=score,
+                    per_term=tuple(per_term),
+                )
+            )
+        hits.sort(key=lambda hit: (-hit.score, hit.entity_id))
+        return hits[:top]
+
+    def _entities_of_type(self, entity_type: str) -> list[str]:
+        entity_ids = {
+            opinion.entity_id
+            for key in self._table.keys()
+            if key.entity_type == entity_type
+            for opinion in self._table.for_key(key)
+        }
+        return sorted(entity_ids)

@@ -1,0 +1,114 @@
+"""Queryable store for mined opinions.
+
+Surveyor's output is conceptually a knowledge-base extension: tuples
+``<entity, property, polarity>`` with posterior probabilities. The
+:class:`OpinionTable` indexes these tuples by entity, by property-type
+combination, and by polarity, and supports the query patterns the paper
+motivates (``safe cities``, ``cute animals``): given a property-type
+key, list the entities whose dominant opinion is positive, ranked by
+posterior confidence.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator
+
+from .types import Opinion, Polarity, PropertyTypeKey
+
+
+class OpinionTable:
+    """Indexed collection of :class:`Opinion` tuples."""
+
+    def __init__(self, opinions: Iterable[Opinion] = ()) -> None:
+        self._by_pair: dict[tuple[str, PropertyTypeKey], Opinion] = {}
+        self._by_key: dict[PropertyTypeKey, list[Opinion]] = defaultdict(list)
+        self._by_entity: dict[str, list[Opinion]] = defaultdict(list)
+        for opinion in opinions:
+            self.add(opinion)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, opinion: Opinion) -> None:
+        """Insert an opinion, replacing any previous one for the pair."""
+        pair = (opinion.entity_id, opinion.key)
+        if pair in self._by_pair:
+            old = self._by_pair[pair]
+            self._by_key[old.key].remove(old)
+            self._by_entity[old.entity_id].remove(old)
+        self._by_pair[pair] = opinion
+        self._by_key[opinion.key].append(opinion)
+        self._by_entity[opinion.entity_id].append(opinion)
+
+    def update(self, opinions: Iterable[Opinion]) -> None:
+        for opinion in opinions:
+            self.add(opinion)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(
+        self, entity_id: str, key: PropertyTypeKey
+    ) -> Opinion | None:
+        return self._by_pair.get((entity_id, key))
+
+    def polarity(
+        self, entity_id: str, key: PropertyTypeKey
+    ) -> Polarity:
+        """Mined polarity for a pair; ``NEUTRAL`` when unknown/undecided."""
+        opinion = self.get(entity_id, key)
+        return opinion.polarity if opinion else Polarity.NEUTRAL
+
+    def for_key(self, key: PropertyTypeKey) -> list[Opinion]:
+        """All opinions for one property-type combination."""
+        return list(self._by_key.get(key, ()))
+
+    def for_entity(self, entity_id: str) -> list[Opinion]:
+        """All opinions about one entity across properties."""
+        return list(self._by_entity.get(entity_id, ()))
+
+    def entities_with(
+        self,
+        key: PropertyTypeKey,
+        polarity: Polarity = Polarity.POSITIVE,
+        min_probability: float = 0.0,
+    ) -> list[Opinion]:
+        """Entities whose dominant opinion matches, ranked by confidence.
+
+        This is the subjective-query answering primitive: for
+        ``cute animals``, return the animals most confidently cute.
+        """
+        selected = [
+            op
+            for op in self._by_key.get(key, ())
+            if op.polarity is polarity
+        ]
+        if polarity is Polarity.POSITIVE:
+            selected = [
+                op for op in selected if op.probability >= min_probability
+            ]
+            selected.sort(key=lambda op: op.probability, reverse=True)
+        else:
+            selected = [
+                op
+                for op in selected
+                if 1.0 - op.probability >= min_probability
+            ]
+            selected.sort(key=lambda op: op.probability)
+        return selected
+
+    def keys(self) -> list[PropertyTypeKey]:
+        return list(self._by_key)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._by_pair)
+
+    def __iter__(self) -> Iterator[Opinion]:
+        return iter(self._by_pair.values())
+
+    def __contains__(self, pair: tuple[str, PropertyTypeKey]) -> bool:
+        return pair in self._by_pair

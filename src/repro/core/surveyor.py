@@ -1,0 +1,160 @@
+"""The Surveyor driver — Algorithm 1 of the paper.
+
+Given (a) evidence counts grouped by property-type combination and
+(b) a knowledge base that can enumerate the entities of a type, Surveyor
+fits the user-behaviour model per combination (for combinations whose
+total extraction count reaches the occurrence threshold ``rho``) and
+emits a dominant opinion for *every* entity of the type — including
+entities never mentioned on the Web, for which the absence of evidence
+is itself informative.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from .em import EMLearner, EMTrace
+from .model import UserBehaviorModel
+from .params import ModelParameters
+from .result import OpinionTable
+from .types import EvidenceCounts, Opinion, PropertyTypeKey
+
+#: The paper filters property-type pairs with fewer than 100 evidence
+#: sentences before running EM (Section 7.1).
+DEFAULT_OCCURRENCE_THRESHOLD = 100
+
+
+class EntityCatalog(Protocol):
+    """The slice of a knowledge base Surveyor needs.
+
+    ``repro.kb.KnowledgeBase`` satisfies this protocol; tests may pass a
+    plain dict-backed stub.
+    """
+
+    def entity_ids_of_type(self, entity_type: str) -> Iterable[str]:
+        """IDs of all entities whose most notable type matches."""
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class FittedCombination:
+    """Per property-type fit artefacts, useful for inspection/ablation."""
+
+    key: PropertyTypeKey
+    parameters: ModelParameters
+    trace: EMTrace
+    n_entities: int
+    n_statements: int
+
+    def model(self) -> UserBehaviorModel:
+        return UserBehaviorModel(self.parameters)
+
+
+@dataclass(frozen=True, slots=True)
+class SurveyorResult:
+    """Output of one Surveyor run."""
+
+    opinions: OpinionTable
+    fits: dict[PropertyTypeKey, FittedCombination]
+    skipped: tuple[PropertyTypeKey, ...]
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.opinions)
+
+
+@dataclass
+class Surveyor:
+    """End-to-end evidence interpreter (extraction happens upstream).
+
+    Parameters
+    ----------
+    catalog:
+        Entity enumeration source; combined with the evidence counts to
+        include never-mentioned entities with ``<0, 0>`` tuples.
+    occurrence_threshold:
+        Minimum total statements per property-type combination (``rho``).
+    learner:
+        EM configuration; a default instance is used when omitted.
+    emit_undecided:
+        When true, pairs with posterior exactly 0.5 are kept in the
+        table as ``NEUTRAL``; the paper drops them (default).
+    """
+
+    catalog: EntityCatalog
+    occurrence_threshold: int = DEFAULT_OCCURRENCE_THRESHOLD
+    learner: EMLearner = field(default_factory=EMLearner)
+    emit_undecided: bool = False
+
+    def run(
+        self,
+        evidence: Mapping[PropertyTypeKey, Mapping[str, EvidenceCounts]],
+    ) -> SurveyorResult:
+        """Interpret all combinations meeting the occurrence threshold.
+
+        ``evidence`` maps each property-type combination to the per
+        entity evidence tuples gathered during extraction; entities of
+        the type that are absent from the inner mapping are treated as
+        ``<0, 0>``.
+        """
+        table = OpinionTable()
+        fits: dict[PropertyTypeKey, FittedCombination] = {}
+        skipped: list[PropertyTypeKey] = []
+
+        for key in sorted(evidence, key=str):
+            per_entity = evidence[key]
+            n_statements = sum(c.total for c in per_entity.values())
+            if n_statements < self.occurrence_threshold:
+                skipped.append(key)
+                continue
+            fit = self.fit_combination(key, per_entity)
+            fits[key] = fit
+            model = fit.model()
+            for entity_id, counts in self._full_evidence(key, per_entity):
+                opinion = model.opinion(entity_id, key, counts)
+                if opinion.decided or self.emit_undecided:
+                    table.add(opinion)
+        return SurveyorResult(
+            opinions=table, fits=fits, skipped=tuple(skipped)
+        )
+
+    def fit_combination(
+        self,
+        key: PropertyTypeKey,
+        per_entity: Mapping[str, EvidenceCounts],
+    ) -> FittedCombination:
+        """Fit the model for one combination (no thresholding)."""
+        entities = list(self._full_evidence(key, per_entity))
+        if not entities:
+            raise ValueError(
+                f"no entities of type {key.entity_type!r} in the catalog "
+                "or the evidence"
+            )
+        result = self.learner.fit(counts for _, counts in entities)
+        return FittedCombination(
+            key=key,
+            parameters=result.parameters,
+            trace=result.trace,
+            n_entities=len(entities),
+            n_statements=sum(c.total for _, c in entities),
+        )
+
+    def _full_evidence(
+        self,
+        key: PropertyTypeKey,
+        per_entity: Mapping[str, EvidenceCounts],
+    ) -> list[tuple[str, EvidenceCounts]]:
+        """Join evidence with the catalog, padding absentees with zeros.
+
+        Entities appearing in the evidence but not in the catalog (e.g.
+        a linker matched an alias of an entity filed under another most
+        notable type) are still interpreted.
+        """
+        known = set(self.catalog.entity_ids_of_type(key.entity_type))
+        ids = sorted(known | set(per_entity))
+        return [
+            (entity_id, per_entity.get(entity_id, EvidenceCounts.ZERO))
+            for entity_id in ids
+        ]

@@ -1,0 +1,32 @@
+"""Synthetic Web-corpus substrate: scenarios, authors, rendering."""
+
+from .author import (
+    TrueParameters,
+    sample_author_action,
+    sample_author_opinion,
+    sample_statement_counts,
+)
+from .document import CorpusShard, Document, WebCorpus
+from .generator import CorpusGenerator, NoiseProfile
+from .scenario import (
+    PropertySpec,
+    Scenario,
+    covariate_scenario,
+    curated_scenario,
+)
+
+__all__ = [
+    "CorpusGenerator",
+    "CorpusShard",
+    "Document",
+    "NoiseProfile",
+    "PropertySpec",
+    "Scenario",
+    "TrueParameters",
+    "WebCorpus",
+    "covariate_scenario",
+    "curated_scenario",
+    "sample_author_action",
+    "sample_author_opinion",
+    "sample_statement_counts",
+]

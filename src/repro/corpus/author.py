@@ -1,0 +1,106 @@
+"""Author-level generative sampling.
+
+Implements the exact generative story of the paper's Figure 7: authors
+agree with the dominant opinion with probability ``pA`` and express a
+positive opinion with probability ``p+S`` / a negative one with
+``p-S``. Two sampling granularities are provided:
+
+* :func:`sample_author_action` — one author's opinion and decision,
+  used by tests that validate the model against its own story;
+* :func:`sample_statement_counts` — the Poisson shortcut over the whole
+  author population, used by the corpus generator (equivalent in the
+  large-``n`` regime the paper operates in).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.poisson import sample_poisson
+from ..core.types import Polarity
+
+
+@dataclass(frozen=True, slots=True)
+class TrueParameters:
+    """Ground-truth generative parameters for one property-type pair.
+
+    ``rate_positive``/``rate_negative`` are the population-level
+    expected statement counts ``n * p+S`` / ``n * p-S`` for an entity
+    of unit popularity.
+    """
+
+    agreement: float
+    rate_positive: float
+    rate_negative: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.agreement <= 1.0:
+            raise ValueError("agreement must lie in [0, 1]")
+        if self.rate_positive < 0 or self.rate_negative < 0:
+            raise ValueError("rates must be non-negative")
+
+    def poisson_rates(
+        self, dominant_positive: bool, popularity: float = 1.0
+    ) -> tuple[float, float]:
+        """Expected ``(C+, C-)`` for an entity with the given dominant
+        opinion, scaled by the entity's popularity."""
+        p_a = self.agreement
+        if dominant_positive:
+            share_positive, share_negative = p_a, 1.0 - p_a
+        else:
+            share_positive, share_negative = 1.0 - p_a, p_a
+        return (
+            popularity * share_positive * self.rate_positive,
+            popularity * share_negative * self.rate_negative,
+        )
+
+
+def sample_author_opinion(
+    dominant: Polarity, agreement: float, rng: random.Random
+) -> Polarity:
+    """One author's opinion given the dominant opinion (layer 2->3)."""
+    if dominant is Polarity.NEUTRAL:
+        raise ValueError("dominant opinion must be polarized")
+    if rng.random() < agreement:
+        return dominant
+    return dominant.flipped()
+
+def sample_author_action(
+    dominant: Polarity,
+    params: TrueParameters,
+    n_documents: int,
+    rng: random.Random,
+) -> Polarity:
+    """One author's emitted statement: +, -, or N for silence.
+
+    ``n_documents`` converts the population rates back into per-author
+    probabilities ``p±S = rate / n``.
+    """
+    if n_documents <= 0:
+        raise ValueError("n_documents must be positive")
+    opinion = sample_author_opinion(dominant, params.agreement, rng)
+    if opinion is Polarity.POSITIVE:
+        p_state = params.rate_positive / n_documents
+    else:
+        p_state = params.rate_negative / n_documents
+    if p_state > 1.0:
+        raise ValueError("rates exceed the author population size")
+    if rng.random() < p_state:
+        return opinion
+    return Polarity.NEUTRAL
+
+
+def sample_statement_counts(
+    dominant: Polarity,
+    params: TrueParameters,
+    rng: random.Random,
+    popularity: float = 1.0,
+) -> tuple[int, int]:
+    """Population-level ``(C+, C-)`` via the Poisson approximation."""
+    if dominant is Polarity.NEUTRAL:
+        raise ValueError("dominant opinion must be polarized")
+    rate_pos, rate_neg = params.poisson_rates(
+        dominant is Polarity.POSITIVE, popularity
+    )
+    return sample_poisson(rate_pos, rng), sample_poisson(rate_neg, rng)

@@ -1,0 +1,114 @@
+"""Corpus containers: documents, the corpus, and sharding.
+
+A :class:`WebCorpus` stands in for the paper's 40 TB Web snapshot. Each
+document models one author's page (the probabilistic model assumes the
+chance of two documents sharing an author is negligible, so the
+generator emits one opinion statement per document). Sharding mirrors
+the distributed layout the paper's 5000-node pipeline consumed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Document:
+    """One Web document: an ID, raw text, and a provenance region.
+
+    ``region`` models the paper's Section 2 note that Surveyor can be
+    specialized to a user group by restricting the input to documents
+    authored by that group (e.g. by domain extension); empty means
+    unknown/global.
+    """
+
+    doc_id: str
+    text: str
+    region: str = ""
+
+    def size_bytes(self) -> int:
+        return len(self.text.encode("utf-8"))
+
+
+@dataclass
+class WebCorpus:
+    """An ordered collection of documents, optionally with provenance.
+
+    ``truth`` carries the generator's true statement counts per
+    (property text, entity type, entity id) so tests can verify the
+    extraction pipeline end-to-end; a real corpus would not have it.
+    """
+
+    documents: list[Document] = field(default_factory=list)
+    truth: dict[tuple[str, str, str], tuple[int, int]] = field(
+        default_factory=dict
+    )
+
+    def add(self, document: Document) -> None:
+        self.documents.append(document)
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self.documents)
+
+    def size_bytes(self) -> int:
+        return sum(doc.size_bytes() for doc in self.documents)
+
+    def restricted_to_region(self, region: str) -> "WebCorpus":
+        """The sub-corpus authored in one region (Section 2).
+
+        Truth provenance is not split per region; downstream code that
+        needs it should track regions at generation time.
+        """
+        return WebCorpus(
+            documents=[
+                doc for doc in self.documents if doc.region == region
+            ]
+        )
+
+    def regions(self) -> list[str]:
+        """Distinct regions present, sorted; '' means untagged."""
+        return sorted({doc.region for doc in self.documents})
+
+    def merged_with(self, other: "WebCorpus") -> "WebCorpus":
+        """Concatenate two corpora (e.g. per-region generations)."""
+        merged = WebCorpus(
+            documents=[*self.documents, *other.documents],
+            truth=dict(self.truth),
+        )
+        merged.truth.update(other.truth)
+        return merged
+
+    def shards(self, n_shards: int) -> list["CorpusShard"]:
+        """Split into ``n_shards`` round-robin shards.
+
+        Round-robin (rather than contiguous ranges) balances shard
+        sizes even when the generator emits documents grouped by
+        entity.
+        """
+        if n_shards < 1:
+            raise ValueError("n_shards must be positive")
+        buckets: list[list[Document]] = [[] for _ in range(n_shards)]
+        for index, document in enumerate(self.documents):
+            buckets[index % n_shards].append(document)
+        return [
+            CorpusShard(shard_id=shard_id, documents=tuple(bucket))
+            for shard_id, bucket in enumerate(buckets)
+        ]
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusShard:
+    """One shard of the corpus, processed by one (simulated) worker."""
+
+    shard_id: int
+    documents: Sequence[Document]
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self.documents)

@@ -1,0 +1,252 @@
+"""Synthetic Web-corpus generation.
+
+The generator is the paper's missing 40 TB snapshot, downscaled: it
+draws statement counts from the *exact generative model Surveyor
+assumes* (Figure 7) and renders each statement into English through the
+template library, one statement per document (authors of two random Web
+documents are assumed distinct). On top of the model-faithful signal it
+layers the surface noise a real snapshot carries:
+
+* distractor documents mentioning entities without asserting anything;
+* non-intrinsic aspect statements ("bad for parking") that the strict
+  pattern versions must filter;
+* loose-only constructions (broad copulas, direct modifiers) that only
+  the relaxed pattern versions extract — fueling the Table 4 deltas.
+
+``probe()`` bypasses text entirely and emits evidence counts directly;
+the Section 2 / Appendix A studies use it to scale to hundreds of
+entities cheaply.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.poisson import sample_poisson
+from ..core.types import Polarity
+from ..extraction.statement import EvidenceCounter, EvidenceStatement
+from . import templates
+from .author import sample_statement_counts
+from .document import Document, WebCorpus
+from .scenario import PropertySpec, Scenario
+
+
+@dataclass(frozen=True, slots=True)
+class NoiseProfile:
+    """Relative rates of the non-signal document classes.
+
+    Rates are per signal statement: a ``distractor_rate`` of 0.5 adds
+    one distractor document for every two statements (in expectation),
+    plus a floor per entity so even silent entities appear in the
+    corpus occasionally.
+    """
+
+    distractor_rate: float = 0.5
+    non_intrinsic_rate: float = 0.15
+    loose_only_rate: float = 0.15
+    distractor_floor: float = 0.3
+    allow_broad_renderings: bool = True
+    #: Fraction of signal statements rendered as a two-sentence
+    #: pronoun form ("We visited Tokyo . It is hectic .") — recovering
+    #: them requires the annotator's coreference resolver.
+    pronoun_statement_rate: float = 0.0
+
+
+#: A profile with zero noise and only strict renderings, so that
+#: extraction (version 4) recovers the generated counts exactly. Plain
+#: class attribute — not a dataclass field.
+NoiseProfile.CLEAN = NoiseProfile(  # type: ignore[attr-defined]
+    distractor_rate=0.0,
+    non_intrinsic_rate=0.0,
+    loose_only_rate=0.0,
+    distractor_floor=0.0,
+    allow_broad_renderings=False,
+)
+
+
+@dataclass
+class CorpusGenerator:
+    """Deterministic corpus builder for a scenario.
+
+    ``region`` tags every generated document with a provenance region
+    (Section 2's user-group specialization); generate one corpus per
+    region — each region with its own scenario ground truth — and
+    merge them to simulate regionally divergent opinion.
+    """
+
+    seed: int = 7
+    noise: NoiseProfile = NoiseProfile()
+    region: str = ""
+
+    def generate(self, *scenarios: Scenario) -> WebCorpus:
+        """Render a full corpus for one or more scenarios."""
+        rng = random.Random(self.seed)
+        corpus = WebCorpus()
+        for scenario in scenarios:
+            self._generate_scenario(scenario, rng, corpus)
+        # Shuffle so documents are not grouped by entity (a real
+        # snapshot has no such ordering), deterministically.
+        rng.shuffle(corpus.documents)
+        for index, document in enumerate(corpus.documents):
+            corpus.documents[index] = Document(
+                doc_id=f"doc-{self.region or 'web'}-{index:07d}",
+                text=document.text,
+                region=self.region,
+            )
+        return corpus
+
+    def probe(self, *scenarios: Scenario) -> EvidenceCounter:
+        """Draw evidence counts directly, skipping text rendering.
+
+        Exactly the counts that generating with
+        :data:`NoiseProfile.CLEAN` and extracting with pattern
+        version 4 recovers (count draws use a per-pair RNG, so the two
+        paths coincide) — used by the large studies where rendering
+        and parsing would only re-derive the same counters.
+        """
+        counter = EvidenceCounter()
+        for scenario in scenarios:
+            for spec in scenario.specs:
+                for entity in scenario.entities:
+                    positive, negative = self._draw_counts(
+                        scenario, spec, entity.id
+                    )
+                    for _ in range(positive):
+                        counter.add(
+                            _statement(scenario, spec, entity.id, True)
+                        )
+                    for _ in range(negative):
+                        counter.add(
+                            _statement(scenario, spec, entity.id, False)
+                        )
+        return counter
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _generate_scenario(
+        self, scenario: Scenario, rng: random.Random, corpus: WebCorpus
+    ) -> None:
+        type_noun = scenario.type_noun
+        for spec in scenario.specs:
+            for entity in scenario.entities:
+                surface = entity.name
+                positive, negative = self._draw_counts(
+                    scenario, spec, entity.id
+                )
+                corpus.truth[
+                    (spec.property.text, scenario.entity_type, entity.id)
+                ] = (positive, negative)
+                for polarity, count in (
+                    (Polarity.POSITIVE, positive),
+                    (Polarity.NEGATIVE, negative),
+                ):
+                    for _ in range(count):
+                        if (
+                            rng.random()
+                            < self.noise.pronoun_statement_rate
+                        ):
+                            text = templates.render_pronoun_statement(
+                                surface, spec.property, polarity, rng
+                            )
+                            corpus.add(Document("", text))
+                            continue
+                        text = templates.render_statement(
+                            surface,
+                            spec.property,
+                            type_noun,
+                            polarity,
+                            rng,
+                            allow_broad=self.noise.allow_broad_renderings,
+                        )
+                        corpus.add(Document("", self._pad(text, surface, rng)))
+                self._add_noise_documents(
+                    corpus, spec, surface, type_noun,
+                    positive + negative, rng,
+                )
+
+    def _draw_counts(
+        self, scenario: Scenario, spec: PropertySpec, entity_id: str
+    ) -> tuple[int, int]:
+        """Draw ``(C+, C-)`` for one pair from a dedicated RNG.
+
+        Seeding per pair (rather than consuming the shared stream)
+        makes the drawn counts independent of rendering decisions, so
+        ``probe()`` and ``generate()`` produce identical counts for
+        the same seed.
+        """
+        rng = random.Random(
+            f"{self.seed}/{scenario.name}/{spec.property.text}/{entity_id}"
+        )
+        positive, negative = sample_statement_counts(
+            spec.truth_of(entity_id),
+            spec.params,
+            rng,
+            popularity=spec.popularity_of(entity_id),
+        )
+        # Fame-independent long-tail chatter (see PropertySpec docs).
+        positive += sample_poisson(spec.spurious_positive_rate, rng)
+        negative += sample_poisson(spec.spurious_negative_rate, rng)
+        return positive, negative
+
+    def _add_noise_documents(
+        self,
+        corpus: WebCorpus,
+        spec: PropertySpec,
+        surface: str,
+        type_noun: str,
+        n_signal: int,
+        rng: random.Random,
+    ) -> None:
+        noise = self.noise
+        n_distractors = sample_poisson(
+            noise.distractor_rate * n_signal + noise.distractor_floor, rng
+        )
+        for _ in range(n_distractors):
+            corpus.add(Document("", templates.render_distractor(surface, rng)))
+        for _ in range(
+            sample_poisson(noise.non_intrinsic_rate * n_signal, rng)
+        ):
+            corpus.add(
+                Document(
+                    "",
+                    templates.render_non_intrinsic(
+                        surface, spec.property, rng
+                    ),
+                )
+            )
+        for _ in range(
+            sample_poisson(noise.loose_only_rate * n_signal, rng)
+        ):
+            corpus.add(
+                Document(
+                    "",
+                    templates.render_loose_only(
+                        surface, spec.property, type_noun, rng
+                    ),
+                )
+            )
+
+    def _pad(
+        self, text: str, surface: str, rng: random.Random
+    ) -> str:
+        """Occasionally append a pattern-free sentence to the document."""
+        if self.noise.distractor_rate > 0 and rng.random() < 0.2:
+            return f"{text} {templates.render_distractor(surface, rng)}"
+        return text
+
+
+def _statement(
+    scenario: Scenario,
+    spec: PropertySpec,
+    entity_id: str,
+    positive: bool,
+) -> EvidenceStatement:
+    return EvidenceStatement(
+        entity_id=entity_id,
+        entity_type=scenario.entity_type,
+        property=spec.property,
+        polarity=Polarity.POSITIVE if positive else Polarity.NEGATIVE,
+        pattern="probe",
+    )

@@ -1,0 +1,217 @@
+"""Sentence renderers for the synthetic Web corpus.
+
+Each renderer turns an (entity, property, polarity) triple into English
+text whose dependency parse exhibits exactly one instance of one
+extraction pattern — so the extraction stage must genuinely solve
+negation scoping, embedding, and intrinsicness filtering to recover the
+generated counts.
+
+Style frequencies matter for Table 4: a slice of statements renders
+with broad copulas (``seems``, ``looks``) or as direct modifiers
+(``the cute cat``), which only the loose pattern versions extract, and
+another slice renders as non-intrinsic aspect statements, which the
+strict versions must reject.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.types import Polarity, SubjectiveProperty
+
+#: Broad copulas a slice of authors prefers over "to be".
+_BROAD_COPULAS = ("seems", "looks", "feels", "remains")
+
+#: Aspect phrases for non-intrinsic statements ("bad for parking").
+ASPECT_PHRASES = (
+    "for parking", "for hiking", "for swimming", "for shopping",
+    "for children", "for tourists", "in winter", "in summer",
+    "at night", "during matches", "for training", "with kids",
+)
+
+#: Openers occasionally prepended (the parser skips them).
+_OPENERS = ("Honestly ,", "Frankly ,", "Personally ,", "Clearly ,")
+
+#: Distractor sentences mentioning the entity without any pattern.
+_DISTRACTORS = (
+    "We visited {entity} last summer .",
+    "My friends talked about {entity} yesterday .",
+    "{entity} appeared in the news again .",
+    "Everyone kept asking about {entity} .",
+    "There was a long story about {entity} in the paper .",
+)
+
+#: Copular statements about an unrelated aspect noun, not the entity.
+_ASPECT_SENTENCES = (
+    "The food there is wonderful .",
+    "The people there are friendly .",
+    "The weather was terrible .",
+    "The streets are clean .",
+)
+
+
+def _surface(property_: SubjectiveProperty) -> str:
+    return property_.text
+
+
+def render_positive(
+    entity: str,
+    property_: SubjectiveProperty,
+    type_noun: str,
+    rng: random.Random,
+    allow_broad: bool = True,
+) -> str:
+    """A sentence asserting the property (net polarity +)."""
+    prop = _surface(property_)
+    roll = rng.random()
+    if roll < 0.40:
+        sentence = f"{entity} is {prop} ."
+    elif roll < 0.55:
+        article = _article(prop)
+        sentence = f"{entity} is {article} {prop} {type_noun} ."
+    elif roll < 0.60:
+        # Appositive fragment, common in listicles and captions.
+        article = _article(prop)
+        sentence = f"{entity} , {article} {prop} {type_noun} ."
+    elif roll < 0.75:
+        sentence = f"I think that {entity} is {prop} ."
+    elif roll < 0.85 and allow_broad:
+        copula = rng.choice(_BROAD_COPULAS)
+        sentence = f"{entity} {copula} {prop} ."
+    elif roll < 0.93:
+        # Double negation resolving to a positive claim.
+        sentence = f"I do n't think that {entity} is never {prop} ."
+    else:
+        article = _article(prop)
+        sentence = (
+            f"I believe that {entity} is {article} {prop} {type_noun} ."
+        )
+    return _maybe_open(sentence, rng)
+
+
+def render_negative(
+    entity: str,
+    property_: SubjectiveProperty,
+    type_noun: str,
+    rng: random.Random,
+    allow_broad: bool = True,
+) -> str:
+    """A sentence denying the property (net polarity -)."""
+    prop = _surface(property_)
+    roll = rng.random()
+    if roll < 0.35:
+        sentence = f"{entity} is not {prop} ."
+    elif roll < 0.55:
+        article = _article(prop)
+        sentence = f"{entity} is not {article} {prop} {type_noun} ."
+    elif roll < 0.75:
+        sentence = f"I do n't think that {entity} is {prop} ."
+    elif roll < 0.85:
+        sentence = f"{entity} is never {prop} ."
+    elif roll < 0.93 and allow_broad:
+        copula = rng.choice(_BROAD_COPULAS)
+        sentence = f"{entity} never {copula} {prop} ."
+    else:
+        sentence = f"I do n't believe that {entity} is {prop} ."
+    return _maybe_open(sentence, rng)
+
+
+def render_statement(
+    entity: str,
+    property_: SubjectiveProperty,
+    type_noun: str,
+    polarity: Polarity,
+    rng: random.Random,
+    allow_broad: bool = True,
+) -> str:
+    if polarity is Polarity.POSITIVE:
+        return render_positive(entity, property_, type_noun, rng, allow_broad)
+    if polarity is Polarity.NEGATIVE:
+        return render_negative(entity, property_, type_noun, rng, allow_broad)
+    raise ValueError("statement polarity must be positive or negative")
+
+
+def render_loose_only(
+    entity: str,
+    property_: SubjectiveProperty,
+    type_noun: str,
+    rng: random.Random,
+) -> str:
+    """A statement only the loose pattern versions (1/2) extract.
+
+    Direct attributive modifiers and broad-copula predications; used to
+    widen the Table 4 gap between versions.
+    """
+    prop = _surface(property_)
+    # Attributive mentions ("the cute cat") dominate loose usage on the
+    # real Web — the reason the paper's amod-only version 1 extracts
+    # within 26% of the all-patterns version 2.
+    if rng.random() < 0.75:
+        return f"The {prop} {type_noun} {entity} ."
+    copula = rng.choice(_BROAD_COPULAS)
+    return f"{entity} {copula} {prop} ."
+
+
+def render_pronoun_statement(
+    entity: str,
+    property_: SubjectiveProperty,
+    polarity: Polarity,
+    rng: random.Random,
+) -> str:
+    """A two-sentence document whose claim rides on a pronoun.
+
+    The first sentence mentions the entity without asserting anything;
+    the second predicates the property of ``it``. Recovering the
+    statement requires pronoun coreference resolution.
+    """
+    lead = rng.choice(_DISTRACTORS).format(entity=entity)
+    prop = _surface(property_)
+    if polarity is Polarity.POSITIVE:
+        options = (
+            f"It is {prop} .",
+            f"I think that it is {prop} .",
+            f"Honestly , it is {prop} .",
+        )
+    elif polarity is Polarity.NEGATIVE:
+        options = (
+            f"It is not {prop} .",
+            f"It is never {prop} .",
+            f"I do n't think that it is {prop} .",
+        )
+    else:
+        raise ValueError("polarity must be positive or negative")
+    return f"{lead} {rng.choice(options)}"
+
+
+def render_non_intrinsic(
+    entity: str,
+    property_: SubjectiveProperty,
+    rng: random.Random,
+) -> str:
+    """An aspect-restricted statement ("X is bad for parking").
+
+    Extracted by the unchecked versions, rejected by the intrinsicness
+    filter of versions 3/4.
+    """
+    prop = _surface(property_)
+    aspect = rng.choice(ASPECT_PHRASES)
+    if rng.random() < 0.5:
+        return f"{entity} is {prop} {aspect} ."
+    return f"{entity} is not {prop} {aspect} ."
+
+
+def render_distractor(entity: str, rng: random.Random) -> str:
+    """A pattern-free mention of the entity."""
+    if rng.random() < 0.7:
+        return rng.choice(_DISTRACTORS).format(entity=entity)
+    return rng.choice(_ASPECT_SENTENCES)
+
+
+def _article(prop: str) -> str:
+    return "an" if prop[0] in "aeiou" else "a"
+
+
+def _maybe_open(sentence: str, rng: random.Random) -> str:
+    if rng.random() < 0.1:
+        return f"{rng.choice(_OPENERS)} {sentence[0].lower()}{sentence[1:]}"
+    return sentence

@@ -1,0 +1,26 @@
+"""Crowd substrate: curated ground truth and simulated AMT surveys."""
+
+from .ground_truth import (
+    ALL_COMBINATIONS,
+    CombinationTruth,
+    GroundTruthCase,
+    combination_for,
+    curated_cases,
+    truths_by_property,
+)
+from .survey import SurveyedCase, SurveyResult, SurveyRunner
+from .worker import Worker, worker_pool
+
+__all__ = [
+    "ALL_COMBINATIONS",
+    "CombinationTruth",
+    "GroundTruthCase",
+    "SurveyResult",
+    "SurveyRunner",
+    "SurveyedCase",
+    "Worker",
+    "combination_for",
+    "curated_cases",
+    "truths_by_property",
+    "worker_pool",
+]

@@ -1,0 +1,456 @@
+"""Curated ground truth for the 500 evaluation cases (Table 2).
+
+The paper approximates the dominant opinion by polling 20 AMT workers
+per entity-property pair. Offline we curate the dominant opinion and
+an expected agreement level per pair; the simulated workers of
+:mod:`repro.crowd.worker` then vote against this specification,
+reproducing the agreement structure the paper reports (average 17/20,
+a large perfectly-agreeing block, a small share of ties, and lower
+agreement for combinations like ``boring sports``).
+
+Every combination lists the entities holding the property
+(``positives``); everything else of the type is negative. Agreement
+defaults per combination and can be overridden per entity for the
+genuinely controversial cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..kb import seeds
+
+
+@dataclass(frozen=True, slots=True)
+class GroundTruthCase:
+    """One evaluation case: a pair, its dominant opinion, agreement."""
+
+    entity_name: str
+    entity_type: str
+    property_text: str
+    positive: bool
+    agreement: float
+
+    def __post_init__(self) -> None:
+        if not 0.5 <= self.agreement <= 1.0:
+            raise ValueError(
+                "agreement is the dominant share; must be in [0.5, 1]"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class CombinationTruth:
+    """Curated spec for one property-type combination."""
+
+    entity_type: str
+    property_text: str
+    default_agreement: float
+    positives: frozenset[str]
+    overrides: dict[str, float]
+
+    def case_for(self, entity_name: str) -> GroundTruthCase:
+        name = entity_name.lower()
+        return GroundTruthCase(
+            entity_name=entity_name,
+            entity_type=self.entity_type,
+            property_text=self.property_text,
+            positive=name in self.positives,
+            agreement=self.overrides.get(name, self.default_agreement),
+        )
+
+
+def _combo(
+    entity_type: str,
+    property_text: str,
+    default_agreement: float,
+    positives: tuple[str, ...],
+    overrides: dict[str, float] | None = None,
+) -> CombinationTruth:
+    return CombinationTruth(
+        entity_type=entity_type,
+        property_text=property_text,
+        default_agreement=default_agreement,
+        positives=frozenset(p.lower() for p in positives),
+        overrides={
+            k.lower(): v for k, v in (overrides or {}).items()
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Animals — Figure 10 calibrates "cute"
+# ---------------------------------------------------------------------------
+
+_ANIMALS = (
+    _combo(
+        "animal", "dangerous", 0.97,
+        positives=(
+            "spider", "scorpion", "tiger", "grizzly bear", "alligator",
+            "white shark", "lion", "moose",
+        ),
+        overrides={
+            "spider": 0.75, "moose": 0.55, "goose": 0.65,
+            "monkey": 0.75, "camel": 0.80, "rat": 0.70,
+        },
+    ),
+    _combo(
+        "animal", "cute", 0.96,
+        positives=(
+            "pony", "koala", "kitten", "monkey", "beaver", "puppy",
+        ),
+        overrides={
+            "monkey": 0.70, "beaver": 0.70, "frog": 0.55,
+            "octopus": 0.65, "camel": 0.70, "goose": 0.75,
+            "tiger": 0.60, "crow": 0.80, "rat": 0.75,
+        },
+    ),
+    _combo(
+        "animal", "big", 0.96,
+        positives=(
+            "tiger", "moose", "grizzly bear", "alligator", "camel",
+            "white shark", "lion",
+        ),
+        overrides={
+            "pony": 0.60, "alligator": 0.75, "monkey": 0.70,
+            "octopus": 0.60, "goose": 0.75, "beaver": 0.80,
+        },
+    ),
+    _combo(
+        "animal", "friendly", 0.93,
+        positives=(
+            "pony", "koala", "kitten", "monkey", "beaver", "puppy",
+        ),
+        overrides={
+            "koala": 0.70, "monkey": 0.65, "beaver": 0.60,
+            "goose": 0.70, "camel": 0.60, "frog": 0.60,
+            "crow": 0.65, "rat": 0.60, "octopus": 0.60,
+        },
+    ),
+    _combo(
+        "animal", "deadly", 0.97,
+        positives=(
+            "scorpion", "tiger", "grizzly bear", "alligator",
+            "white shark", "lion", "spider",
+        ),
+        overrides={
+            "spider": 0.60, "scorpion": 0.80, "moose": 0.70,
+        },
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# Celebrities — fictional personas with consistent traits
+# ---------------------------------------------------------------------------
+
+_CELEBRITIES = (
+    _combo(
+        "celebrity", "cool", 0.92,
+        positives=(
+            "Bruno Marsh", "Dexter Quill", "Felix Crane", "Kira Solano",
+            "Liam Archer", "Nico Ferrant", "Quinn Abano", "Silas Norcross",
+        ),
+        overrides={
+            "dexter quill": 0.62, "quinn abano": 0.66,
+            "gloria stett": 0.66, "tessa winslow": 0.62,
+        },
+    ),
+    _combo(
+        "celebrity", "crazy", 0.92,
+        positives=(
+            "Dexter Quill", "Hector Vale", "Nico Ferrant", "Quinn Abano",
+        ),
+        overrides={
+            "hector vale": 0.60, "bruno marsh": 0.64,
+            "rosa delmar": 0.68,
+        },
+    ),
+    _combo(
+        "celebrity", "pretty", 0.93,
+        positives=(
+            "Ada Lively", "Carla Voss", "Elena Brook", "Iris Fontaine",
+            "Mona Castell", "Opal Hayes", "Rosa Delmar", "Tessa Winslow",
+        ),
+        overrides={
+            "kira solano": 0.60, "gloria stett": 0.64,
+        },
+    ),
+    _combo(
+        "celebrity", "quiet", 0.90,
+        positives=(
+            "Ada Lively", "Gloria Stett", "Jasper Reed", "Opal Hayes",
+            "Pierce Walden",
+        ),
+        overrides={
+            "jasper reed": 0.60, "silas norcross": 0.62,
+            "elena brook": 0.64,
+        },
+    ),
+    _combo(
+        "celebrity", "young", 0.96,
+        positives=(
+            "Carla Voss", "Dexter Quill", "Elena Brook", "Kira Solano",
+            "Quinn Abano", "Tessa Winslow",
+        ),
+        overrides={
+            "liam archer": 0.62, "iris fontaine": 0.64,
+        },
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# Cities
+# ---------------------------------------------------------------------------
+
+_CITIES = (
+    _combo(
+        "city", "big", 0.98,
+        positives=(
+            "New York", "Tokyo", "Mumbai", "Cairo", "London",
+            "Mexico City", "Lagos", "Sao Paulo", "Bangkok", "Istanbul",
+            "Shanghai", "Singapore",
+        ),
+        overrides={
+            "singapore": 0.75, "lagos": 0.80, "vienna": 0.60,
+            "zurich": 0.70,
+        },
+    ),
+    _combo(
+        "city", "calm", 0.94,
+        positives=(
+            "Reykjavik", "Zurich", "Bruges", "Ljubljana", "Geneva",
+            "Wellington", "Tallinn", "Vienna",
+        ),
+        overrides={
+            "vienna": 0.70, "singapore": 0.60, "tokyo": 0.72,
+        },
+    ),
+    _combo(
+        "city", "cheap", 0.93,
+        positives=(
+            "Mumbai", "Cairo", "Lagos", "Mexico City", "Bangkok",
+            "Istanbul",
+        ),
+        overrides={
+            "mumbai": 0.80, "lagos": 0.75, "mexico city": 0.70,
+            "istanbul": 0.70, "vienna": 0.65, "bruges": 0.60,
+            "wellington": 0.60, "shanghai": 0.55, "sao paulo": 0.55,
+            "ljubljana": 0.55, "tallinn": 0.60,
+        },
+    ),
+    _combo(
+        "city", "hectic", 0.95,
+        positives=(
+            "New York", "Tokyo", "Mumbai", "Cairo", "Mexico City",
+            "Lagos", "Sao Paulo", "Bangkok", "Istanbul", "Shanghai",
+            "London",
+        ),
+        overrides={
+            "london": 0.75, "singapore": 0.60, "vienna": 0.72,
+        },
+    ),
+    _combo(
+        "city", "multicultural", 0.92,
+        positives=(
+            "New York", "London", "Singapore", "Sao Paulo", "Istanbul",
+            "Mexico City",
+        ),
+        overrides={
+            "istanbul": 0.70, "sao paulo": 0.70, "mexico city": 0.60,
+            "tokyo": 0.70, "shanghai": 0.55, "cairo": 0.60,
+            "wellington": 0.55, "geneva": 0.55,
+        },
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# Professions
+# ---------------------------------------------------------------------------
+
+_PROFESSIONS = (
+    _combo(
+        "profession", "dangerous", 0.97,
+        positives=(
+            "firefighter", "astronaut", "stuntman", "fisherman",
+            "test pilot", "miner", "police officer", "soldier",
+            "electrician",
+        ),
+        overrides={
+            "electrician": 0.58, "fisherman": 0.72, "farmer": 0.66,
+            "surgeon": 0.64, "falconer": 0.62, "beekeeper": 0.62,
+        },
+    ),
+    _combo(
+        "profession", "exciting", 0.93,
+        positives=(
+            "astronaut", "stuntman", "test pilot", "firefighter",
+            "falconer", "surgeon", "police officer", "soldier",
+        ),
+        overrides={
+            "soldier": 0.58, "falconer": 0.68, "surgeon": 0.70,
+            "police officer": 0.70, "fisherman": 0.55,
+            "glassblower": 0.55, "teacher": 0.62, "nurse": 0.62,
+            "miner": 0.62, "beekeeper": 0.60,
+        },
+    ),
+    _combo(
+        "profession", "rare", 0.96,
+        positives=(
+            "astronaut", "stuntman", "test pilot", "falconer",
+            "clockmaker", "glassblower", "beekeeper",
+        ),
+        overrides={
+            "stuntman": 0.80, "glassblower": 0.80, "beekeeper": 0.70,
+            "fisherman": 0.72,
+        },
+    ),
+    _combo(
+        "profession", "solid", 0.90,
+        positives=(
+            "accountant", "librarian", "nurse", "teacher", "plumber",
+            "surgeon", "police officer", "farmer", "electrician",
+        ),
+        overrides={
+            "librarian": 0.72, "police officer": 0.70, "farmer": 0.66,
+            "astronaut": 0.60, "fisherman": 0.58, "miner": 0.55,
+            "clockmaker": 0.55, "glassblower": 0.60, "soldier": 0.55,
+            "beekeeper": 0.60,
+        },
+    ),
+    _combo(
+        "profession", "vital", 0.94,
+        positives=(
+            "firefighter", "nurse", "teacher", "surgeon",
+            "police officer", "farmer", "plumber", "electrician",
+            "soldier", "fisherman",
+        ),
+        overrides={
+            "plumber": 0.70, "electrician": 0.70, "soldier": 0.66,
+            "fisherman": 0.55, "beekeeper": 0.55, "astronaut": 0.60,
+            "test pilot": 0.65, "librarian": 0.55, "accountant": 0.60,
+            "miner": 0.55,
+        },
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# Sports — the paper singles out "boring sports" as low-agreement
+# ---------------------------------------------------------------------------
+
+_SPORTS = (
+    _combo(
+        "sport", "addictive", 0.88,
+        positives=(
+            "soccer", "golf", "basketball", "tennis", "motocross",
+            "skydiving", "base jumping", "marathon running", "swimming",
+            "chess boxing",
+        ),
+        overrides={
+            "chess boxing": 0.55, "base jumping": 0.62,
+            "motocross": 0.66, "swimming": 0.60, "boxing": 0.55,
+            "free solo climbing": 0.58, "table tennis": 0.62,
+            "badminton": 0.60, "ice hockey": 0.62, "rugby": 0.60,
+        },
+    ),
+    _combo(
+        "sport", "boring", 0.86,
+        positives=("golf", "curling", "lawn bowls", "croquet"),
+        overrides={
+            "golf": 0.60, "curling": 0.68, "croquet": 0.70,
+            "marathon running": 0.55, "swimming": 0.60,
+            "table tennis": 0.62, "badminton": 0.58, "chess boxing": 0.55,
+            "tennis": 0.70, "lawn bowls": 0.78,
+        },
+    ),
+    _combo(
+        "sport", "dangerous", 0.95,
+        positives=(
+            "base jumping", "free solo climbing", "motocross", "boxing",
+            "bullfighting", "skydiving", "rugby", "ice hockey",
+            "chess boxing",
+        ),
+        overrides={
+            "skydiving": 0.78, "rugby": 0.70, "ice hockey": 0.64,
+            "chess boxing": 0.58, "swimming": 0.70, "soccer": 0.72,
+            "basketball": 0.72, "marathon running": 0.62,
+        },
+    ),
+    _combo(
+        "sport", "fast", 0.92,
+        positives=(
+            "motocross", "ice hockey", "basketball", "table tennis",
+            "badminton", "tennis", "soccer", "skydiving", "base jumping",
+            "boxing", "rugby",
+        ),
+        overrides={
+            "soccer": 0.60, "tennis": 0.70, "basketball": 0.70,
+            "skydiving": 0.68, "base jumping": 0.68, "boxing": 0.60,
+            "rugby": 0.55, "marathon running": 0.60,
+            "chess boxing": 0.55, "swimming": 0.55, "bullfighting": 0.55,
+        },
+    ),
+    _combo(
+        "sport", "popular", 0.96,
+        positives=(
+            "soccer", "basketball", "tennis", "swimming", "golf",
+            "ice hockey", "rugby", "boxing", "badminton",
+            "table tennis", "marathon running",
+        ),
+        overrides={
+            "golf": 0.70, "ice hockey": 0.74, "rugby": 0.70,
+            "boxing": 0.70, "badminton": 0.60, "table tennis": 0.60,
+            "marathon running": 0.60, "curling": 0.70,
+            "motocross": 0.55, "skydiving": 0.60,
+            "free solo climbing": 0.70, "bullfighting": 0.70,
+        },
+    ),
+)
+
+ALL_COMBINATIONS: tuple[CombinationTruth, ...] = (
+    *_ANIMALS, *_CELEBRITIES, *_CITIES, *_PROFESSIONS, *_SPORTS,
+)
+
+_ENTITIES_BY_TYPE: dict[str, tuple[str, ...]] = {
+    "animal": seeds.FIGURE_10_ANIMALS,
+    "celebrity": seeds.EVALUATION_CELEBRITIES,
+    "city": seeds.EVALUATION_CITIES,
+    "profession": seeds.EVALUATION_PROFESSIONS,
+    "sport": seeds.EVALUATION_SPORTS,
+}
+
+
+def curated_cases() -> list[GroundTruthCase]:
+    """All 500 evaluation cases (25 combinations x 20 entities)."""
+    cases: list[GroundTruthCase] = []
+    for combination in ALL_COMBINATIONS:
+        for entity_name in _ENTITIES_BY_TYPE[combination.entity_type]:
+            cases.append(combination.case_for(entity_name))
+    return cases
+
+
+def combination_for(
+    entity_type: str, property_text: str
+) -> CombinationTruth:
+    """Look up one curated combination."""
+    for combination in ALL_COMBINATIONS:
+        if (
+            combination.entity_type == entity_type
+            and combination.property_text == property_text
+        ):
+            return combination
+    raise KeyError(f"no curated truth for {property_text} {entity_type}")
+
+
+def truths_by_property(entity_type: str) -> dict[str, dict[str, bool]]:
+    """Per-property entity-name truth maps for one type.
+
+    The shape :func:`repro.corpus.scenario.curated_scenario` consumes.
+    """
+    result: dict[str, dict[str, bool]] = {}
+    for combination in ALL_COMBINATIONS:
+        if combination.entity_type != entity_type:
+            continue
+        result[combination.property_text] = {
+            name: name.lower() in combination.positives
+            for name in _ENTITIES_BY_TYPE[entity_type]
+        }
+    return result

@@ -1,0 +1,136 @@
+"""Survey execution and agreement analysis (Section 7.3).
+
+Runs a worker pool over the evaluation cases and produces the
+artefacts the paper derives from its AMT data: per-case vote counts
+(Figure 10), the worker-agreement distribution (Figure 11), majority
+labels with ties removed, and agreement-thresholded test subsets
+(Figure 12's x-axis).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from ..core.types import Polarity
+from .ground_truth import GroundTruthCase
+from .worker import Worker, worker_pool
+
+
+@dataclass(frozen=True, slots=True)
+class SurveyedCase:
+    """One case with its collected votes."""
+
+    case: GroundTruthCase
+    votes_positive: int
+    n_workers: int
+
+    @property
+    def votes_negative(self) -> int:
+        return self.n_workers - self.votes_positive
+
+    @property
+    def agreement(self) -> int:
+        """Workers sharing the majority opinion (the paper's measure)."""
+        return max(self.votes_positive, self.votes_negative)
+
+    @property
+    def is_tie(self) -> bool:
+        return self.votes_positive * 2 == self.n_workers
+
+    @property
+    def majority(self) -> Polarity:
+        """The surveyed dominant opinion; NEUTRAL on ties."""
+        if self.votes_positive * 2 > self.n_workers:
+            return Polarity.POSITIVE
+        if self.votes_positive * 2 < self.n_workers:
+            return Polarity.NEGATIVE
+        return Polarity.NEUTRAL
+
+
+@dataclass
+class SurveyResult:
+    """All surveyed cases plus derived statistics."""
+
+    cases: list[SurveyedCase]
+    n_workers: int
+
+    def without_ties(self) -> list[SurveyedCase]:
+        """The evaluation test set: tied cases removed (paper: ~4%)."""
+        return [case for case in self.cases if not case.is_tie]
+
+    def tie_fraction(self) -> float:
+        if not self.cases:
+            return 0.0
+        ties = sum(1 for case in self.cases if case.is_tie)
+        return ties / len(self.cases)
+
+    def mean_agreement(self) -> float:
+        if not self.cases:
+            return 0.0
+        return sum(case.agreement for case in self.cases) / len(self.cases)
+
+    def perfect_agreement_count(self) -> int:
+        return sum(
+            1 for case in self.cases if case.agreement == self.n_workers
+        )
+
+    def agreement_histogram(self) -> dict[int, int]:
+        """Figure 11: #cases with agreement >= threshold, per threshold.
+
+        Thresholds run from just above a tie to unanimous.
+        """
+        lowest = self.n_workers // 2 + 1
+        return {
+            threshold: sum(
+                1 for case in self.cases if case.agreement >= threshold
+            )
+            for threshold in range(lowest, self.n_workers + 1)
+        }
+
+    def at_least(self, threshold: int) -> list[SurveyedCase]:
+        """Non-tied cases with agreement >= threshold (Figure 12)."""
+        return [
+            case
+            for case in self.without_ties()
+            if case.agreement >= threshold
+        ]
+
+    def votes_for(
+        self, entity_type: str, property_text: str
+    ) -> dict[str, int]:
+        """Figure 10: positive-vote counts per entity for one combo."""
+        return {
+            surveyed.case.entity_name: surveyed.votes_positive
+            for surveyed in self.cases
+            if surveyed.case.entity_type == entity_type
+            and surveyed.case.property_text == property_text
+        }
+
+
+@dataclass
+class SurveyRunner:
+    """Runs a worker pool over ground-truth cases."""
+
+    n_workers: int = 20
+    seed: int = 42
+
+    def run(self, cases: Iterable[GroundTruthCase]) -> SurveyResult:
+        rng = random.Random(self.seed)
+        pool = worker_pool(self.n_workers)
+        surveyed = [
+            self._survey_case(case, pool, rng) for case in cases
+        ]
+        return SurveyResult(cases=surveyed, n_workers=self.n_workers)
+
+    @staticmethod
+    def _survey_case(
+        case: GroundTruthCase,
+        pool: Sequence[Worker],
+        rng: random.Random,
+    ) -> SurveyedCase:
+        votes = sum(1 for worker in pool if worker.vote(case, rng))
+        return SurveyedCase(
+            case=case, votes_positive=votes, n_workers=len(pool)
+        )

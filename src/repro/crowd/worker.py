@@ -1,0 +1,34 @@
+"""Simulated Amazon Mechanical Turk workers.
+
+Each worker answers a yes/no question per entity-property pair. A
+worker sides with the dominant opinion with probability equal to the
+case's curated agreement level — the same subjectivity mechanism the
+Surveyor model posits for Web authors (parameter ``pA``), applied to
+survey participants instead.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .ground_truth import GroundTruthCase
+
+
+@dataclass(frozen=True, slots=True)
+class Worker:
+    """One simulated AMT worker."""
+
+    worker_id: int
+
+    def vote(self, case: GroundTruthCase, rng: random.Random) -> bool:
+        """Answer "does the property apply?" for one case."""
+        agrees = rng.random() < case.agreement
+        return case.positive if agrees else not case.positive
+
+
+def worker_pool(n_workers: int) -> list[Worker]:
+    """A pool of ``n_workers`` distinct workers."""
+    if n_workers < 1:
+        raise ValueError("need at least one worker")
+    return [Worker(worker_id=i) for i in range(n_workers)]

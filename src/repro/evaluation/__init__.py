@@ -1,0 +1,90 @@
+"""Evaluation: metrics, agreement curves, correlation, the harness."""
+
+from .agreement import (
+    AgreementPoint,
+    AgreementSeries,
+    agreement_thresholds,
+    case_counts_by_threshold,
+    series_for,
+)
+from .correlation import (
+    CorrelationReport,
+    PolarityPoint,
+    correlation_report,
+    polarity_points,
+)
+from .harness import (
+    EVALUATION_TYPES,
+    EvaluationHarness,
+    combination_parameters,
+    entity_popularity,
+    occurrence_boost,
+    spurious_rates,
+)
+from .ascii_plots import bar_chart, polarity_scatter, sparkline
+from .extraction_quality import ExtractionQuality, extraction_quality
+from .metrics import EvaluationScore, evaluate_table
+from .random_sample import RandomCase, RandomSampleStudy
+from .statistics import (
+    ExtractionStatistics,
+    PercentileCurve,
+    extraction_statistics,
+)
+from .studies import (
+    APPENDIX_A_STUDIES,
+    BIG_CITIES,
+    BIG_LAKES,
+    HIGH_MOUNTAINS,
+    StudyOutcome,
+    StudySpec,
+    WEALTHY_COUNTRIES,
+    run_study,
+)
+from .tradeoff import (
+    DEFAULT_MARGINS,
+    TradeoffPoint,
+    decide_with_margin,
+    tradeoff_curve,
+)
+
+__all__ = [
+    "APPENDIX_A_STUDIES",
+    "AgreementPoint",
+    "AgreementSeries",
+    "BIG_CITIES",
+    "BIG_LAKES",
+    "CorrelationReport",
+    "EVALUATION_TYPES",
+    "EvaluationHarness",
+    "EvaluationScore",
+    "ExtractionQuality",
+    "ExtractionStatistics",
+    "extraction_quality",
+    "HIGH_MOUNTAINS",
+    "PercentileCurve",
+    "PolarityPoint",
+    "RandomCase",
+    "RandomSampleStudy",
+    "DEFAULT_MARGINS",
+    "StudyOutcome",
+    "StudySpec",
+    "TradeoffPoint",
+    "WEALTHY_COUNTRIES",
+    "agreement_thresholds",
+    "bar_chart",
+    "decide_with_margin",
+    "tradeoff_curve",
+    "case_counts_by_threshold",
+    "combination_parameters",
+    "correlation_report",
+    "entity_popularity",
+    "evaluate_table",
+    "extraction_statistics",
+    "occurrence_boost",
+    "polarity_points",
+    "polarity_scatter",
+    "run_study",
+    "series_for",
+    "sparkline",
+    "spurious_rates",
+]

@@ -1,0 +1,74 @@
+"""Agreement-thresholded evaluation series (Figures 11 and 12).
+
+Figure 11 counts test cases whose worker agreement reaches each
+threshold; Figure 12 re-scores every interpreter on each thresholded
+subset, showing that Surveyor's precision grows with agreement while
+majority vote's does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.result import OpinionTable
+from ..crowd.survey import SurveyResult
+from .metrics import EvaluationScore, evaluate_table
+
+
+@dataclass(frozen=True, slots=True)
+class AgreementPoint:
+    """Scores of one interpreter at one agreement threshold."""
+
+    threshold: int
+    score: EvaluationScore
+
+
+@dataclass(frozen=True, slots=True)
+class AgreementSeries:
+    """Figure 12 series for one interpreter."""
+
+    name: str
+    points: tuple[AgreementPoint, ...]
+
+    def precisions(self) -> list[float]:
+        return [point.score.precision for point in self.points]
+
+    def coverages(self) -> list[float]:
+        return [point.score.coverage for point in self.points]
+
+    def thresholds(self) -> list[int]:
+        return [point.threshold for point in self.points]
+
+
+def agreement_thresholds(survey: SurveyResult) -> list[int]:
+    """Thresholds from just-above-tie to unanimity (11..20 for 20)."""
+    lowest = survey.n_workers // 2 + 1
+    return list(range(lowest, survey.n_workers + 1))
+
+
+def case_counts_by_threshold(survey: SurveyResult) -> dict[int, int]:
+    """Figure 11: #cases with agreement >= threshold."""
+    return {
+        threshold: len(survey.at_least(threshold))
+        for threshold in agreement_thresholds(survey)
+    }
+
+
+def series_for(
+    name: str,
+    table: OpinionTable,
+    survey: SurveyResult,
+) -> AgreementSeries:
+    """Score one interpreter across all agreement thresholds."""
+    points = []
+    for threshold in agreement_thresholds(survey):
+        subset = survey.at_least(threshold)
+        if not subset:
+            break
+        points.append(
+            AgreementPoint(
+                threshold=threshold,
+                score=evaluate_table(name, table, subset),
+            )
+        )
+    return AgreementSeries(name=name, points=tuple(points))

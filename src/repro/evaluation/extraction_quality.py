@@ -1,0 +1,100 @@
+"""Extraction quality against the generator's known truth.
+
+Appendix B selects pattern version 4 for "the best tradeoff between
+precision and recall", assessed there by eyeballing samples. With a
+synthetic corpus we can measure it: the generator records exactly how
+many positive/negative statements it rendered per pair, so extraction
+recall (share of rendered statements recovered, per polarity cell) and
+excess (extractions beyond the rendered truth — pattern false
+positives, aspect leaks, polarity flips) are computable per pattern
+version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.types import PropertyTypeKey, SubjectiveProperty
+from ..corpus.document import WebCorpus
+from ..extraction.statement import EvidenceCounter
+
+
+@dataclass(frozen=True, slots=True)
+class ExtractionQuality:
+    """Aggregate cell-level recall / excess for one extraction run."""
+
+    label: str
+    truth_statements: int
+    recovered_statements: int
+    excess_statements: int
+
+    @property
+    def recall(self) -> float:
+        if self.truth_statements == 0:
+            return 0.0
+        return self.recovered_statements / self.truth_statements
+
+    @property
+    def excess_rate(self) -> float:
+        """Excess per recovered statement — the noise the intrinsic
+        filters exist to suppress."""
+        if self.recovered_statements == 0:
+            return 0.0
+        return self.excess_statements / self.recovered_statements
+
+    def row(self) -> str:
+        return (
+            f"{self.label:30s} recall={self.recall:5.3f} "
+            f"excess_rate={self.excess_rate:5.3f} "
+            f"(truth={self.truth_statements} "
+            f"recovered={self.recovered_statements} "
+            f"excess={self.excess_statements})"
+        )
+
+
+def extraction_quality(
+    label: str, counter: EvidenceCounter, corpus: WebCorpus
+) -> ExtractionQuality:
+    """Score one extraction run against the corpus's recorded truth.
+
+    Per (pair, polarity) cell, ``min(extracted, truth)`` counts as
+    recovered and anything above truth as excess; extractions for
+    pairs the generator never rendered are all excess.
+    """
+    if not corpus.truth:
+        raise ValueError("corpus carries no truth provenance")
+    truth_total = 0
+    recovered = 0
+    excess = 0
+    seen_pairs: set[tuple[PropertyTypeKey, str]] = set()
+
+    for (prop_text, entity_type, entity_id), (
+        truth_pos,
+        truth_neg,
+    ) in corpus.truth.items():
+        key = PropertyTypeKey(
+            property=SubjectiveProperty.parse(prop_text),
+            entity_type=entity_type,
+        )
+        seen_pairs.add((key, entity_id))
+        counts = counter.get(key, entity_id)
+        truth_total += truth_pos + truth_neg
+        recovered += min(counts.positive, truth_pos) + min(
+            counts.negative, truth_neg
+        )
+        excess += max(counts.positive - truth_pos, 0) + max(
+            counts.negative - truth_neg, 0
+        )
+
+    # Extractions for pairs outside the generator's plan: all excess.
+    for key in counter.keys():
+        for entity_id, counts in counter.counts_for(key).items():
+            if (key, entity_id) not in seen_pairs:
+                excess += counts.total
+
+    return ExtractionQuality(
+        label=label,
+        truth_statements=truth_total,
+        recovered_statements=recovered,
+        excess_statements=excess,
+    )

@@ -1,0 +1,90 @@
+"""Coverage / precision / F1 against surveyed test cases (Section 7.4).
+
+* **coverage** — solved cases / test cases (a case is solved when the
+  interpreter emits a polarized decision);
+* **precision** — correctly solved / solved, correctness judged
+  against the surveyed majority opinion;
+* **F1** — harmonic mean of precision and coverage.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..core.result import OpinionTable
+from ..core.types import Polarity, PropertyTypeKey, SubjectiveProperty
+from ..crowd.survey import SurveyedCase
+from ..kb.entity import entity_id
+
+
+@dataclass(frozen=True, slots=True)
+class EvaluationScore:
+    """Aggregate outcome of one interpreter on one test set."""
+
+    name: str
+    n_cases: int
+    n_solved: int
+    n_correct: int
+
+    @property
+    def coverage(self) -> float:
+        return self.n_solved / self.n_cases if self.n_cases else 0.0
+
+    @property
+    def precision(self) -> float:
+        return self.n_correct / self.n_solved if self.n_solved else 0.0
+
+    @property
+    def f1(self) -> float:
+        total = self.precision + self.coverage
+        if total == 0.0:
+            return 0.0
+        return 2.0 * self.precision * self.coverage / total
+
+    def row(self) -> str:
+        return (
+            f"{self.name:22s} coverage={self.coverage:5.3f} "
+            f"precision={self.precision:5.3f} f1={self.f1:5.3f}"
+        )
+
+
+def case_key(case: SurveyedCase) -> PropertyTypeKey:
+    return PropertyTypeKey(
+        property=SubjectiveProperty.parse(case.case.property_text),
+        entity_type=case.case.entity_type,
+    )
+
+
+def case_entity_id(case: SurveyedCase) -> str:
+    return entity_id(case.case.entity_type, case.case.entity_name)
+
+
+def evaluate_table(
+    name: str,
+    table: OpinionTable,
+    test_cases: Iterable[SurveyedCase],
+) -> EvaluationScore:
+    """Score one interpreter's opinion table against surveyed cases.
+
+    Tied survey cases must already be removed (the paper drops them);
+    passing one raises, as correctness would be undefined.
+    """
+    n_cases = 0
+    n_solved = 0
+    n_correct = 0
+    for surveyed in test_cases:
+        if surveyed.is_tie:
+            raise ValueError(
+                "tied survey cases must be removed before evaluation"
+            )
+        n_cases += 1
+        predicted = table.polarity(case_entity_id(surveyed), case_key(surveyed))
+        if predicted is Polarity.NEUTRAL:
+            continue
+        n_solved += 1
+        if predicted is surveyed.majority:
+            n_correct += 1
+    return EvaluationScore(
+        name=name, n_cases=n_cases, n_solved=n_solved, n_correct=n_correct
+    )

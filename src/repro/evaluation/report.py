@@ -1,0 +1,96 @@
+"""One-shot reproduction report.
+
+Runs the core experiments (survey statistics, Table 3, Figure 12's
+endpoints, the four covariate studies, and a Table 5 sample) and
+formats a single text report — the quick way to check the
+reproduction on a new machine without the benchmark suite:
+
+    python -m repro reproduce
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .harness import EvaluationHarness
+from .random_sample import RandomSampleStudy
+from .studies import APPENDIX_A_STUDIES, BIG_CITIES, run_study
+
+
+@dataclass
+class ReproductionReport:
+    """Collected sections of the one-shot run."""
+
+    sections: list[tuple[str, list[str]]]
+
+    def text(self) -> str:
+        blocks = []
+        for title, lines in self.sections:
+            underline = "-" * len(title)
+            blocks.append("\n".join((title, underline, *lines)))
+        return "\n\n".join(blocks)
+
+
+def full_report(
+    seed: int = 2015, fast: bool = True
+) -> ReproductionReport:
+    """Run the reproduction and collect a report.
+
+    ``fast`` shrinks the Table 5 sample (60 combinations instead of
+    803); the rest is identical to the benchmark configuration.
+    """
+    sections: list[tuple[str, list[str]]] = []
+    harness = EvaluationHarness(seed=seed)
+
+    survey = harness.survey
+    sections.append(
+        (
+            "Survey (Section 7.3)",
+            [
+                f"cases: {len(survey.cases)}",
+                f"mean agreement: {survey.mean_agreement():.2f}/20 "
+                f"(paper: 17/20)",
+                f"ties: {survey.tie_fraction():.1%} (paper: ~4%)",
+                f"perfect agreement: {survey.perfect_agreement_count()}",
+            ],
+        )
+    )
+
+    table3 = harness.table3()
+    sections.append(
+        (
+            "Table 3 — method comparison",
+            [score.row() for score in table3],
+        )
+    )
+
+    figure12 = harness.figure12()
+    lines = []
+    for series in figure12:
+        precisions = series.precisions()
+        lines.append(
+            f"{series.name:22s} precision {precisions[0]:.2f} -> "
+            f"{precisions[-1]:.2f} across agreement thresholds"
+        )
+    sections.append(("Figure 12 — precision vs agreement", lines))
+
+    lines = []
+    for spec in (BIG_CITIES, *APPENDIX_A_STUDIES):
+        outcome = run_study(spec, seed=seed)
+        lines.append(f"[{spec.name}]")
+        lines.append("  " + outcome.majority.row())
+        lines.append("  " + outcome.surveyor.row())
+    sections.append(("Figures 3 / 13 — covariate studies", lines))
+
+    n_combinations = 60 if fast else 803
+    table5 = RandomSampleStudy(
+        n_combinations=n_combinations, seed=seed
+    ).run()
+    sections.append(
+        (
+            f"Table 5 — random sample ({n_combinations} combinations)",
+            [score.row() for score in table5],
+        )
+    )
+
+    return ReproductionReport(sections=sections)

@@ -1,0 +1,167 @@
+"""Canonical empirical-study setups (Section 2 and Appendix A).
+
+Four covariate-grounded studies, each pairing a subjective property
+with an objective attribute it should correlate with:
+
+* ``big city`` over 461 Californian cities vs population (Figure 3);
+* ``wealthy country`` vs GDP per capita (Figure 13a);
+* ``big lake`` over Swiss lakes vs area (Figure 13b);
+* ``high mountain`` over British mountains vs relative height
+  (Figure 13c).
+
+Each study yields probe-mode evidence, then compares majority vote
+against the probabilistic model on decided fraction and
+polarity-covariate correlation — the qualitative comparison the paper
+presents in Figures 3(c)/(d) and 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines.majority import MajorityVote
+from ..baselines.surveyor_adapter import SurveyorInterpreter
+from ..core.types import PropertyTypeKey, SubjectiveProperty
+from ..corpus.author import TrueParameters
+from ..corpus.generator import CorpusGenerator
+from ..corpus.scenario import Scenario, covariate_scenario
+from ..kb import seeds
+from ..kb.entity import Entity
+from ..kb.knowledge_base import KnowledgeBase
+from .correlation import (
+    CorrelationReport,
+    correlation_report,
+    polarity_points,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class StudySpec:
+    """One covariate study definition."""
+
+    name: str
+    property_text: str
+    attribute: str
+    threshold: float
+    entities_factory: object  # () -> list[Entity]
+    occurrence_exponent: float = 0.35
+    params: TrueParameters = field(
+        default_factory=lambda: TrueParameters(
+            agreement=0.85, rate_positive=30.0, rate_negative=1.5
+        )
+    )
+    spurious_positive_rate: float = 0.3
+
+    def entities(self) -> list[Entity]:
+        return self.entities_factory()  # type: ignore[operator]
+
+    def scenario(self) -> Scenario:
+        return covariate_scenario(
+            name=self.name,
+            entities=self.entities(),
+            property_text=self.property_text,
+            attribute=self.attribute,
+            threshold=self.threshold,
+            params=self.params,
+            occurrence_exponent=self.occurrence_exponent,
+            spurious_positive_rate=self.spurious_positive_rate,
+            spurious_negative_rate=self.spurious_positive_rate * 0.06,
+        )
+
+    def key(self) -> PropertyTypeKey:
+        entity_type = self.entities()[0].entity_type
+        return PropertyTypeKey(
+            property=SubjectiveProperty.parse(self.property_text),
+            entity_type=entity_type,
+        )
+
+
+#: Figure 3: 461 Californian cities, "big" vs population.
+BIG_CITIES = StudySpec(
+    name="fig3-big-cities",
+    property_text="big",
+    attribute="population",
+    threshold=250_000.0,
+    entities_factory=seeds.california_cities,
+)
+
+#: Figure 13(a): countries, "wealthy" vs GDP per capita.
+WEALTHY_COUNTRIES = StudySpec(
+    name="fig13a-wealthy-countries",
+    property_text="wealthy",
+    attribute="gdp_per_capita",
+    threshold=30_000.0,
+    entities_factory=seeds.countries,
+    params=TrueParameters(
+        agreement=0.85, rate_positive=25.0, rate_negative=2.0
+    ),
+)
+
+#: Figure 13(b): Swiss lakes, "big" vs area.
+BIG_LAKES = StudySpec(
+    name="fig13b-big-lakes",
+    property_text="big",
+    attribute="area_km2",
+    threshold=40.0,
+    entities_factory=seeds.swiss_lakes,
+    params=TrueParameters(
+        agreement=0.88, rate_positive=18.0, rate_negative=1.0
+    ),
+    spurious_positive_rate=0.1,
+)
+
+#: Figure 13(c): British mountains, "high" vs relative height.
+HIGH_MOUNTAINS = StudySpec(
+    name="fig13c-high-mountains",
+    property_text="high",
+    attribute="relative_height_m",
+    threshold=850.0,
+    entities_factory=seeds.british_mountains,
+    params=TrueParameters(
+        agreement=0.87, rate_positive=20.0, rate_negative=1.2
+    ),
+    spurious_positive_rate=0.1,
+)
+
+APPENDIX_A_STUDIES: tuple[StudySpec, ...] = (
+    WEALTHY_COUNTRIES, BIG_LAKES, HIGH_MOUNTAINS,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class StudyOutcome:
+    """Majority-vote vs probabilistic-model comparison for one study."""
+
+    study: str
+    majority: CorrelationReport
+    surveyor: CorrelationReport
+
+    def summary(self) -> str:
+        return "\n".join(
+            (f"[{self.study}]", self.majority.row(), self.surveyor.row())
+        )
+
+
+def run_study(spec: StudySpec, seed: int = 2015) -> StudyOutcome:
+    """Execute one covariate study end to end (probe-mode evidence)."""
+    scenario = spec.scenario()
+    kb = KnowledgeBase(scenario.entities)
+    evidence = CorpusGenerator(seed=seed).probe(scenario).as_evidence()
+    key = spec.key()
+    entities = list(scenario.entities)
+
+    majority_table = MajorityVote().interpret(evidence, kb)
+    surveyor_table = SurveyorInterpreter(occurrence_threshold=1).interpret(
+        evidence, kb
+    )
+    return StudyOutcome(
+        study=spec.name,
+        majority=correlation_report(
+            "Majority Vote",
+            polarity_points(majority_table, key, entities, spec.attribute),
+        ),
+        surveyor=correlation_report(
+            "Surveyor",
+            polarity_points(surveyor_table, key, entities, spec.attribute),
+        ),
+    )

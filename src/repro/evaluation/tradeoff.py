@@ -1,0 +1,96 @@
+"""Confidence thresholding: trading coverage for precision (Section 3).
+
+The paper decides at posterior 0.5 but notes a different threshold
+trades precision for recall. This module sweeps a confidence margin
+``tau``: a pair is decided only when the posterior is at least ``tau``
+away from 0.5 on either side. The resulting precision/coverage curve
+is the operating characteristic of the mined table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from ..core.result import OpinionTable
+from ..core.types import Polarity
+from ..crowd.survey import SurveyedCase
+from .metrics import case_entity_id, case_key
+
+#: Default margins swept by the curve; 0.0 reproduces the paper's rule.
+DEFAULT_MARGINS: tuple[float, ...] = (
+    0.0, 0.1, 0.2, 0.3, 0.4, 0.45, 0.49, 0.499,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TradeoffPoint:
+    """One operating point of the precision/coverage curve."""
+
+    margin: float
+    n_cases: int
+    n_solved: int
+    n_correct: int
+
+    @property
+    def coverage(self) -> float:
+        return self.n_solved / self.n_cases if self.n_cases else 0.0
+
+    @property
+    def precision(self) -> float:
+        return self.n_correct / self.n_solved if self.n_solved else 0.0
+
+    def row(self) -> str:
+        return (
+            f"margin={self.margin:5.3f} coverage={self.coverage:5.3f} "
+            f"precision={self.precision:5.3f}"
+        )
+
+
+def decide_with_margin(
+    table: OpinionTable, entity_id: str, key, margin: float
+) -> Polarity:
+    """The paper's rule with a confidence margin around 0.5."""
+    opinion = table.get(entity_id, key)
+    if opinion is None:
+        return Polarity.NEUTRAL
+    if opinion.probability > 0.5 + margin:
+        return Polarity.POSITIVE
+    if opinion.probability < 0.5 - margin:
+        return Polarity.NEGATIVE
+    return Polarity.NEUTRAL
+
+
+def tradeoff_curve(
+    table: OpinionTable,
+    test_cases: Iterable[SurveyedCase],
+    margins: Sequence[float] = DEFAULT_MARGINS,
+) -> list[TradeoffPoint]:
+    """Precision/coverage at each confidence margin."""
+    cases = list(test_cases)
+    points = []
+    for margin in margins:
+        if not 0.0 <= margin < 0.5:
+            raise ValueError(f"margin must be in [0, 0.5), got {margin}")
+        n_solved = 0
+        n_correct = 0
+        for case in cases:
+            if case.is_tie:
+                raise ValueError("remove tied cases before evaluating")
+            predicted = decide_with_margin(
+                table, case_entity_id(case), case_key(case), margin
+            )
+            if predicted is Polarity.NEUTRAL:
+                continue
+            n_solved += 1
+            if predicted is case.majority:
+                n_correct += 1
+        points.append(
+            TradeoffPoint(
+                margin=margin,
+                n_cases=len(cases),
+                n_solved=n_solved,
+                n_correct=n_correct,
+            )
+        )
+    return points

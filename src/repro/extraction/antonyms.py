@@ -1,0 +1,83 @@
+"""Antonym-aware evidence expansion — a rejected design, implemented.
+
+Section 4 of the paper considers treating "Palo Alto is small" as a
+negation of "Palo Alto is big" via antonym relationships, and decides
+against it for two reasons:
+
+1. antonyms are not exact complements — users who consider a city not
+   big do not necessarily consider it small;
+2. adverb-adjective properties ("very big") usually have no antonym.
+
+This module implements the rejected variant so the ablation bench can
+quantify the argument: :func:`expand_with_antonyms` adds, for every
+statement about an antonymous adjective, a mirrored statement about
+the antonym with flipped polarity. Reason 2 is honoured structurally —
+properties carrying adverbs are never expanded.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..core.types import SubjectiveProperty
+from .statement import EvidenceStatement
+
+#: WordNet-style antonym pairs among common subjective adjectives.
+_ANTONYM_PAIRS: tuple[tuple[str, str], ...] = (
+    ("big", "small"), ("safe", "dangerous"), ("cheap", "expensive"),
+    ("fast", "slow"), ("boring", "exciting"), ("calm", "hectic"),
+    ("quiet", "loud"), ("young", "old"), ("clean", "dirty"),
+    ("rich", "poor"), ("strong", "weak"), ("hot", "cold"),
+    ("wide", "narrow"), ("deep", "shallow"), ("pretty", "ugly"),
+    ("friendly", "hostile"), ("hard", "soft"), ("wet", "dry"),
+    ("happy", "sad"), ("light", "heavy"), ("common", "rare"),
+    ("smooth", "rough"), ("thick", "thin"), ("high", "low"),
+)
+
+ANTONYMS: dict[str, str] = {}
+for _left, _right in _ANTONYM_PAIRS:
+    ANTONYMS[_left] = _right
+    ANTONYMS[_right] = _left
+
+
+def antonym_of(property_: SubjectiveProperty) -> SubjectiveProperty | None:
+    """The antonymous property, or None.
+
+    Properties with adverbs have no antonym (the paper's reason 2:
+    there is no opposite of "very big").
+    """
+    if property_.adverbs:
+        return None
+    opposite = ANTONYMS.get(property_.adjective)
+    if opposite is None:
+        return None
+    return SubjectiveProperty(opposite)
+
+
+def expand_with_antonyms(
+    statements: Iterable[EvidenceStatement],
+) -> list[EvidenceStatement]:
+    """Original statements plus mirrored antonym statements.
+
+    "X is small" additionally yields (X, big, -); "X is not small"
+    yields (X, big, +). The mirrored statements carry the pattern tag
+    ``antonym`` so downstream analysis can attribute errors.
+    """
+    expanded: list[EvidenceStatement] = []
+    for statement in statements:
+        expanded.append(statement)
+        opposite = antonym_of(statement.property)
+        if opposite is None:
+            continue
+        expanded.append(
+            EvidenceStatement(
+                entity_id=statement.entity_id,
+                entity_type=statement.entity_type,
+                property=opposite,
+                polarity=statement.polarity.flipped(),
+                pattern="antonym",
+                doc_id=statement.doc_id,
+                sentence=statement.sentence,
+            )
+        )
+    return expanded

@@ -1,0 +1,108 @@
+"""Corpus-level evidence extraction driver.
+
+Walks annotated documents, applies the configured extraction patterns,
+computes statement polarity, and accumulates evidence counts — the
+"Extraction & Filtering" box of Figure 1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from ..nlp.annotate import AnnotatedDocument, AnnotatedSentence, Annotator
+from .patterns import DEFAULT_PATTERNS, PatternConfig, find_matches
+from .polarity import statement_polarity
+from .statement import EvidenceCounter, EvidenceStatement
+
+
+@dataclass(slots=True)
+class ExtractionStats:
+    """Per-run extraction accounting (Section 7.1-style reporting)."""
+
+    documents: int = 0
+    sentences: int = 0
+    statements: int = 0
+    positive: int = 0
+    negative: int = 0
+
+    def merge(self, other: "ExtractionStats") -> None:
+        self.documents += other.documents
+        self.sentences += other.sentences
+        self.statements += other.statements
+        self.positive += other.positive
+        self.negative += other.negative
+
+
+@dataclass
+class EvidenceExtractor:
+    """Extracts evidence statements from annotated documents."""
+
+    config: PatternConfig = DEFAULT_PATTERNS
+    stats: ExtractionStats = field(default_factory=ExtractionStats)
+
+    def extract_sentence(
+        self, annotated: AnnotatedSentence, doc_id: str = ""
+    ) -> list[EvidenceStatement]:
+        """All evidence statements in one sentence."""
+        statements = []
+        for match in find_matches(annotated, self.config):
+            statements.append(
+                EvidenceStatement(
+                    entity_id=match.mention.entity_id,
+                    entity_type=match.mention.entity_type,
+                    property=match.property,
+                    polarity=statement_polarity(match.property_node),
+                    pattern=match.pattern,
+                    doc_id=doc_id,
+                    sentence=annotated.text(),
+                )
+            )
+        return statements
+
+    def extract_document(
+        self, document: AnnotatedDocument
+    ) -> list[EvidenceStatement]:
+        """All evidence statements in one document."""
+        statements: list[EvidenceStatement] = []
+        self.stats.documents += 1
+        for annotated in document.sentences:
+            self.stats.sentences += 1
+            statements.extend(
+                self.extract_sentence(annotated, document.doc_id)
+            )
+        self._account(statements)
+        return statements
+
+    def extract_corpus(
+        self, documents: Iterable[AnnotatedDocument]
+    ) -> EvidenceCounter:
+        """Run extraction over a corpus and aggregate counts."""
+        counter = EvidenceCounter()
+        for document in documents:
+            counter.add_all(self.extract_document(document))
+        return counter
+
+    def _account(self, statements: list[EvidenceStatement]) -> None:
+        from ..core.types import Polarity
+
+        self.stats.statements += len(statements)
+        for statement in statements:
+            if statement.polarity is Polarity.POSITIVE:
+                self.stats.positive += 1
+            else:
+                self.stats.negative += 1
+
+
+def extract_from_texts(
+    annotator: Annotator,
+    texts: Iterable[tuple[str, str]],
+    config: PatternConfig = DEFAULT_PATTERNS,
+) -> tuple[EvidenceCounter, ExtractionStats]:
+    """Convenience path: raw ``(doc_id, text)`` pairs to evidence counts."""
+    extractor = EvidenceExtractor(config=config)
+    counter = EvidenceCounter()
+    for doc_id, text in texts:
+        document = annotator.annotate(doc_id, text)
+        counter.add_all(extractor.extract_document(document))
+    return counter, extractor.stats

@@ -1,0 +1,33 @@
+"""Statement polarity from negations on the path to the root.
+
+Figure 5 of the paper: starting from the property token with polarity
++1, walk up the dependency tree to the root and flip the sign at every
+negated token (a token with a negation child). An odd number of
+negations makes the statement negative; double negations ("I don't
+think that snakes are never dangerous") resolve back to positive.
+"""
+
+from __future__ import annotations
+
+from ..core.types import Polarity
+from ..nlp.deptree import DepNode, NEG
+
+
+def negation_count(property_node: DepNode) -> int:
+    """Number of negations on the path from the property to the root.
+
+    Counts individual negation children rather than negated tokens so
+    the (rare) stacked case "isn't never" flips twice on one node;
+    for the paper's examples the two formulations coincide.
+    """
+    return sum(
+        len(node.children_by_rel(NEG))
+        for node in property_node.path_to_root()
+    )
+
+
+def statement_polarity(property_node: DepNode) -> Polarity:
+    """Polarity of the statement anchored at ``property_node``."""
+    if negation_count(property_node) % 2 == 1:
+        return Polarity.NEGATIVE
+    return Polarity.POSITIVE

@@ -1,0 +1,126 @@
+"""Evidence statement records and count aggregation.
+
+An evidence statement connects one entity to one subjective property
+with a polarity (Section 4). The aggregation step groups statements by
+entity-property pair and produces the ``<C+, C->`` evidence tuples the
+probabilistic model consumes (Section 3).
+"""
+
+from __future__ import annotations
+
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..core.types import (
+    EvidenceCounts,
+    Polarity,
+    PropertyTypeKey,
+    SubjectiveProperty,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class EvidenceStatement:
+    """One extracted statement."""
+
+    entity_id: str
+    entity_type: str
+    property: SubjectiveProperty
+    polarity: Polarity
+    pattern: str
+    doc_id: str = ""
+    sentence: str = ""
+
+    def __post_init__(self) -> None:
+        if self.polarity is Polarity.NEUTRAL:
+            raise ValueError("statements are positive or negative")
+
+    @property
+    def key(self) -> PropertyTypeKey:
+        return PropertyTypeKey(
+            property=self.property, entity_type=self.entity_type
+        )
+
+
+class EvidenceCounter:
+    """Accumulates statements into per-pair evidence tuples.
+
+    Plain nested dicts (not defaultdicts with closures) so counters
+    pickle cleanly across process-pool workers.
+    """
+
+    def __init__(self) -> None:
+        self._counts: dict[PropertyTypeKey, dict[str, list[int]]] = {}
+        self._n_statements = 0
+
+    def _slot(self, key: PropertyTypeKey, entity_id: str) -> list[int]:
+        per_entity = self._counts.get(key)
+        if per_entity is None:
+            per_entity = {}
+            self._counts[key] = per_entity
+        slot = per_entity.get(entity_id)
+        if slot is None:
+            slot = [0, 0]
+            per_entity[entity_id] = slot
+        return slot
+
+    def add(self, statement: EvidenceStatement) -> None:
+        slot = self._slot(statement.key, statement.entity_id)
+        if statement.polarity is Polarity.POSITIVE:
+            slot[0] += 1
+        else:
+            slot[1] += 1
+        self._n_statements += 1
+
+    def add_all(self, statements: Iterable[EvidenceStatement]) -> None:
+        for statement in statements:
+            self.add(statement)
+
+    def merge(self, other: "EvidenceCounter") -> None:
+        """Fold another counter in (the reduce side of the pipeline)."""
+        for key, per_entity in other._counts.items():
+            for entity_id, (pos, neg) in per_entity.items():
+                slot = self._slot(key, entity_id)
+                slot[0] += pos
+                slot[1] += neg
+        self._n_statements += other._n_statements
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def n_statements(self) -> int:
+        return self._n_statements
+
+    @property
+    def n_pairs(self) -> int:
+        return sum(len(v) for v in self._counts.values())
+
+    def keys(self) -> list[PropertyTypeKey]:
+        return list(self._counts)
+
+    def counts_for(
+        self, key: PropertyTypeKey
+    ) -> dict[str, EvidenceCounts]:
+        return {
+            entity_id: EvidenceCounts(pos, neg)
+            for entity_id, (pos, neg) in self._counts.get(key, {}).items()
+        }
+
+    def as_evidence(
+        self,
+    ) -> dict[PropertyTypeKey, dict[str, EvidenceCounts]]:
+        """The full nested mapping Surveyor's driver consumes."""
+        return {key: self.counts_for(key) for key in self._counts}
+
+    def get(self, key: PropertyTypeKey, entity_id: str) -> EvidenceCounts:
+        pos, neg = self._counts.get(key, {}).get(entity_id, (0, 0))
+        return EvidenceCounts(pos, neg)
+
+    def statements_per_key(self) -> dict[PropertyTypeKey, int]:
+        """Total statement count per property-type combination."""
+        return {
+            key: sum(pos + neg for pos, neg in per_entity.values())
+            for key, per_entity in self._counts.items()
+        }

@@ -1,0 +1,42 @@
+"""Knowledge-base substrate: typed entities, store, and seed datasets."""
+
+from .entity import Entity, entity_id
+from .importer import dump_tsv, load_tsv, parse_line
+from .knowledge_base import KnowledgeBase
+from .seeds import (
+    EVALUATION_CELEBRITIES,
+    EVALUATION_CITIES,
+    EVALUATION_PROFESSIONS,
+    EVALUATION_PROPERTIES,
+    EVALUATION_SPORTS,
+    FIGURE_10_ANIMALS,
+    british_mountains,
+    california_cities,
+    countries,
+    evaluation_entities,
+    evaluation_kb,
+    full_kb,
+    swiss_lakes,
+)
+
+__all__ = [
+    "EVALUATION_CELEBRITIES",
+    "EVALUATION_CITIES",
+    "EVALUATION_PROFESSIONS",
+    "EVALUATION_PROPERTIES",
+    "EVALUATION_SPORTS",
+    "FIGURE_10_ANIMALS",
+    "Entity",
+    "KnowledgeBase",
+    "british_mountains",
+    "california_cities",
+    "countries",
+    "dump_tsv",
+    "entity_id",
+    "evaluation_entities",
+    "evaluation_kb",
+    "full_kb",
+    "load_tsv",
+    "parse_line",
+    "swiss_lakes",
+]

@@ -1,0 +1,102 @@
+"""Entity and type records of the knowledge base.
+
+The paper's knowledge base (a Freebase extension) stores entities with
+their *most notable type* plus objective properties. We keep the same
+shape: an :class:`Entity` has a stable ID, a canonical name, a set of
+surface aliases used by the entity linker, one most notable type, and a
+bag of objective attributes (population, area, ...) used by the
+empirical studies of Section 2 and Appendix A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def entity_id(entity_type: str, name: str) -> str:
+    """Build the canonical entity ID ``/<type>/<slug>``.
+
+    Mirrors Freebase MIDs in spirit: IDs are opaque, stable, and
+    type-scoped, so two entities sharing a name in different types do
+    not collide (``/city/buffalo`` vs ``/animal/buffalo``).
+    """
+    slug = name.strip().lower().replace(" ", "_")
+    return f"/{entity_type.strip().lower()}/{slug}"
+
+
+@dataclass(frozen=True, slots=True)
+class Entity:
+    """One knowledge-base entity.
+
+    ``entity_type`` is the *most notable* type — the one Surveyor
+    groups by (Section 3: "the knowledge base may actually associate
+    multiple types with an entity but we use only the most notable
+    type"). ``other_types`` carries any further type memberships; they
+    participate in disambiguation but never in evidence grouping.
+
+    ``aliases`` are additional surface forms resolving to this entity;
+    the canonical name is always an implicit alias. ``attributes``
+    carry objective properties (e.g. ``population``) consulted by the
+    correlation studies, never by the mining algorithm itself.
+    """
+
+    id: str
+    name: str
+    entity_type: str
+    aliases: tuple[str, ...] = ()
+    attributes: dict[str, float] = field(default_factory=dict)
+    other_types: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.id or not self.name or not self.entity_type:
+            raise ValueError("entity requires id, name, and type")
+        object.__setattr__(self, "entity_type", self.entity_type.lower())
+        object.__setattr__(
+            self,
+            "other_types",
+            tuple(
+                t.lower()
+                for t in self.other_types
+                if t.lower() != self.entity_type.lower()
+            ),
+        )
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        entity_type: str,
+        aliases: tuple[str, ...] = (),
+        other_types: tuple[str, ...] = (),
+        **attributes: float,
+    ) -> "Entity":
+        """Construct an entity with a derived canonical ID."""
+        return cls(
+            id=entity_id(entity_type, name),
+            name=name,
+            entity_type=entity_type,
+            aliases=aliases,
+            attributes=dict(attributes),
+            other_types=other_types,
+        )
+
+    @property
+    def all_types(self) -> tuple[str, ...]:
+        """Every type the entity belongs to, most notable first."""
+        return (self.entity_type, *self.other_types)
+
+    @property
+    def surface_forms(self) -> tuple[str, ...]:
+        """All forms the linker may match, canonical name first."""
+        return (self.name, *self.aliases)
+
+    def attribute(self, key: str, default: float | None = None) -> float:
+        """Objective attribute lookup; raises ``KeyError`` if absent and
+        no default was given."""
+        if key in self.attributes:
+            return self.attributes[key]
+        if default is None:
+            raise KeyError(
+                f"entity {self.id} has no attribute {key!r}"
+            )
+        return default

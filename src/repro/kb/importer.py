@@ -1,0 +1,120 @@
+"""Tabular knowledge-base import/export.
+
+The paper's knowledge base is "an extension of Freebase"; downstream
+users will have their own entity dumps. This module reads and writes
+a simple five-column TSV:
+
+    type <TAB> name <TAB> aliases <TAB> attributes <TAB> other_types
+
+* ``aliases``: ``|``-separated surface forms (may be empty);
+* ``attributes``: ``;``-separated ``key=value`` pairs with float
+  values (may be empty);
+* ``other_types``: ``|``-separated additional type memberships (may
+  be empty; the column itself is optional).
+
+Lines starting with ``#`` and blank lines are skipped. Errors carry
+the offending line number.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from pathlib import Path
+
+from .entity import Entity
+from .knowledge_base import KnowledgeBase
+
+
+class ImportError_(ValueError):
+    """A malformed TSV line (name avoids shadowing the builtin)."""
+
+
+def parse_line(line: str, line_number: int = 0) -> Entity:
+    """Parse one TSV line into an :class:`Entity`."""
+    columns = line.rstrip("\n").split("\t")
+    if len(columns) < 2:
+        raise ImportError_(
+            f"line {line_number}: expected at least type and name, "
+            f"got {len(columns)} column(s)"
+        )
+    entity_type = columns[0].strip()
+    name = columns[1].strip()
+    if not entity_type or not name:
+        raise ImportError_(
+            f"line {line_number}: type and name must be non-empty"
+        )
+    aliases = _split_list(columns[2] if len(columns) > 2 else "")
+    attributes = _parse_attributes(
+        columns[3] if len(columns) > 3 else "", line_number
+    )
+    other_types = _split_list(columns[4] if len(columns) > 4 else "")
+    return Entity.create(
+        name,
+        entity_type,
+        aliases=tuple(aliases),
+        other_types=tuple(other_types),
+        **attributes,
+    )
+
+
+def load_tsv(path: str | Path) -> KnowledgeBase:
+    """Load a knowledge base from a TSV file."""
+    kb = KnowledgeBase()
+    with Path(path).open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            kb.add(parse_line(line, line_number))
+    return kb
+
+
+def dump_tsv(kb: Iterable[Entity], path: str | Path) -> Path:
+    """Write entities to a TSV file (inverse of :func:`load_tsv`)."""
+    path = Path(path)
+    lines = ["#type\tname\taliases\tattributes\tother_types"]
+    for entity in kb:
+        attributes = ";".join(
+            f"{key}={value:g}"
+            for key, value in sorted(entity.attributes.items())
+        )
+        lines.append(
+            "\t".join(
+                (
+                    entity.entity_type,
+                    entity.name,
+                    "|".join(entity.aliases),
+                    attributes,
+                    "|".join(entity.other_types),
+                )
+            )
+        )
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def _split_list(column: str) -> list[str]:
+    return [part.strip() for part in column.split("|") if part.strip()]
+
+
+def _parse_attributes(
+    column: str, line_number: int
+) -> dict[str, float]:
+    attributes: dict[str, float] = {}
+    for pair in column.split(";"):
+        pair = pair.strip()
+        if not pair:
+            continue
+        key, separator, value = pair.partition("=")
+        if not separator:
+            raise ImportError_(
+                f"line {line_number}: attribute {pair!r} lacks '='"
+            )
+        try:
+            attributes[key.strip()] = float(value)
+        except ValueError:
+            raise ImportError_(
+                f"line {line_number}: attribute {key!r} has "
+                f"non-numeric value {value!r}"
+            ) from None
+    return attributes

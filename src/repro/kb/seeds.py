@@ -1,0 +1,398 @@
+"""Seed datasets for the knowledge base.
+
+The paper works against a Freebase extension plus three public HTML
+tables (Appendix A). Offline, we reconstruct equivalents:
+
+* the five evaluation types of Table 2 (animals, celebrities, cities,
+  professions, sports) with the exact animal list of Figure 10;
+* 461 Californian cities with populations (Section 2's empirical
+  study), a curated head of real cities extended with a deterministic
+  procedurally-generated tail of small towns — matching the paper's
+  observation that the sample is dominated by small cities;
+* countries with GDP per capita, Swiss lakes with areas, and British
+  mountains with relative heights (Appendix A's three scenarios).
+
+All generation is deterministic so tests and benchmarks are stable.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .entity import Entity
+from .knowledge_base import KnowledgeBase
+
+# ---------------------------------------------------------------------------
+# Table 2 / Figure 10 evaluation entities
+# ---------------------------------------------------------------------------
+
+#: The 20 animals of Figure 10, in the paper's order.
+FIGURE_10_ANIMALS: tuple[str, ...] = (
+    "pony", "spider", "koala", "rat", "scorpion", "crow", "kitten",
+    "monkey", "octopus", "beaver", "goose", "tiger", "moose", "frog",
+    "grizzly bear", "alligator", "puppy", "camel", "white shark", "lion",
+)
+
+EVALUATION_CELEBRITIES: tuple[str, ...] = (
+    "Ada Lively", "Bruno Marsh", "Carla Voss", "Dexter Quill",
+    "Elena Brook", "Felix Crane", "Gloria Stett", "Hector Vale",
+    "Iris Fontaine", "Jasper Reed", "Kira Solano", "Liam Archer",
+    "Mona Castell", "Nico Ferrant", "Opal Hayes", "Pierce Walden",
+    "Quinn Abano", "Rosa Delmar", "Silas Norcross", "Tessa Winslow",
+)
+
+EVALUATION_CITIES: tuple[str, ...] = (
+    "New York", "Tokyo", "Reykjavik", "Mumbai", "Zurich", "Cairo",
+    "London", "Bruges", "Mexico City", "Singapore", "Lagos", "Vienna",
+    "Sao Paulo", "Ljubljana", "Bangkok", "Geneva", "Istanbul",
+    "Wellington", "Shanghai", "Tallinn",
+)
+
+EVALUATION_PROFESSIONS: tuple[str, ...] = (
+    "firefighter", "librarian", "astronaut", "accountant", "stuntman",
+    "nurse", "fisherman", "teacher", "test pilot", "plumber",
+    "falconer", "surgeon", "miner", "clockmaker", "police officer",
+    "farmer", "glassblower", "electrician", "soldier", "beekeeper",
+)
+
+EVALUATION_SPORTS: tuple[str, ...] = (
+    "soccer", "chess boxing", "base jumping", "golf", "ice hockey",
+    "curling", "rugby", "badminton", "motocross", "swimming",
+    "free solo climbing", "table tennis", "boxing", "croquet",
+    "basketball", "lawn bowls", "skydiving", "tennis", "bullfighting",
+    "marathon running",
+)
+
+#: Table 2: the five properties evaluated per type.
+EVALUATION_PROPERTIES: dict[str, tuple[str, ...]] = {
+    "animal": ("dangerous", "cute", "big", "friendly", "deadly"),
+    "celebrity": ("cool", "crazy", "pretty", "quiet", "young"),
+    "city": ("big", "calm", "cheap", "hectic", "multicultural"),
+    "profession": ("dangerous", "exciting", "rare", "solid", "vital"),
+    "sport": ("addictive", "boring", "dangerous", "fast", "popular"),
+}
+
+# ---------------------------------------------------------------------------
+# Californian cities (Section 2) — curated head
+# ---------------------------------------------------------------------------
+
+#: Real Californian cities with approximate 2010s populations. Names
+#: marked ambiguous collide with entities of other types, feeding the
+#: disambiguation test of Section 2.
+_CALIFORNIA_HEAD: tuple[tuple[str, int], ...] = (
+    ("Los Angeles", 3_900_000), ("San Diego", 1_380_000),
+    ("San Jose", 1_000_000), ("San Francisco", 870_000),
+    ("Fresno", 520_000), ("Sacramento", 500_000),
+    ("Long Beach", 465_000), ("Oakland", 420_000),
+    ("Bakersfield", 380_000), ("Anaheim", 350_000),
+    ("Santa Ana", 330_000), ("Riverside", 325_000),
+    ("Stockton", 310_000), ("Irvine", 280_000),
+    ("Chula Vista", 270_000), ("Fremont", 230_000),
+    ("Santa Clarita", 210_000), ("San Bernardino", 215_000),
+    ("Modesto", 215_000), ("Fontana", 208_000),
+    ("Moreno Valley", 205_000), ("Oxnard", 207_000),
+    ("Huntington Beach", 200_000), ("Glendale", 196_000),
+    ("Ontario", 175_000), ("Elk Grove", 170_000),
+    ("Santa Rosa", 178_000), ("Rancho Cucamonga", 177_000),
+    ("Oceanside", 175_000), ("Garden Grove", 172_000),
+    ("Lancaster", 160_000), ("Palmdale", 157_000),
+    ("Salinas", 155_000), ("Hayward", 158_000),
+    ("Pomona", 151_000), ("Escondido", 151_000),
+    ("Sunnyvale", 153_000), ("Torrance", 147_000),
+    ("Pasadena", 141_000), ("Orange", 139_000),
+    ("Fullerton", 140_000), ("Thousand Oaks", 128_000),
+    ("Visalia", 130_000), ("Simi Valley", 126_000),
+    ("Concord", 125_000), ("Roseville", 135_000),
+    ("Santa Clara", 127_000), ("Vallejo", 121_000),
+    ("Berkeley", 120_000), ("El Monte", 115_000),
+    ("Downey", 113_000), ("Costa Mesa", 112_000),
+    ("Inglewood", 111_000), ("Carlsbad", 113_000),
+    ("San Buenaventura", 109_000), ("Fairfield", 112_000),
+    ("West Covina", 107_000), ("Murrieta", 110_000),
+    ("Richmond", 107_000), ("Norwalk", 106_000),
+    ("Antioch", 110_000), ("Temecula", 109_000),
+    ("Burbank", 104_000), ("Daly City", 106_000),
+    ("Rialto", 102_000), ("Santa Maria", 104_000),
+    ("El Cajon", 102_000), ("San Mateo", 103_000),
+    ("Clovis", 102_000), ("Compton", 97_000),
+    ("Jurupa Valley", 98_000), ("Vista", 96_000),
+    ("South Gate", 95_000), ("Mission Viejo", 94_000),
+    ("Vacaville", 94_000), ("Carson", 92_000),
+    ("Hesperia", 92_000), ("Santa Monica", 92_000),
+    ("Westminster", 91_000), ("Redding", 91_000),
+    ("Santa Barbara", 90_000), ("Chico", 89_000),
+    ("Newport Beach", 86_000), ("San Leandro", 86_000),
+    ("San Marcos", 87_000), ("Whittier", 86_000),
+    ("Hawthorne", 85_000), ("Citrus Heights", 84_000),
+    ("Tracy", 84_000), ("Alhambra", 84_000),
+    ("Livermore", 83_000), ("Buena Park", 82_000),
+    ("Menifee", 83_000), ("Hemet", 81_000),
+    ("Lakewood", 80_000), ("Merced", 80_000),
+    ("Chino", 80_000), ("Indio", 79_000),
+    ("Redwood City", 78_000), ("Lake Forest", 78_000),
+    ("Napa", 78_000), ("Tustin", 78_000),
+    ("Bellflower", 77_000), ("Mountain View", 76_000),
+    ("Chino Hills", 76_000), ("Baldwin Park", 76_000),
+    ("Alameda", 75_000), ("Upland", 75_000),
+    ("San Ramon", 74_000), ("Folsom", 73_000),
+    ("Pleasanton", 73_000), ("Union City", 71_000),
+    ("Perris", 71_000), ("Manteca", 71_000),
+    ("Lynwood", 70_000), ("Apple Valley", 70_000),
+    ("Redlands", 69_000), ("Turlock", 69_000),
+    ("Milpitas", 68_000), ("Redondo Beach", 67_000),
+    ("Rancho Cordova", 67_000), ("Yorba Linda", 66_000),
+    ("Palo Alto", 65_000), ("Davis", 65_000),
+    ("Camarillo", 65_000), ("Walnut Creek", 65_000),
+    ("Pittsburg", 64_000), ("South San Francisco", 64_000),
+    ("Yuba City", 65_000), ("San Clemente", 64_000),
+    ("Laguna Niguel", 63_000), ("Pico Rivera", 63_000),
+    ("Montebello", 62_000), ("Lodi", 62_000),
+    ("Madera", 62_000), ("Monterey Park", 61_000),
+    ("La Habra", 60_000), ("Santa Cruz", 60_000),
+    ("Encinitas", 60_000), ("Tulare", 59_000),
+    ("Gardena", 59_000), ("National City", 59_000),
+    ("Cupertino", 58_000), ("Huntington Park", 58_000),
+    ("Petaluma", 58_000), ("San Rafael", 58_000),
+    ("La Mesa", 58_000), ("Rocklin", 57_000),
+    ("Arcadia", 56_000), ("Diamond Bar", 56_000),
+    ("Woodland", 55_000), ("Fountain Valley", 55_000),
+    ("Porterville", 54_000), ("Paramount", 54_000),
+    ("Hanford", 54_000), ("Rosemead", 54_000),
+    ("Eastvale", 54_000), ("Santee", 54_000),
+    ("Highland", 53_000), ("Delano", 52_000),
+    ("Colton", 52_000), ("Novato", 52_000),
+    ("Lake Elsinore", 52_000), ("Brentwood", 52_000),
+    ("Yucaipa", 51_000), ("Cathedral City", 51_000),
+    ("Watsonville", 51_000), ("Placentia", 51_000),
+    ("Glendora", 50_000), ("Gilroy", 49_000),
+    ("Palm Desert", 48_000), ("Cerritos", 49_000),
+    ("West Sacramento", 49_000), ("Aliso Viejo", 48_000),
+    ("Poway", 48_000), ("La Mirada", 48_000),
+    ("Rancho Santa Margarita", 48_000), ("Cypress", 48_000),
+    ("Dublin", 46_000), ("Covina", 48_000),
+    ("Azusa", 46_000), ("Palm Springs", 45_000),
+    ("San Luis Obispo", 45_000), ("Ceres", 45_000),
+    ("San Jacinto", 44_000), ("Lincoln", 43_000),
+    ("Newark", 43_000), ("Lompoc", 43_000),
+    ("El Centro", 43_000), ("Danville", 42_000),
+    ("Bell Gardens", 42_000), ("Coachella", 41_000),
+    ("Rancho Palos Verdes", 42_000), ("San Bruno", 41_000),
+    ("Campbell", 40_000), ("Culver City", 39_000),
+    ("Stanton", 38_000), ("La Puente", 40_000),
+    ("Oakley", 36_000), ("Morgan Hill", 38_000),
+    ("Martinez", 36_000), ("Monrovia", 36_000),
+    ("Pleasant Hill", 33_000), ("Manhattan Beach", 35_000),
+    ("Beverly Hills", 34_000), ("Monterey", 28_000),
+    ("Foster City", 31_000), ("Seaside", 33_000),
+    ("Brea", 40_000), ("Calexico", 38_000),
+    ("Hollister", 35_000), ("Claremont", 35_000),
+    ("Temple City", 36_000), ("Atwater", 28_000),
+    ("Menlo Park", 32_000), ("Burlingame", 29_000),
+    ("Los Gatos", 30_000), ("Saratoga", 30_000),
+    ("Half Moon Bay", 11_000), ("Sausalito", 7_000),
+    ("Carmel", 3_700), ("Solvang", 5_200),
+    ("Ferndale", 1_300), ("Trinidad", 360),
+    ("Mendocino", 900), ("Calistoga", 5_100),
+)
+
+#: Vocabulary for the deterministic small-town tail.
+_TOWN_PREFIXES = (
+    "Alder", "Bays", "Cedar", "Dry", "Eagle", "Fall", "Gold", "Haw",
+    "Iron", "Juniper", "Knoll", "Loma", "Mesa", "North", "Oak", "Pine",
+    "Quartz", "River", "Sage", "Twin", "Upper", "Vista", "West", "Yucca",
+)
+_TOWN_SUFFIXES = (
+    "brook", "crest", "dale", "field", " flats", " grove", " hills",
+    " junction", "mont", " point", "ridge", " springs", "ton", "view",
+    "ville", " wells",
+)
+
+
+def california_cities(count: int = 461, seed: int = 2015) -> list[Entity]:
+    """The Section 2 study sample: ``count`` Californian cities.
+
+    The curated head carries real cities and populations; the tail is a
+    deterministic synthesis of small towns with log-uniform populations
+    between 100 and 30,000 — matching the paper's heavily small-skewed
+    sample. A handful of tail towns are given ambiguous aliases.
+    """
+    if count < len(_CALIFORNIA_HEAD):
+        raise ValueError(
+            f"count must be >= {len(_CALIFORNIA_HEAD)} (the curated head)"
+        )
+    rng = random.Random(seed)
+    entities = [
+        Entity.create(name, "city", population=float(pop), state=1.0)
+        for name, pop in _CALIFORNIA_HEAD
+    ]
+    names_seen = {e.name for e in entities}
+    combos = [
+        prefix + suffix
+        for prefix in _TOWN_PREFIXES
+        for suffix in _TOWN_SUFFIXES
+    ]
+    rng.shuffle(combos)
+    for name in combos:
+        if len(entities) >= count:
+            break
+        if name in names_seen:
+            continue
+        names_seen.add(name)
+        log_pop = rng.uniform(2.0, 4.5)  # 100 .. ~31k inhabitants
+        entities.append(
+            Entity.create(
+                name, "city", population=float(round(10**log_pop)), state=1.0
+            )
+        )
+    if len(entities) < count:
+        raise ValueError("town vocabulary exhausted; lower the count")
+    return entities
+
+
+# ---------------------------------------------------------------------------
+# Appendix A scenarios
+# ---------------------------------------------------------------------------
+
+_COUNTRIES: tuple[tuple[str, int], ...] = (
+    ("Luxembourg", 111_000), ("Norway", 100_000), ("Qatar", 94_000),
+    ("Switzerland", 81_000), ("Australia", 65_000), ("Denmark", 59_000),
+    ("Sweden", 58_000), ("Singapore", 55_000), ("United States", 53_000),
+    ("Canada", 52_000), ("Austria", 50_000), ("Netherlands", 48_000),
+    ("Ireland", 47_000), ("Finland", 47_000), ("Iceland", 45_000),
+    ("Belgium", 45_000), ("Germany", 45_000), ("France", 42_000),
+    ("New Zealand", 41_000), ("United Kingdom", 39_000),
+    ("Japan", 38_000), ("Italy", 34_000), ("Israel", 36_000),
+    ("Spain", 29_000), ("South Korea", 26_000), ("Slovenia", 23_000),
+    ("Portugal", 21_000), ("Greece", 21_000), ("Czech Republic", 19_000),
+    ("Estonia", 19_000), ("Slovakia", 18_000), ("Uruguay", 16_000),
+    ("Chile", 15_000), ("Poland", 13_000), ("Hungary", 13_000),
+    ("Croatia", 13_000), ("Russia", 14_000), ("Brazil", 11_000),
+    ("Turkey", 10_000), ("Mexico", 10_000), ("Malaysia", 10_000),
+    ("Argentina", 10_000), ("Romania", 9_000), ("Bulgaria", 7_500),
+    ("China", 6_800), ("South Africa", 6_600), ("Thailand", 5_800),
+    ("Serbia", 6_000), ("Peru", 6_500), ("Colombia", 7_800),
+    ("Ecuador", 6_000), ("Albania", 4_500), ("Indonesia", 3_500),
+    ("Ukraine", 3_900), ("Morocco", 3_100), ("Philippines", 2_800),
+    ("Egypt", 3_200), ("Vietnam", 1_900), ("India", 1_500),
+    ("Nigeria", 3_000), ("Pakistan", 1_300), ("Kenya", 1_200),
+    ("Bangladesh", 1_000), ("Cambodia", 1_000), ("Nepal", 700),
+    ("Ethiopia", 500), ("Mozambique", 600), ("Madagascar", 460),
+    ("Malawi", 270), ("Burundi", 260),
+)
+
+_SWISS_LAKES: tuple[tuple[str, float], ...] = (
+    ("Lake Geneva", 580.0), ("Lake Constance", 536.0),
+    ("Lake Neuchatel", 218.0), ("Lake Maggiore", 212.0),
+    ("Lake Lucerne", 114.0), ("Lake Zurich", 88.0),
+    ("Lake Lugano", 49.0), ("Lake Thun", 48.0),
+    ("Lake Biel", 39.0), ("Lake Zug", 38.0),
+    ("Lake Brienz", 30.0), ("Lake Walen", 24.0),
+    ("Lake Murten", 23.0), ("Lake Sempach", 14.0),
+    ("Lake Hallwil", 10.0), ("Lake Greifen", 8.5),
+    ("Lake Sarnen", 7.4), ("Lake Aegeri", 7.3),
+    ("Lake Baldegg", 5.2), ("Lake Pfaeffikon", 3.3),
+    ("Lake Lauerz", 3.0), ("Lake Sils", 4.1),
+    ("Lake Silvaplana", 2.7), ("Lake Klontal", 3.3),
+    ("Lake Wohlen", 3.65), ("Lake Lungern", 2.0),
+    ("Lake Oeschinen", 1.1), ("Lake St. Moritz", 0.78),
+    ("Lake Cauma", 0.1), ("Lake Seealp", 0.13),
+    ("Lake Blausee", 0.007), ("Lake Arnen", 0.47),
+    ("Lake Tanay", 0.33), ("Lake Daubensee", 0.6),
+)
+
+_BRITISH_MOUNTAINS: tuple[tuple[str, int], ...] = (
+    ("Ben Nevis", 1345), ("Snowdon", 1038), ("Ben Macdui", 950),
+    ("Scafell Pike", 912), ("Carrauntoohil", 1039), ("Slieve Donard", 822),
+    ("Ben Lomond", 974), ("Helvellyn", 712), ("Tryfan", 917),
+    ("Cadair Idris", 893), ("Goat Fell", 874), ("Pen y Fan", 886),
+    ("Skiddaw", 931), ("Ben Hope", 927), ("Suilven", 731),
+    ("Ben More", 966), ("Schiehallion", 1083), ("Cairn Gorm", 1245),
+    ("The Cheviot", 815), ("Cross Fell", 893), ("Mam Tor", 517),
+    ("Kinder Scout", 636), ("Pen-y-ghent", 694), ("Whernside", 736),
+    ("Ingleborough", 723), ("Worcestershire Beacon", 425),
+    ("Leith Hill", 294), ("Box Hill", 224), ("Cleeve Hill", 330),
+    ("Dunkery Beacon", 519), ("High Willhays", 621),
+    ("Black Mountain", 802), ("Moel Famau", 554), ("Arenig Fawr", 854),
+)
+
+
+def countries() -> list[Entity]:
+    """Countries with approximate GDP per capita (USD, IMF-2013-like)."""
+    return [
+        Entity.create(name, "country", gdp_per_capita=float(gdp))
+        for name, gdp in _COUNTRIES
+    ]
+
+
+def swiss_lakes() -> list[Entity]:
+    """Swiss lakes with surface areas in square kilometers."""
+    return [
+        Entity.create(name, "lake", area_km2=float(area))
+        for name, area in _SWISS_LAKES
+    ]
+
+
+def british_mountains() -> list[Entity]:
+    """British-Isles mountains with relative heights in meters."""
+    return [
+        Entity.create(name, "mountain", relative_height_m=float(height))
+        for name, height in _BRITISH_MOUNTAINS
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Evaluation KB (Table 2)
+# ---------------------------------------------------------------------------
+
+def evaluation_entities() -> list[Entity]:
+    """The 5 x 20 entities of Table 2.
+
+    The Figure 10 animal ``white shark`` gets the alias ``great white
+    shark``; evaluation cities carry populations so the corpus
+    generator can correlate mention frequency with size.
+    """
+    city_populations = {
+        "New York": 8_400_000, "Tokyo": 13_900_000, "Reykjavik": 130_000,
+        "Mumbai": 12_400_000, "Zurich": 430_000, "Cairo": 9_500_000,
+        "London": 8_900_000, "Bruges": 118_000, "Mexico City": 8_800_000,
+        "Singapore": 5_600_000, "Lagos": 14_800_000, "Vienna": 1_900_000,
+        "Sao Paulo": 12_300_000, "Ljubljana": 295_000,
+        "Bangkok": 8_300_000, "Geneva": 200_000, "Istanbul": 15_500_000,
+        "Wellington": 215_000, "Shanghai": 24_900_000, "Tallinn": 440_000,
+    }
+    entities: list[Entity] = []
+    for name in FIGURE_10_ANIMALS:
+        aliases = ("great white shark",) if name == "white shark" else ()
+        entities.append(Entity.create(name, "animal", aliases=aliases))
+    for name in EVALUATION_CELEBRITIES:
+        entities.append(Entity.create(name, "celebrity"))
+    for name in EVALUATION_CITIES:
+        entities.append(
+            Entity.create(
+                name, "city", population=float(city_populations[name])
+            )
+        )
+    for name in EVALUATION_PROFESSIONS:
+        entities.append(Entity.create(name, "profession"))
+    for name in EVALUATION_SPORTS:
+        entities.append(Entity.create(name, "sport"))
+    return entities
+
+
+def evaluation_kb() -> KnowledgeBase:
+    """KB holding exactly the Table 2 evaluation entities."""
+    return KnowledgeBase(evaluation_entities())
+
+
+def full_kb(california_count: int = 461, seed: int = 2015) -> KnowledgeBase:
+    """KB with every seed dataset loaded (types do not collide)."""
+    kb = KnowledgeBase()
+    kb.add_all(evaluation_entities())
+    evaluation_names = {e.name for e in evaluation_entities()}
+    for entity in california_cities(california_count, seed):
+        if entity.name not in evaluation_names:
+            kb.add(entity)
+    kb.add_all(countries())
+    kb.add_all(swiss_lakes())
+    kb.add_all(british_mountains())
+    return kb

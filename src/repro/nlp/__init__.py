@@ -1,0 +1,32 @@
+"""NLP substrate: tokenizer, tagger, dependency parser, entity linker."""
+
+from .annotate import AnnotatedDocument, AnnotatedSentence, Annotator
+from .coref import HUMAN_TYPES, PronounResolver
+from .deptree import DepNode, DepTree
+from .entity_linker import EntityLinker, LinkerStats
+from .parser import DependencyParser
+from .tagger import tag
+from .tokenizer import split_sentences, tokenize, tokenize_document
+from .tokens import EntityMention, POS, Sentence, Span, Token
+
+__all__ = [
+    "AnnotatedDocument",
+    "AnnotatedSentence",
+    "Annotator",
+    "DepNode",
+    "DepTree",
+    "DependencyParser",
+    "EntityLinker",
+    "EntityMention",
+    "HUMAN_TYPES",
+    "LinkerStats",
+    "POS",
+    "PronounResolver",
+    "Sentence",
+    "Span",
+    "Token",
+    "split_sentences",
+    "tag",
+    "tokenize",
+    "tokenize_document",
+]

@@ -1,0 +1,128 @@
+"""Typed dependency trees in the Stanford style.
+
+The extraction patterns of the paper (Figure 4) are defined over
+Stanford typed dependencies; this module provides the tree structure
+plus the traversals the pattern matchers and the polarity walk
+(Figure 5) rely on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from .tokens import Token
+
+#: Relation labels used by the parser (subset of Stanford dependencies).
+NSUBJ = "nsubj"
+COP = "cop"
+AMOD = "amod"
+APPOS = "appos"
+ADVMOD = "advmod"
+CONJ = "conj"
+CC = "cc"
+NEG = "neg"
+DET = "det"
+PREP = "prep"
+POBJ = "pobj"
+MARK = "mark"
+CCOMP = "ccomp"
+XCOMP = "xcomp"
+AUX = "aux"
+DOBJ = "dobj"
+ROOT = "root"
+PUNCT = "punct"
+DEP = "dep"
+
+
+@dataclass(slots=True)
+class DepNode:
+    """One node of the dependency tree."""
+
+    token: Token
+    deprel: str = DEP
+    parent: "DepNode | None" = None
+    children: list["DepNode"] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def attach(self, child: "DepNode", deprel: str) -> "DepNode":
+        """Attach ``child`` under this node with the given relation."""
+        child.deprel = deprel
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def child_by_rel(self, deprel: str) -> "DepNode | None":
+        for child in self.children:
+            if child.deprel == deprel:
+                return child
+        return None
+
+    def children_by_rel(self, deprel: str) -> list["DepNode"]:
+        return [c for c in self.children if c.deprel == deprel]
+
+    def has_child(self, deprel: str) -> bool:
+        return self.child_by_rel(deprel) is not None
+
+    def path_to_root(self) -> list["DepNode"]:
+        """Nodes from this node (inclusive) up to the root (inclusive)."""
+        path = [self]
+        node = self
+        while node.parent is not None:
+            node = node.parent
+            path.append(node)
+        return path
+
+    def subtree(self) -> Iterator["DepNode"]:
+        """Depth-first iteration over this node and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.subtree()
+
+    @property
+    def is_negated(self) -> bool:
+        """Whether this token has a negation child (Figure 5's marker)."""
+        return self.has_child(NEG)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DepNode({self.token.text}/{self.deprel})"
+
+
+@dataclass(slots=True)
+class DepTree:
+    """A parsed sentence: a root node plus an index-to-node map."""
+
+    root: DepNode
+    nodes: dict[int, DepNode]
+
+    @classmethod
+    def from_root(cls, root: DepNode) -> "DepTree":
+        nodes = {node.token.index: node for node in root.subtree()}
+        return cls(root=root, nodes=nodes)
+
+    def node_at(self, token_index: int) -> DepNode | None:
+        return self.nodes.get(token_index)
+
+    def all_nodes(self) -> Iterator[DepNode]:
+        return iter(self.nodes.values())
+
+    def render(self) -> str:
+        """Human-readable tree dump, one node per line."""
+        lines: list[str] = []
+
+        def walk(node: DepNode, depth: int) -> None:
+            lines.append(
+                "  " * depth + f"{node.token.text} [{node.deprel}]"
+            )
+            for child in sorted(
+                node.children, key=lambda c: c.token.index
+            ):
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""Closed-class word lists and morphological cues for the POS tagger.
+
+A full statistical tagger is out of scope offline; instead the tagger
+leans on (a) closed-class lists, which are genuinely enumerable, and
+(b) an adjective/adverb lexicon seeded with the evaluation properties
+of the paper plus common subjective adjectives, backed by suffix
+morphology for out-of-lexicon words.
+"""
+
+from __future__ import annotations
+
+#: Copula lemmas in the broad class ("copula verbs" of Appendix B).
+COPULA_LEMMAS: frozenset[str] = frozenset(
+    {
+        "be", "seem", "look", "feel", "remain", "appear", "sound",
+        "stay", "become", "get", "turn",
+    }
+)
+
+#: Inflections of "to be" — the restrictive verb set of pattern v3/v4.
+TO_BE_FORMS: frozenset[str] = frozenset(
+    {"is", "are", "was", "were", "be", "been", "being", "am", "'s", "'re"}
+)
+
+#: Inflected copula surface forms mapped to lemmas.
+COPULA_FORMS: dict[str, str] = {
+    **{form: "be" for form in TO_BE_FORMS},
+    "seems": "seem", "seem": "seem", "seemed": "seem",
+    "looks": "look", "look": "look", "looked": "look",
+    "feels": "feel", "feel": "feel", "felt": "feel",
+    "remains": "remain", "remain": "remain", "remained": "remain",
+    "appears": "appear", "appear": "appear", "appeared": "appear",
+    "sounds": "sound", "sound": "sound", "sounded": "sound",
+    "stays": "stay", "stayed": "stay",
+    "becomes": "become", "become": "become", "became": "become",
+    "gets": "get", "got": "get",
+    "turns": "turn", "turned": "turn",
+}
+
+#: Opinion/attitude verbs that embed a complement clause ("I think
+#: that ...") or a small clause ("I find kittens cute").
+OPINION_VERB_FORMS: dict[str, str] = {
+    "think": "think", "thinks": "think", "thought": "think",
+    "believe": "believe", "believes": "believe", "believed": "believe",
+    "say": "say", "says": "say", "said": "say",
+    "find": "find", "finds": "find", "found": "find",
+    "consider": "consider", "considers": "consider",
+    "considered": "consider",
+    "doubt": "doubt", "doubts": "doubt", "doubted": "doubt",
+    "guess": "guess", "agree": "agree", "agrees": "agree",
+    "feel": "feel",  # "I feel that ..." — copula list wins elsewhere
+}
+
+#: Auxiliary "do" paradigm (carrier of clause negation).
+AUX_DO_FORMS: frozenset[str] = frozenset({"do", "does", "did"})
+
+#: Negation tokens. "never" counts as a negation per Figure 5.
+NEGATION_FORMS: frozenset[str] = frozenset(
+    {"not", "n't", "never", "no", "nowise"}
+)
+
+DETERMINERS: frozenset[str] = frozenset(
+    {"a", "an", "the", "this", "that", "these", "those", "some", "any",
+     "every", "each", "all", "most", "many", "both", "such"}
+)
+
+PRONOUNS: frozenset[str] = frozenset(
+    {"i", "you", "he", "she", "it", "we", "they", "me", "him", "her",
+     "us", "them", "one", "everyone", "someone", "anybody", "people",
+     "everybody"}
+)
+
+PREPOSITIONS: frozenset[str] = frozenset(
+    {"for", "in", "at", "on", "with", "about", "of", "to", "by",
+     "from", "near", "during", "without", "around", "among", "like"}
+)
+
+COORDINATORS: frozenset[str] = frozenset({"and", "or", "but", "yet"})
+
+#: Complementizer introducing a ccomp clause.
+COMPLEMENTIZERS: frozenset[str] = frozenset({"that", "whether", "if"})
+
+#: Degree and manner adverbs commonly modifying adjectives.
+ADVERBS: frozenset[str] = frozenset(
+    {
+        "very", "really", "quite", "extremely", "truly", "so", "too",
+        "pretty", "fairly", "rather", "incredibly", "remarkably",
+        "densely", "sparsely", "highly", "surprisingly", "especially",
+        "particularly", "somewhat", "utterly", "insanely", "awfully",
+        "terribly", "reasonably", "genuinely", "absolutely",
+        # Discourse openers ("Honestly, kittens are cute.")
+        "honestly", "frankly", "personally", "definitely", "certainly",
+        "probably", "maybe", "perhaps", "clearly", "obviously",
+        "seriously", "apparently", "arguably", "undoubtedly",
+    }
+)
+
+#: Adjective lexicon: evaluation properties (Table 2), the empirical
+#: study properties, and a spread of common subjective adjectives.
+ADJECTIVES: frozenset[str] = frozenset(
+    {
+        # Table 2 properties
+        "dangerous", "cute", "big", "friendly", "deadly",
+        "cool", "crazy", "pretty", "quiet", "young",
+        "calm", "cheap", "hectic", "multicultural",
+        "exciting", "rare", "solid", "vital",
+        "addictive", "boring", "fast", "popular",
+        # Section 2 / Appendix A properties
+        "small", "safe", "wealthy", "high", "populated", "southern",
+        # Common subjective adjectives for corpus variety
+        "adorable", "aggressive", "amazing", "ancient", "awful",
+        "beautiful", "bizarre", "bold", "bright", "bustling", "charming",
+        "clean", "clever", "cold", "colorful", "comfortable", "common",
+        "complex", "crowded", "curious", "dark", "deep", "delicious",
+        "dirty", "dull", "elegant", "enormous", "expensive", "famous",
+        "fancy", "fierce", "fluffy", "fresh", "fun", "gentle", "gloomy",
+        "good", "gorgeous", "graceful", "grand", "great", "green",
+        "happy", "hard", "harmless", "healthy", "heavy", "hilarious",
+        "historic", "hot", "huge", "humble", "humid", "interesting",
+        "lazy", "lively", "lonely", "loud", "lovely", "lucky", "mad",
+        "magnificent", "massive", "mean", "messy", "mighty", "modern",
+        "mysterious", "narrow", "nasty", "neat", "nice", "noisy", "odd",
+        "old", "peaceful", "plain", "pleasant", "poor", "powerful",
+        "precious", "proud", "pure", "quaint", "quick", "relaxing",
+        "remote", "rich", "risky", "rough", "rude", "sad", "scary",
+        "shallow", "sharp", "shiny", "silent", "silly", "simple",
+        "sleepy", "slow", "smart", "smooth", "soft", "spacious",
+        "steep", "strange", "strong", "stunning", "sunny", "sweet",
+        "tall", "tame", "terrible", "thick", "thin", "tidy", "tiny",
+        "tough", "tranquil", "ugly", "unique", "vast", "venomous",
+        "vibrant", "warm", "weak", "weird", "wet", "wide", "wild",
+        "windy", "wise", "wonderful", "american", "bad",
+    }
+)
+
+#: Suffixes that mark likely adjectives for out-of-lexicon words.
+ADJECTIVE_SUFFIXES: tuple[str, ...] = (
+    "ous", "ful", "ive", "able", "ible", "less", "ish", "ic", "al",
+    "ary", "some",
+)
+
+#: Suffix that marks likely adverbs ("densely", "badly").
+ADVERB_SUFFIX = "ly"
+
+#: Nouns naming our entity types (used as type-indicator words both in
+#: templates — "X is a big city" — and by the disambiguating linker).
+TYPE_NOUNS: dict[str, str] = {
+    "city": "city", "cities": "city",
+    "town": "city", "towns": "city",
+    "animal": "animal", "animals": "animal",
+    "creature": "animal", "creatures": "animal",
+    "celebrity": "celebrity", "celebrities": "celebrity",
+    "star": "celebrity", "stars": "celebrity",
+    "profession": "profession", "professions": "profession",
+    "job": "profession", "jobs": "profession",
+    "sport": "sport", "sports": "sport",
+    "game": "sport", "games": "sport",
+    "country": "country", "countries": "country",
+    "nation": "country", "nations": "country",
+    "lake": "lake", "lakes": "lake",
+    "mountain": "mountain", "mountains": "mountain",
+    "peak": "mountain", "peaks": "mountain",
+}
+
+#: Common nouns used by distractor templates.
+COMMON_NOUNS: frozenset[str] = frozenset(
+    {
+        "parking", "weather", "food", "traffic", "nightlife", "people",
+        "beach", "beaches", "museum", "museums", "restaurant",
+        "restaurants", "fur", "teeth", "claws", "fans", "rules",
+        "player", "players", "fan", "training", "equipment", "history",
+        "culture", "economy", "streets", "children", "kids", "hiking",
+        "swimming", "shopping", "winter", "summer", "tourists", "place",
+        "places", "visit", "home", "work", "family", "friends", "pets",
+        "pet", "owner", "owners", "match", "matches", "career", "hours",
+        "pay", "salary", "skills", "skill", "danger", "thing", "things",
+        "time", "way", "world", "life", "opinion", "experience", "area",
+        "region", "part", "north", "south", "east", "west", "coast",
+        "downtown", "suburbs", "center",
+    }
+)

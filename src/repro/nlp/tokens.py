@@ -1,0 +1,107 @@
+"""Token and sentence containers shared across the NLP stack."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class POS(enum.Enum):
+    """Coarse part-of-speech inventory.
+
+    Only the categories the extraction patterns care about are
+    distinguished; everything else falls back to ``X``.
+    """
+
+    NOUN = "NOUN"
+    PROPN = "PROPN"
+    ADJ = "ADJ"
+    ADV = "ADV"
+    VERB = "VERB"
+    AUX = "AUX"
+    DET = "DET"
+    PRON = "PRON"
+    NEG = "NEG"
+    PREP = "PREP"
+    CONJ = "CONJ"
+    MARK = "MARK"
+    PUNCT = "PUNCT"
+    X = "X"
+
+
+@dataclass(slots=True)
+class Token:
+    """One surface token.
+
+    ``index`` is the position within the sentence; ``lemma`` is a
+    lower-cased, lightly normalized form (``n't`` keeps its negation
+    identity via the lemma ``not``).
+    """
+
+    index: int
+    text: str
+    lemma: str = ""
+    pos: POS = POS.X
+
+    def __post_init__(self) -> None:
+        if not self.lemma:
+            self.lemma = self.text.lower()
+
+    @property
+    def is_negation(self) -> bool:
+        return self.pos is POS.NEG
+
+
+@dataclass(slots=True)
+class Span:
+    """Half-open token span ``[start, end)`` within one sentence."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(f"invalid span [{self.start}, {self.end})")
+
+    def __contains__(self, index: int) -> bool:
+        return self.start <= index < self.end
+
+    def overlaps(self, other: "Span") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(slots=True)
+class EntityMention:
+    """A linked entity mention within a sentence."""
+
+    span: Span
+    entity_id: str
+    entity_type: str
+    surface: str
+
+
+@dataclass(slots=True)
+class Sentence:
+    """A tokenized sentence, later enriched with mentions and a parse."""
+
+    tokens: list[Token]
+    mentions: list[EntityMention] = field(default_factory=list)
+
+    def text(self) -> str:
+        return " ".join(token.text for token in self.tokens)
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __getitem__(self, index: int) -> Token:
+        return self.tokens[index]
+
+    def mention_at(self, index: int) -> EntityMention | None:
+        """The mention covering a token index, if any."""
+        for mention in self.mentions:
+            if index in mention.span:
+                return mention
+        return None

@@ -1,0 +1,14 @@
+"""Sharded pipeline substrate: map/reduce executor and the full runner."""
+
+from .counters import PipelineMetrics, StageMetrics
+from .mapreduce import MapReduceJob, shard_items
+from .runner import PipelineReport, SurveyorPipeline
+
+__all__ = [
+    "MapReduceJob",
+    "PipelineMetrics",
+    "PipelineReport",
+    "StageMetrics",
+    "SurveyorPipeline",
+    "shard_items",
+]

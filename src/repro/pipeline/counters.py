@@ -1,0 +1,63 @@
+"""Stage counters and timers for the pipeline.
+
+The paper reports per-stage wall times and record counts for the
+5000-node run (Section 7.1); this module provides the accounting
+objects our single-machine executor uses to produce the same report
+shape.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageMetrics:
+    """Wall time and record counters for one pipeline stage."""
+
+    name: str
+    wall_seconds: float = 0.0
+    counters: Counter = field(default_factory=Counter)
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        self.counters[counter] += amount
+
+    def report(self) -> str:
+        parts = [f"{self.name}: {self.wall_seconds:.2f}s"]
+        for key in sorted(self.counters):
+            parts.append(f"{key}={self.counters[key]}")
+        return "  ".join(parts)
+
+
+@dataclass
+class PipelineMetrics:
+    """Metrics for a full pipeline run, stage by stage."""
+
+    stages: dict[str, StageMetrics] = field(default_factory=dict)
+
+    def stage(self, name: str) -> StageMetrics:
+        if name not in self.stages:
+            self.stages[name] = StageMetrics(name=name)
+        return self.stages[name]
+
+    @contextmanager
+    def timed(self, name: str):
+        """Time a stage body; accumulates across repeated entries."""
+        metrics = self.stage(name)
+        started = time.perf_counter()
+        try:
+            yield metrics
+        finally:
+            metrics.wall_seconds += time.perf_counter() - started
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stage.wall_seconds for stage in self.stages.values())
+
+    def report(self) -> str:
+        lines = [stage.report() for stage in self.stages.values()]
+        lines.append(f"total: {self.total_seconds:.2f}s")
+        return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""The full Surveyor pipeline: corpus in, opinion table out.
+
+Mirrors the four stages the paper times in Section 7.1:
+
+1. **extract** — shard the snapshot, annotate and pattern-match each
+   shard (the map side), merge the per-shard evidence counters (the
+   reduce side);
+2. **kb** — pull entities with their most notable types from the
+   knowledge base;
+3. **group** — join evidence with the KB and group by property-type
+   combination, applying the occurrence threshold ``rho``;
+4. **em** — fit the user-behaviour model per combination and emit
+   dominant opinions for every entity of each type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.em import EMLearner
+from ..core.surveyor import (
+    DEFAULT_OCCURRENCE_THRESHOLD,
+    Surveyor,
+    SurveyorResult,
+)
+from ..corpus.document import Document, WebCorpus
+from ..extraction.extractor import EvidenceExtractor
+from ..extraction.patterns import DEFAULT_PATTERNS, PatternConfig
+from ..extraction.statement import EvidenceCounter
+from ..kb.knowledge_base import KnowledgeBase
+from ..nlp.annotate import Annotator
+from .counters import PipelineMetrics
+from .mapreduce import MapReduceJob
+
+
+@dataclass
+class PipelineReport:
+    """Everything a pipeline run produced."""
+
+    result: SurveyorResult
+    evidence: EvidenceCounter
+    metrics: PipelineMetrics
+
+    @property
+    def opinions(self):
+        return self.result.opinions
+
+    def summary(self) -> str:
+        lines = [
+            self.metrics.report(),
+            f"evidence statements: {self.evidence.n_statements}",
+            f"entity-property pairs with evidence: {self.evidence.n_pairs}",
+            f"property-type combinations fit: {len(self.result.fits)}",
+            f"combinations below threshold: {len(self.result.skipped)}",
+            f"opinions emitted: {len(self.result.opinions)}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class SurveyorPipeline:
+    """End-to-end runner configured like the paper's deployment."""
+
+    kb: KnowledgeBase
+    pattern_config: PatternConfig = DEFAULT_PATTERNS
+    occurrence_threshold: int = DEFAULT_OCCURRENCE_THRESHOLD
+    n_workers: int = 4
+    parallel: bool = False
+    executor: str = "serial"
+    learner: EMLearner = field(default_factory=EMLearner)
+
+    def run(self, corpus: WebCorpus) -> PipelineReport:
+        """Process a corpus end to end."""
+        metrics = PipelineMetrics()
+        evidence = self._extract(corpus, metrics)
+        with metrics.timed("kb") as stage:
+            catalog = self.kb
+            stats = catalog.stats()
+            for key, value in stats.items():
+                stage.bump(key, value)
+        with metrics.timed("group") as stage:
+            grouped = evidence.as_evidence()
+            stage.bump("pairs", evidence.n_pairs)
+            stage.bump("combinations", len(grouped))
+        with metrics.timed("em") as stage:
+            surveyor = Surveyor(
+                catalog=catalog,
+                occurrence_threshold=self.occurrence_threshold,
+                learner=self.learner,
+            )
+            result = surveyor.run(grouped)
+            stage.bump("fits", len(result.fits))
+            stage.bump("opinions", len(result.opinions))
+        return PipelineReport(
+            result=result, evidence=evidence, metrics=metrics
+        )
+
+    # ------------------------------------------------------------------
+    # Extraction stage
+    # ------------------------------------------------------------------
+    def _extract(
+        self, corpus: WebCorpus, metrics: PipelineMetrics
+    ) -> EvidenceCounter:
+        job: MapReduceJob[Document, EvidenceCounter, EvidenceCounter] = (
+            MapReduceJob(
+                mapper=self._map_shard,
+                reducer=_merge_counters,
+                n_workers=self.n_workers,
+                executor=self.executor,
+                parallel=self.parallel,
+            )
+        )
+        shards = [
+            list(shard.documents)
+            for shard in corpus.shards(self.n_workers)
+        ]
+        evidence = job.run(shards, metrics)
+        metrics.stage("map").bump("statements", evidence.n_statements)
+        return evidence
+
+    def _map_shard(self, shard: Sequence[Document]) -> EvidenceCounter:
+        """One worker: annotate and extract a shard of documents.
+
+        Each worker builds its own annotator/extractor (workers share
+        nothing, as on a real cluster) and returns a per-shard
+        evidence counter — the combine step of the dataflow.
+        """
+        annotator = Annotator(self.kb)
+        extractor = EvidenceExtractor(config=self.pattern_config)
+        counter = EvidenceCounter()
+        for document in shard:
+            annotated = annotator.annotate(document.doc_id, document.text)
+            counter.add_all(extractor.extract_document(annotated))
+        return counter
+
+
+def _merge_counters(
+    partials: Sequence[EvidenceCounter],
+) -> EvidenceCounter:
+    merged = EvidenceCounter()
+    for partial in partials:
+        merged.merge(partial)
+    return merged

@@ -1,0 +1,31 @@
+"""Versioned JSON persistence for mined artefacts."""
+
+from .serialize import (
+    FORMAT_VERSION,
+    FormatError,
+    evidence_from_dict,
+    evidence_to_dict,
+    kb_from_dict,
+    kb_to_dict,
+    load,
+    opinions_from_dict,
+    opinions_to_dict,
+    parameters_from_dict,
+    parameters_to_dict,
+    save,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "FormatError",
+    "evidence_from_dict",
+    "evidence_to_dict",
+    "kb_from_dict",
+    "kb_to_dict",
+    "load",
+    "opinions_from_dict",
+    "opinions_to_dict",
+    "parameters_from_dict",
+    "parameters_to_dict",
+    "save",
+]

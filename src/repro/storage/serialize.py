@@ -1,0 +1,268 @@
+"""JSON (de)serialization for the library's durable artefacts.
+
+A deployment mines opinions once and serves them for months; this
+module provides stable, versioned JSON round-trips for the knowledge
+base, aggregated evidence, fitted model parameters, and the opinion
+table. Formats are line-oriented-friendly dicts (no custom classes in
+the payload) so files stay diffable and language-agnostic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..core.params import ModelParameters
+from ..core.result import OpinionTable
+from ..core.types import (
+    EvidenceCounts,
+    Opinion,
+    PropertyTypeKey,
+    SubjectiveProperty,
+)
+from ..extraction.statement import EvidenceCounter
+from ..kb.entity import Entity
+from ..kb.knowledge_base import KnowledgeBase
+
+FORMAT_VERSION = 1
+
+
+class FormatError(ValueError):
+    """Raised when a payload does not match the expected format."""
+
+
+def _check_version(payload: dict, kind: str) -> None:
+    if not isinstance(payload, dict):
+        raise FormatError(f"{kind}: expected a JSON object")
+    if payload.get("format") != kind:
+        raise FormatError(
+            f"expected format {kind!r}, got {payload.get('format')!r}"
+        )
+    if payload.get("version") != FORMAT_VERSION:
+        raise FormatError(
+            f"{kind}: unsupported version {payload.get('version')!r}"
+        )
+
+
+def _key_to_str(key: PropertyTypeKey) -> str:
+    return f"{key.property.text}|{key.entity_type}"
+
+
+def _key_from_str(text: str) -> PropertyTypeKey:
+    property_text, _, entity_type = text.partition("|")
+    if not entity_type:
+        raise FormatError(f"malformed combination key {text!r}")
+    return PropertyTypeKey(
+        property=SubjectiveProperty.parse(property_text),
+        entity_type=entity_type,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Knowledge base
+# ---------------------------------------------------------------------------
+
+def kb_to_dict(kb: KnowledgeBase) -> dict[str, Any]:
+    return {
+        "format": "knowledge_base",
+        "version": FORMAT_VERSION,
+        "entities": [
+            {
+                "id": entity.id,
+                "name": entity.name,
+                "type": entity.entity_type,
+                "aliases": list(entity.aliases),
+                "attributes": dict(entity.attributes),
+            }
+            for entity in kb
+        ],
+    }
+
+
+def kb_from_dict(payload: dict[str, Any]) -> KnowledgeBase:
+    _check_version(payload, "knowledge_base")
+    entities = []
+    for row in payload["entities"]:
+        entities.append(
+            Entity(
+                id=row["id"],
+                name=row["name"],
+                entity_type=row["type"],
+                aliases=tuple(row.get("aliases", ())),
+                attributes={
+                    k: float(v)
+                    for k, v in row.get("attributes", {}).items()
+                },
+            )
+        )
+    return KnowledgeBase(entities)
+
+
+# ---------------------------------------------------------------------------
+# Evidence counts
+# ---------------------------------------------------------------------------
+
+def evidence_to_dict(counter: EvidenceCounter) -> dict[str, Any]:
+    combinations = {}
+    for key in counter.keys():
+        combinations[_key_to_str(key)] = {
+            entity_id: [counts.positive, counts.negative]
+            for entity_id, counts in sorted(
+                counter.counts_for(key).items()
+            )
+        }
+    return {
+        "format": "evidence",
+        "version": FORMAT_VERSION,
+        "combinations": combinations,
+    }
+
+
+def evidence_from_dict(payload: dict[str, Any]) -> EvidenceCounter:
+    _check_version(payload, "evidence")
+    counter = EvidenceCounter()
+    from ..core.types import Polarity
+    from ..extraction.statement import EvidenceStatement
+
+    for key_text, per_entity in payload["combinations"].items():
+        key = _key_from_str(key_text)
+        for entity_id, (positive, negative) in per_entity.items():
+            for polarity, count in (
+                (Polarity.POSITIVE, positive),
+                (Polarity.NEGATIVE, negative),
+            ):
+                for _ in range(int(count)):
+                    counter.add(
+                        EvidenceStatement(
+                            entity_id=entity_id,
+                            entity_type=key.entity_type,
+                            property=key.property,
+                            polarity=polarity,
+                            pattern="loaded",
+                        )
+                    )
+    return counter
+
+
+# ---------------------------------------------------------------------------
+# Model parameters
+# ---------------------------------------------------------------------------
+
+def parameters_to_dict(
+    parameters: dict[PropertyTypeKey, ModelParameters],
+) -> dict[str, Any]:
+    return {
+        "format": "parameters",
+        "version": FORMAT_VERSION,
+        "combinations": {
+            _key_to_str(key): {
+                "agreement": value.agreement,
+                "rate_positive": value.rate_positive,
+                "rate_negative": value.rate_negative,
+            }
+            for key, value in parameters.items()
+        },
+    }
+
+
+def parameters_from_dict(
+    payload: dict[str, Any],
+) -> dict[PropertyTypeKey, ModelParameters]:
+    _check_version(payload, "parameters")
+    return {
+        _key_from_str(key_text): ModelParameters(
+            agreement=row["agreement"],
+            rate_positive=row["rate_positive"],
+            rate_negative=row["rate_negative"],
+        )
+        for key_text, row in payload["combinations"].items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Opinion table
+# ---------------------------------------------------------------------------
+
+def opinions_to_dict(table: OpinionTable) -> dict[str, Any]:
+    rows = []
+    for opinion in table:
+        rows.append(
+            {
+                "entity": opinion.entity_id,
+                "key": _key_to_str(opinion.key),
+                "probability": opinion.probability,
+                "positive": opinion.evidence.positive,
+                "negative": opinion.evidence.negative,
+            }
+        )
+    rows.sort(key=lambda row: (row["key"], row["entity"]))
+    return {
+        "format": "opinions",
+        "version": FORMAT_VERSION,
+        "opinions": rows,
+    }
+
+
+def opinions_from_dict(payload: dict[str, Any]) -> OpinionTable:
+    _check_version(payload, "opinions")
+    table = OpinionTable()
+    for row in payload["opinions"]:
+        table.add(
+            Opinion(
+                entity_id=row["entity"],
+                key=_key_from_str(row["key"]),
+                probability=float(row["probability"]),
+                evidence=EvidenceCounts(
+                    int(row["positive"]), int(row["negative"])
+                ),
+            )
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# File helpers
+# ---------------------------------------------------------------------------
+
+_SAVERS = {
+    KnowledgeBase: kb_to_dict,
+    EvidenceCounter: evidence_to_dict,
+    OpinionTable: opinions_to_dict,
+}
+
+_LOADERS = {
+    "knowledge_base": kb_from_dict,
+    "evidence": evidence_from_dict,
+    "parameters": parameters_from_dict,
+    "opinions": opinions_from_dict,
+}
+
+
+def save(obj: Any, path: str | Path) -> Path:
+    """Serialize a KB, evidence counter, opinion table, or a
+    ``{key: ModelParameters}`` mapping to a JSON file."""
+    path = Path(path)
+    if isinstance(obj, dict):
+        payload = parameters_to_dict(obj)
+    else:
+        for cls, saver in _SAVERS.items():
+            if isinstance(obj, cls):
+                payload = saver(obj)
+                break
+        else:
+            raise TypeError(f"cannot serialize {type(obj).__name__}")
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    return path
+
+
+def load(path: str | Path) -> Any:
+    """Load any artefact saved by :func:`save`; dispatches on the
+    embedded format tag."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or "format" not in payload:
+        raise FormatError(f"{path}: not a repro artefact")
+    loader = _LOADERS.get(payload["format"])
+    if loader is None:
+        raise FormatError(f"unknown format {payload['format']!r}")
+    return loader(payload)

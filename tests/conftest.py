@@ -1,0 +1,77 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import TrueParameters, curated_scenario
+from repro.kb import Entity, KnowledgeBase
+from repro.nlp import Annotator, DependencyParser
+
+
+@pytest.fixture()
+def small_kb() -> KnowledgeBase:
+    """A handful of entities across types, with one ambiguous alias.
+
+    ``Buffalo`` names both a city and an animal — the disambiguation
+    regression case from Section 2.
+    """
+    return KnowledgeBase(
+        [
+            Entity.create("kitten", "animal"),
+            Entity.create("snake", "animal"),
+            Entity.create("tiger", "animal"),
+            Entity.create("San Francisco", "city", population=870_000.0),
+            Entity.create("Palo Alto", "city", population=65_000.0),
+            Entity.create("Chicago", "city", population=2_700_000.0),
+            Entity.create("soccer", "sport"),
+            Entity.create("golf", "sport"),
+            Entity(
+                id="/city/buffalo",
+                name="Buffalo",
+                entity_type="city",
+                attributes={"population": 255_000.0},
+            ),
+            Entity(
+                id="/animal/buffalo",
+                name="buffalo",
+                entity_type="animal",
+            ),
+        ]
+    )
+
+
+@pytest.fixture()
+def parser() -> DependencyParser:
+    return DependencyParser()
+
+
+@pytest.fixture()
+def annotator(small_kb: KnowledgeBase) -> Annotator:
+    return Annotator(small_kb)
+
+
+@pytest.fixture()
+def cute_scenario(small_kb: KnowledgeBase):
+    """Tiny curated scenario: which of three animals are cute.
+
+    The ambiguous ``buffalo`` entity is deliberately excluded — its
+    bare mentions are (correctly) dropped by the disambiguating
+    linker, which would break exact count-recovery assertions.
+    """
+    animals = [
+        entity
+        for entity in small_kb.entities_of_type("animal")
+        if entity.name != "buffalo"
+    ]
+    truths = {
+        "cute": {"kitten": True, "snake": False, "tiger": False}
+    }
+    params = {
+        "cute": TrueParameters(
+            agreement=0.9, rate_positive=30.0, rate_negative=5.0
+        )
+    }
+    return curated_scenario(
+        "test-cute", animals, truths, params
+    )

@@ -1,0 +1,99 @@
+"""Tests for the antonym-expansion variant (the rejected design)."""
+
+from __future__ import annotations
+
+from repro.core import Polarity, PropertyTypeKey, SubjectiveProperty
+from repro.extraction import (
+    ANTONYMS,
+    EvidenceCounter,
+    EvidenceStatement,
+    antonym_of,
+    expand_with_antonyms,
+)
+
+
+def statement(
+    prop: str,
+    polarity: Polarity = Polarity.POSITIVE,
+    adverbs: tuple[str, ...] = (),
+) -> EvidenceStatement:
+    return EvidenceStatement(
+        entity_id="/city/palo_alto",
+        entity_type="city",
+        property=SubjectiveProperty(prop, adverbs),
+        polarity=polarity,
+        pattern="acomp",
+    )
+
+
+class TestAntonymOf:
+    def test_symmetric_lexicon(self):
+        for word, opposite in ANTONYMS.items():
+            assert ANTONYMS[opposite] == word
+
+    def test_known_pair(self):
+        assert antonym_of(SubjectiveProperty("big")).adjective == "small"
+        assert antonym_of(SubjectiveProperty("small")).adjective == "big"
+
+    def test_unknown_adjective(self):
+        assert antonym_of(SubjectiveProperty("cute")) is None
+
+    def test_adverb_blocks_antonym(self):
+        """Paper's reason 2: 'very big' has no antonym."""
+        assert antonym_of(SubjectiveProperty("big", ("very",))) is None
+
+
+class TestExpansion:
+    def test_mirrored_statement_added(self):
+        expanded = expand_with_antonyms([statement("small")])
+        assert len(expanded) == 2
+        mirror = expanded[1]
+        assert mirror.property.text == "big"
+        assert mirror.polarity is Polarity.NEGATIVE
+        assert mirror.pattern == "antonym"
+
+    def test_negative_statement_mirrors_positive(self):
+        expanded = expand_with_antonyms(
+            [statement("big", Polarity.NEGATIVE)]
+        )
+        assert expanded[1].property.text == "small"
+        assert expanded[1].polarity is Polarity.POSITIVE
+
+    def test_non_antonymous_statement_untouched(self):
+        expanded = expand_with_antonyms([statement("cute")])
+        assert len(expanded) == 1
+
+    def test_adverb_statement_untouched(self):
+        expanded = expand_with_antonyms(
+            [statement("big", adverbs=("very",))]
+        )
+        assert len(expanded) == 1
+
+    def test_counter_integration(self):
+        counter = EvidenceCounter()
+        counter.add_all(
+            expand_with_antonyms(
+                [statement("small"), statement("small")]
+            )
+        )
+        big = PropertyTypeKey(SubjectiveProperty("big"), "city")
+        small = PropertyTypeKey(SubjectiveProperty("small"), "city")
+        assert counter.get(small, "/city/palo_alto").positive == 2
+        assert counter.get(big, "/city/palo_alto").negative == 2
+
+
+class TestWhyThePaperRejectedIt:
+    def test_mid_entities_get_false_negative_evidence(self):
+        """A mid-size city is neither big nor small. Users writing
+        'not big' about it are right; the antonym expansion converts
+        that into (wrong) positive evidence for 'small'."""
+        expanded = expand_with_antonyms(
+            [statement("big", Polarity.NEGATIVE)] * 5
+        )
+        small = PropertyTypeKey(SubjectiveProperty("small"), "city")
+        counter = EvidenceCounter()
+        counter.add_all(expanded)
+        counts = counter.get(small, "/city/palo_alto")
+        # Five fabricated "is small" statements about a city nobody
+        # actually called small.
+        assert counts.positive == 5

@@ -1,0 +1,86 @@
+"""Tests for the terminal figure renderers."""
+
+from __future__ import annotations
+
+from repro.core import Polarity
+from repro.evaluation import bar_chart, polarity_scatter, sparkline
+from repro.evaluation.correlation import PolarityPoint
+
+
+class TestPolarityScatter:
+    def points(self):
+        return [
+            PolarityPoint("/a", 100.0, Polarity.NEGATIVE),
+            PolarityPoint("/b", 10_000.0, Polarity.NEUTRAL),
+            PolarityPoint("/c", 1_000_000.0, Polarity.POSITIVE),
+            PolarityPoint("/d", 2_000_000.0, Polarity.POSITIVE),
+        ]
+
+    def test_rows_and_axis(self):
+        plot = polarity_scatter(self.points(), width=40, label="pop")
+        lines = plot.splitlines()
+        assert lines[0].startswith("+ |")
+        assert lines[1].startswith("N |")
+        assert lines[2].startswith("- |")
+        assert "pop" in lines[3]
+
+    def test_positive_marks_right_of_negative(self):
+        plot = polarity_scatter(self.points(), width=40)
+        positive_row, _, negative_row, _ = plot.splitlines()
+        first_positive = positive_row.index("*")
+        first_negative = negative_row.index("*")
+        assert first_positive > first_negative
+
+    def test_multiplicity_digits(self):
+        doubled = self.points() + [
+            PolarityPoint("/e", 100.0, Polarity.NEGATIVE)
+        ]
+        plot = polarity_scatter(doubled, width=40)
+        assert "2" in plot.splitlines()[2]
+
+    def test_empty_input(self):
+        assert polarity_scatter([]) == "(no data)"
+
+    def test_nonpositive_covariates_skipped(self):
+        plot = polarity_scatter(
+            [
+                PolarityPoint("/a", 0.0, Polarity.POSITIVE),
+                PolarityPoint("/b", 10.0, Polarity.POSITIVE),
+            ],
+            width=20,
+        )
+        assert plot.count("*") == 1
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        chart = bar_chart([("a", 10.0), ("b", 5.0)], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_peak(self):
+        chart = bar_chart([("a", 0.0)], width=10)
+        assert "#" not in chart
+
+    def test_empty(self):
+        assert bar_chart([]) == "(no data)"
+
+    def test_labels_aligned(self):
+        chart = bar_chart([("long-label", 1.0), ("x", 1.0)])
+        lines = chart.splitlines()
+        assert lines[0].index("1") == lines[1].index("1")
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4])
+        assert len(line) == 4
+        assert line[0] < line[-1]
+
+    def test_flat_series(self):
+        line = sparkline([2, 2, 2])
+        assert len(set(line)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""

@@ -1,0 +1,200 @@
+"""Tests for the baseline interpreters."""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    MajorityVote,
+    ScaledMajorityVote,
+    SurveyorInterpreter,
+    WebChildLike,
+    standard_interpreters,
+)
+from repro.core import (
+    EvidenceCounts,
+    Polarity,
+    PropertyTypeKey,
+    SubjectiveProperty,
+)
+
+CUTE = PropertyTypeKey(SubjectiveProperty("cute"), "animal")
+
+
+class StubCatalog:
+    def __init__(self, ids):
+        self._ids = list(ids)
+
+    def entity_ids_of_type(self, entity_type):
+        return list(self._ids)
+
+
+def catalog():
+    return StubCatalog(
+        ["/animal/kitten", "/animal/snake", "/animal/ghost"]
+    )
+
+
+def evidence():
+    return {
+        CUTE: {
+            "/animal/kitten": EvidenceCounts(10, 2),
+            "/animal/snake": EvidenceCounts(1, 5),
+        }
+    }
+
+
+class TestMajorityVote:
+    def test_decisions(self):
+        table = MajorityVote().interpret(evidence(), catalog())
+        assert table.polarity("/animal/kitten", CUTE) is Polarity.POSITIVE
+        assert table.polarity("/animal/snake", CUTE) is Polarity.NEGATIVE
+
+    def test_silence_undecided(self):
+        table = MajorityVote().interpret(evidence(), catalog())
+        assert table.polarity("/animal/ghost", CUTE) is Polarity.NEUTRAL
+
+    def test_tie_undecided(self):
+        tied = {CUTE: {"/animal/kitten": EvidenceCounts(3, 3)}}
+        table = MajorityVote().interpret(tied, catalog())
+        assert table.polarity("/animal/kitten", CUTE) is Polarity.NEUTRAL
+
+    def test_all_pairs_present_in_table(self):
+        table = MajorityVote().interpret(evidence(), catalog())
+        assert len(table) == 3
+
+
+class TestScaledMajorityVote:
+    def test_global_scale_is_positive_over_negative(self):
+        smv = ScaledMajorityVote()
+        assert smv.global_scale(evidence()) == 11 / 7
+
+    def test_scale_corrects_polarity_bias(self):
+        """(4, 1) looks positive raw but negative once the global 8x
+        positive bias is applied."""
+        biased = {
+            CUTE: {
+                "/animal/a": EvidenceCounts(40, 5),
+                "/animal/kitten": EvidenceCounts(4, 1),
+            }
+        }
+        smv = ScaledMajorityVote()
+        scale = smv.global_scale(biased)  # 44 / 6 ~ 7.33
+        assert scale > 7
+        table = smv.interpret(biased, StubCatalog(["/animal/a", "/animal/kitten"]))
+        assert table.polarity("/animal/kitten", CUTE) is Polarity.NEGATIVE
+
+    def test_zero_negative_uses_default_scale(self):
+        only_positive = {
+            CUTE: {"/animal/kitten": EvidenceCounts(4, 0)}
+        }
+        smv = ScaledMajorityVote()
+        assert smv.global_scale(only_positive) == smv.default_scale
+
+    def test_scaled_tie_undecided(self):
+        data = {
+            CUTE: {
+                "/animal/kitten": EvidenceCounts(2, 1),
+                "/animal/snake": EvidenceCounts(2, 1),
+            }
+        }
+        smv = ScaledMajorityVote()
+        # global scale = 4/2 = 2 -> kitten: 2 vs 1*2 -> tie
+        table = smv.interpret(
+            data, StubCatalog(["/animal/kitten", "/animal/snake"])
+        )
+        assert table.polarity("/animal/kitten", CUTE) is Polarity.NEUTRAL
+
+
+class TestWebChildLike:
+    def make(self, **kwargs):
+        defaults = {
+            "membership_threshold": 3,
+            "assertion_threshold": 2,
+            "harvest_rate": 0.0,
+        }
+        defaults.update(kwargs)
+        return WebChildLike(**defaults)
+
+    def test_negation_blind_false_positive(self):
+        """Many 'not cute' statements still read as a cute assertion —
+        the failure mode the paper observed on cute animals."""
+        data = {CUTE: {"/animal/snake": EvidenceCounts(0, 6)}}
+        table = self.make().interpret(
+            data, StubCatalog(["/animal/snake"])
+        )
+        assert table.polarity("/animal/snake", CUTE) is Polarity.POSITIVE
+
+    def test_absence_is_negative_for_members(self):
+        data = {
+            CUTE: {
+                "/animal/kitten": EvidenceCounts(5, 0),
+                "/animal/snake": EvidenceCounts(1, 2),
+            }
+        }
+        table = self.make(assertion_threshold=5).interpret(
+            data, StubCatalog(["/animal/kitten", "/animal/snake"])
+        )
+        # snake is harvested (3 blind) but the pair count is below the
+        # assertion threshold -> negative assertion.
+        assert table.polarity("/animal/snake", CUTE) is Polarity.NEGATIVE
+
+    def test_non_members_undecided(self):
+        data = {CUTE: {"/animal/kitten": EvidenceCounts(1, 0)}}
+        table = self.make().interpret(
+            data, StubCatalog(["/animal/kitten", "/animal/ghost"])
+        )
+        assert table.polarity("/animal/kitten", CUTE) is Polarity.NEUTRAL
+        assert table.polarity("/animal/ghost", CUTE) is Polarity.NEUTRAL
+
+    def test_membership_counts_across_properties(self):
+        big = PropertyTypeKey(SubjectiveProperty("big"), "animal")
+        data = {
+            CUTE: {"/animal/kitten": EvidenceCounts(2, 0)},
+            big: {"/animal/kitten": EvidenceCounts(2, 0)},
+        }
+        table = self.make(membership_threshold=4).interpret(
+            data, StubCatalog(["/animal/kitten"])
+        )
+        assert table.polarity("/animal/kitten", CUTE) is Polarity.POSITIVE
+
+    def test_harvest_rate_deterministic(self):
+        wc = self.make(harvest_rate=1.0)
+        data = {CUTE: {}}
+        table = wc.interpret(data, StubCatalog(["/animal/ghost"]))
+        # Fully lucky harvest: the silent entity is decided (negative).
+        assert table.polarity("/animal/ghost", CUTE) is Polarity.NEGATIVE
+
+
+class TestSurveyorInterpreter:
+    def test_strong_evidence_decided(self):
+        strong = {
+            CUTE: {
+                "/animal/kitten": EvidenceCounts(60, 1),
+                "/animal/snake": EvidenceCounts(4, 20),
+            }
+        }
+        table = SurveyorInterpreter(occurrence_threshold=1).interpret(
+            strong, catalog()
+        )
+        assert table.polarity("/animal/kitten", CUTE) is Polarity.POSITIVE
+        assert table.polarity("/animal/snake", CUTE) is Polarity.NEGATIVE
+        # The silent entity is decided too.
+        assert table.polarity("/animal/ghost", CUTE) is not Polarity.NEUTRAL
+
+    def test_below_threshold_reported_undecided(self):
+        weak = {CUTE: {"/animal/kitten": EvidenceCounts(2, 0)}}
+        table = SurveyorInterpreter(occurrence_threshold=100).interpret(
+            weak, catalog()
+        )
+        assert table.polarity("/animal/kitten", CUTE) is Polarity.NEUTRAL
+        assert len(table) == 3
+
+
+class TestStandardInterpreters:
+    def test_order_matches_table3(self):
+        names = [i.name for i in standard_interpreters()]
+        assert names == [
+            "Majority Vote",
+            "Scaled Majority Vote",
+            "WebChild",
+            "Surveyor",
+        ]

@@ -1,0 +1,135 @@
+"""Tests for the subjective-to-objective calibration (Section 9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CalibrationError,
+    EvidenceCounts,
+    Opinion,
+    OpinionTable,
+    PropertyTypeKey,
+    SubjectiveProperty,
+    fit_link,
+)
+from repro.kb import Entity
+
+BIG = PropertyTypeKey(SubjectiveProperty("big"), "city")
+
+
+def city(name: str, population: float) -> Entity:
+    return Entity.create(name, "city", population=population)
+
+
+def opinion(entity: Entity, probability: float) -> Opinion:
+    return Opinion(entity.id, BIG, probability, EvidenceCounts(1, 0))
+
+
+def world(boundary: float = 250_000.0):
+    """Cities whose mined polarity follows a population boundary."""
+    populations = [
+        1_000, 5_000, 20_000, 80_000, 120_000, 200_000,
+        300_000, 500_000, 900_000, 2_000_000, 4_000_000,
+    ]
+    entities = [
+        city(f"c{i}", float(p)) for i, p in enumerate(populations)
+    ]
+    table = OpinionTable(
+        opinion(entity, 0.95 if entity.attribute("population") > boundary else 0.05)
+        for entity in entities
+    )
+    return entities, table
+
+
+class TestFitLink:
+    def test_threshold_recovers_boundary(self):
+        entities, table = world(boundary=250_000.0)
+        link = fit_link(table, BIG, entities, "population")
+        assert 200_000 <= link.threshold <= 300_000
+        assert link.accuracy == 1.0
+
+    def test_counts_recorded(self):
+        entities, table = world()
+        link = fit_link(table, BIG, entities, "population")
+        assert link.n_positive == 5
+        assert link.n_negative == 6
+
+    def test_logistic_monotone_and_calibrated(self):
+        entities, table = world()
+        link = fit_link(table, BIG, entities, "population")
+        assert link.probability(1_000) < 0.1
+        assert link.probability(4_000_000) > 0.9
+        assert link.probability(10_000) < link.probability(1_000_000)
+        midpoint = link.logistic_midpoint()
+        assert 50_000 < midpoint < 1_500_000
+
+    def test_applies_for_unseen_entities(self):
+        entities, table = world()
+        link = fit_link(table, BIG, entities, "population")
+        assert link.applies(3_000_000)
+        assert not link.applies(10_000)
+
+    def test_undecided_entities_skipped(self):
+        entities, table = world()
+        extra = city("undecided", 1_000_000.0)
+        table.add(opinion(extra, 0.5))
+        link = fit_link(
+            table, BIG, entities + [extra], "population"
+        )
+        assert link.n_positive + link.n_negative == len(entities)
+
+    def test_missing_attribute_skipped(self):
+        entities, table = world()
+        odd = Entity.create("no-pop", "city")
+        table.add(opinion(odd, 0.9))
+        link = fit_link(table, BIG, entities + [odd], "population")
+        assert link.n_positive == 5
+
+    def test_single_polarity_rejected(self):
+        entities, _ = world()
+        all_positive = OpinionTable(
+            opinion(entity, 0.9) for entity in entities
+        )
+        with pytest.raises(CalibrationError):
+            fit_link(all_positive, BIG, entities, "population")
+
+    def test_noisy_labels_keep_reasonable_threshold(self):
+        entities, table = world()
+        # One mislabeled small city.
+        table.add(opinion(entities[0], 0.9))
+        link = fit_link(table, BIG, entities, "population")
+        assert link.accuracy >= 0.9
+        assert 100_000 <= link.threshold <= 400_000
+
+    def test_describe_mentions_threshold(self):
+        entities, table = world()
+        link = fit_link(table, BIG, entities, "population")
+        assert "applies above" in link.describe()
+
+
+class TestEndToEndCalibration:
+    def test_big_cities_study_boundary(self):
+        """Mine 'big' over the CA cities and recover the generative
+        population boundary (250k) from the opinions alone."""
+        from repro.baselines import SurveyorInterpreter
+        from repro.corpus import CorpusGenerator
+        from repro.evaluation import BIG_CITIES
+        from repro.kb import KnowledgeBase
+
+        scenario = BIG_CITIES.scenario()
+        kb = KnowledgeBase(scenario.entities)
+        evidence = CorpusGenerator(seed=2015).probe(scenario).as_evidence()
+        table = SurveyorInterpreter(occurrence_threshold=1).interpret(
+            evidence, kb
+        )
+        link = fit_link(
+            table,
+            BIG_CITIES.key(),
+            list(scenario.entities),
+            "population",
+        )
+        # The generative boundary is 250k; the mined boundary should
+        # land within a factor ~2.
+        assert 120_000 <= link.threshold <= 500_000
+        assert link.accuracy > 0.95

@@ -1,0 +1,126 @@
+"""Tests for opinion-table comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import compare_tables
+from repro.core import (
+    EvidenceCounts,
+    Opinion,
+    OpinionTable,
+    Polarity,
+    PropertyTypeKey,
+    SubjectiveProperty,
+)
+
+BIG = PropertyTypeKey(SubjectiveProperty("big"), "city")
+
+
+def op(city: str, probability: float) -> Opinion:
+    return Opinion(
+        f"/city/{city}", BIG, probability, EvidenceCounts(1, 0)
+    )
+
+
+class TestCompareTables:
+    def build(self):
+        left = OpinionTable(
+            [op("tokyo", 0.99), op("bruges", 0.10), op("lagos", 0.90)]
+        )
+        right = OpinionTable(
+            [op("tokyo", 0.95), op("bruges", 0.80), op("geneva", 0.20)]
+        )
+        return compare_tables(left, right, "us", "eu")
+
+    def test_shared_agreement(self):
+        comparison = self.build()
+        agreed = {d.entity_id for d in comparison.agreements}
+        assert "/city/tokyo" in agreed
+
+    def test_disagreement_detected(self):
+        comparison = self.build()
+        assert [d.entity_id for d in comparison.disagreements] == [
+            "/city/bruges"
+        ]
+        delta = comparison.disagreements[0]
+        assert delta.left_polarity is Polarity.NEGATIVE
+        assert delta.right_polarity is Polarity.POSITIVE
+        assert delta.disagrees
+
+    def test_one_sided_decisions(self):
+        comparison = self.build()
+        assert [d.entity_id for d in comparison.left_only] == [
+            "/city/lagos"
+        ]
+        assert [d.entity_id for d in comparison.right_only] == [
+            "/city/geneva"
+        ]
+
+    def test_agreement_rate(self):
+        comparison = self.build()
+        assert comparison.n_shared == 2
+        assert comparison.agreement_rate == pytest.approx(0.5)
+
+    def test_confidence_gap(self):
+        comparison = self.build()
+        delta = comparison.disagreements[0]
+        assert delta.confidence_gap == pytest.approx(0.70)
+
+    def test_summary_and_rows_render(self):
+        comparison = self.build()
+        assert "us vs eu" in comparison.summary()
+        assert "/city/bruges" in comparison.disagreements[0].row()
+
+    def test_undecided_pairs_excluded(self):
+        left = OpinionTable([op("tokyo", 0.5)])
+        right = OpinionTable([op("tokyo", 0.9)])
+        comparison = compare_tables(left, right)
+        # Tokyo decided only on the right.
+        assert len(comparison.right_only) == 1
+        assert comparison.n_shared == 0
+
+    def test_empty_tables(self):
+        comparison = compare_tables(OpinionTable(), OpinionTable())
+        assert comparison.n_shared == 0
+        assert comparison.agreement_rate == 0.0
+
+    def test_end_to_end_regional_disagreement(self, small_kb):
+        """Two regions with opposite tiger opinions show up as a
+        disagreement on exactly that pair."""
+        from repro.corpus import (
+            CorpusGenerator,
+            TrueParameters,
+            curated_scenario,
+        )
+        from repro.pipeline import SurveyorPipeline
+
+        animals = [
+            e
+            for e in small_kb.entities_of_type("animal")
+            if e.name != "buffalo"
+        ]
+        params = {
+            "cute": TrueParameters(0.9, 35.0, 5.0)
+        }
+
+        def mine(truths, seed, region):
+            scenario = curated_scenario(
+                region, animals, {"cute": truths}, params
+            )
+            corpus = CorpusGenerator(seed=seed, region=region).generate(
+                scenario
+            )
+            return SurveyorPipeline(
+                kb=small_kb, occurrence_threshold=10
+            ).run(corpus).opinions
+
+        us = mine(
+            {"kitten": True, "snake": False, "tiger": True}, 8, "us"
+        )
+        eu = mine(
+            {"kitten": True, "snake": False, "tiger": False}, 9, "eu"
+        )
+        comparison = compare_tables(us, eu, "us", "eu")
+        disagreeing = {d.entity_id for d in comparison.disagreements}
+        assert disagreeing == {"/animal/tiger"}

@@ -1,0 +1,156 @@
+"""Tests for the controversy analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    ControversyReport,
+    controversy_report,
+    find_controversial,
+)
+from repro.core import (
+    EvidenceCounts,
+    ModelParameters,
+    Opinion,
+    OpinionTable,
+    Polarity,
+    PropertyTypeKey,
+    SubjectiveProperty,
+)
+from repro.core.em import EMTrace
+from repro.core.surveyor import FittedCombination
+
+CUTE = PropertyTypeKey(SubjectiveProperty("cute"), "animal")
+
+
+def fit_for(params: ModelParameters) -> FittedCombination:
+    return FittedCombination(
+        key=CUTE,
+        parameters=params,
+        trace=EMTrace(1, True, (0.0,), ()),
+        n_entities=10,
+        n_statements=100,
+    )
+
+
+#: High agreement, strong positive bias: minority statements should be
+#: rare for any decided entity.
+CONSENSUS_FIT = fit_for(ModelParameters(0.95, 40.0, 4.0))
+
+
+def opinion(prob: float, pos: int, neg: int) -> Opinion:
+    return Opinion(
+        "/animal/frog", CUTE, prob, EvidenceCounts(pos, neg)
+    )
+
+
+class TestControversyReport:
+    def test_even_split_is_controversial(self):
+        report = controversy_report(opinion(0.9, 10, 9), CONSENSUS_FIT)
+        assert report.score > 0.9
+        assert report.observed_minority_share == pytest.approx(9 / 19)
+
+    def test_clean_consensus_scores_low(self):
+        report = controversy_report(opinion(1.0, 20, 0), CONSENSUS_FIT)
+        assert report.score < 0.1
+        assert report.observed_minority_share == 0.0
+
+    def test_expected_share_uses_dominant_side(self):
+        positive = controversy_report(opinion(0.9, 10, 1), CONSENSUS_FIT)
+        negative = controversy_report(opinion(0.1, 1, 10), CONSENSUS_FIT)
+        # For D=+: expected minority = (1-pA)p-S / (pA p+S + (1-pA)p-S).
+        assert positive.expected_minority_share == pytest.approx(
+            (0.05 * 4) / (0.95 * 40 + 0.05 * 4)
+        )
+        # For D=-: minority statements are the positive ones.
+        assert negative.expected_minority_share == pytest.approx(
+            (0.05 * 40) / (0.05 * 40 + 0.95 * 4)
+        )
+
+    def test_negative_entity_minority_is_positive_count(self):
+        report = controversy_report(opinion(0.05, 6, 7), CONSENSUS_FIT)
+        assert report.observed_minority_share == pytest.approx(6 / 13)
+        assert report.score > 0.5
+
+    def test_row_renders(self):
+        report = controversy_report(opinion(0.9, 5, 5), CONSENSUS_FIT)
+        assert "minority observed" in report.row()
+
+
+class TestFindControversial:
+    def build_table(self) -> OpinionTable:
+        return OpinionTable(
+            [
+                Opinion(
+                    "/animal/kitten", CUTE, 1.0, EvidenceCounts(30, 0)
+                ),
+                Opinion(
+                    "/animal/frog", CUTE, 0.8, EvidenceCounts(11, 9)
+                ),
+                Opinion(
+                    "/animal/scorpion", CUTE, 0.0, EvidenceCounts(0, 12)
+                ),
+                Opinion(
+                    "/animal/sparse", CUTE, 0.6, EvidenceCounts(1, 1)
+                ),
+            ]
+        )
+
+    def test_most_contested_first(self):
+        reports = find_controversial(
+            self.build_table(), {CUTE: CONSENSUS_FIT}
+        )
+        assert reports[0].entity_id == "/animal/frog"
+
+    def test_sparse_pairs_skipped(self):
+        reports = find_controversial(
+            self.build_table(), {CUTE: CONSENSUS_FIT}, min_statements=5
+        )
+        assert all(r.entity_id != "/animal/sparse" for r in reports)
+
+    def test_top_limits_output(self):
+        reports = find_controversial(
+            self.build_table(), {CUTE: CONSENSUS_FIT}, top=1
+        )
+        assert len(reports) == 1
+
+    def test_unknown_combination_skipped(self):
+        reports = find_controversial(self.build_table(), {})
+        assert reports == []
+
+    def test_end_to_end_flags_contested_animal(self, small_kb):
+        """A generated world where the tiger splits opinion 60/40."""
+        from repro.baselines import SurveyorInterpreter
+        from repro.core import Surveyor
+        from repro.corpus import (
+            CorpusGenerator,
+            TrueParameters,
+            curated_scenario,
+        )
+
+        animals = [
+            e
+            for e in small_kb.entities_of_type("animal")
+            if e.name != "buffalo"
+        ]
+        scenario = curated_scenario(
+            "contested",
+            animals,
+            truths={
+                "cute": {"kitten": True, "snake": False, "tiger": True}
+            },
+            params_by_property={
+                # Low agreement: plenty of dissent in the statements.
+                "cute": TrueParameters(0.62, 40.0, 30.0)
+            },
+        )
+        evidence = CorpusGenerator(seed=3).probe(scenario).as_evidence()
+        surveyor = Surveyor(catalog=small_kb, occurrence_threshold=1)
+        result = surveyor.run(evidence)
+        reports = find_controversial(
+            result.opinions, result.fits, min_statements=5
+        )
+        assert reports  # dissent exists and is detected
+        for report in reports:
+            assert 0.0 <= report.score <= 1.0

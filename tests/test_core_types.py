@@ -1,0 +1,139 @@
+"""Unit tests for the core value types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    EvidenceCounts,
+    Opinion,
+    Polarity,
+    PropertyTypeKey,
+    SubjectiveProperty,
+)
+
+
+class TestPolarity:
+    def test_flipped_positive(self):
+        assert Polarity.POSITIVE.flipped() is Polarity.NEGATIVE
+
+    def test_flipped_negative(self):
+        assert Polarity.NEGATIVE.flipped() is Polarity.POSITIVE
+
+    def test_flipped_neutral_stays(self):
+        assert Polarity.NEUTRAL.flipped() is Polarity.NEUTRAL
+
+    def test_values_match_paper_notation(self):
+        assert Polarity.POSITIVE.value == "+"
+        assert Polarity.NEGATIVE.value == "-"
+        assert Polarity.NEUTRAL.value == "N"
+
+
+class TestSubjectiveProperty:
+    def test_plain_adjective(self):
+        prop = SubjectiveProperty("cute")
+        assert prop.text == "cute"
+        assert prop.adverbs == ()
+
+    def test_adverbs_precede_adjective(self):
+        prop = SubjectiveProperty("big", ("very",))
+        assert prop.text == "very big"
+
+    def test_multiple_adverbs(self):
+        prop = SubjectiveProperty("populated", ("very", "densely"))
+        assert prop.text == "very densely populated"
+
+    def test_case_normalization(self):
+        assert SubjectiveProperty("Big", ("Very",)).text == "very big"
+
+    def test_parse_round_trip(self):
+        prop = SubjectiveProperty.parse("densely populated")
+        assert prop.adjective == "populated"
+        assert prop.adverbs == ("densely",)
+        assert SubjectiveProperty.parse(prop.text) == prop
+
+    def test_parse_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SubjectiveProperty.parse("   ")
+
+    def test_empty_adjective_rejected(self):
+        with pytest.raises(ValueError):
+            SubjectiveProperty("")
+
+    def test_equality_and_hash(self):
+        assert SubjectiveProperty("cute") == SubjectiveProperty("CUTE")
+        assert hash(SubjectiveProperty("big", ("very",))) == hash(
+            SubjectiveProperty("big", ("very",))
+        )
+
+
+class TestPropertyTypeKey:
+    def test_string_form(self):
+        key = PropertyTypeKey(SubjectiveProperty("cute"), "Animal")
+        assert str(key) == "cute animal"
+
+    def test_type_normalized(self):
+        key = PropertyTypeKey(SubjectiveProperty("big"), "CITY")
+        assert key.entity_type == "city"
+
+    def test_usable_as_dict_key(self):
+        key_a = PropertyTypeKey(SubjectiveProperty("big"), "city")
+        key_b = PropertyTypeKey(SubjectiveProperty("big"), "city")
+        assert {key_a: 1}[key_b] == 1
+
+
+class TestEvidenceCounts:
+    def test_total(self):
+        assert EvidenceCounts(3, 4).total == 7
+
+    def test_zero_constant(self):
+        assert EvidenceCounts.ZERO.positive == 0
+        assert EvidenceCounts.ZERO.negative == 0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            EvidenceCounts(-1, 0)
+        with pytest.raises(ValueError):
+            EvidenceCounts(0, -2)
+
+    def test_majority_positive(self):
+        assert EvidenceCounts(5, 2).majority() is Polarity.POSITIVE
+
+    def test_majority_negative(self):
+        assert EvidenceCounts(1, 2).majority() is Polarity.NEGATIVE
+
+    def test_majority_tie_is_neutral(self):
+        assert EvidenceCounts(3, 3).majority() is Polarity.NEUTRAL
+
+    def test_majority_zero_zero_is_neutral(self):
+        assert EvidenceCounts(0, 0).majority() is Polarity.NEUTRAL
+
+
+class TestOpinion:
+    def _key(self) -> PropertyTypeKey:
+        return PropertyTypeKey(SubjectiveProperty("cute"), "animal")
+
+    def test_polarity_above_half_positive(self):
+        opinion = Opinion("/animal/kitten", self._key(), 0.9)
+        assert opinion.polarity is Polarity.POSITIVE
+        assert opinion.decided
+
+    def test_polarity_below_half_negative(self):
+        opinion = Opinion("/animal/snake", self._key(), 0.1)
+        assert opinion.polarity is Polarity.NEGATIVE
+        assert opinion.decided
+
+    def test_exactly_half_undecided(self):
+        opinion = Opinion("/animal/tiger", self._key(), 0.5)
+        assert opinion.polarity is Polarity.NEUTRAL
+        assert not opinion.decided
+
+    def test_probability_range_validated(self):
+        with pytest.raises(ValueError):
+            Opinion("/animal/kitten", self._key(), 1.5)
+        with pytest.raises(ValueError):
+            Opinion("/animal/kitten", self._key(), -0.1)
+
+    def test_default_evidence_is_zero(self):
+        opinion = Opinion("/animal/kitten", self._key(), 0.7)
+        assert opinion.evidence == EvidenceCounts.ZERO

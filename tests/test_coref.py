@@ -1,0 +1,130 @@
+"""Tests for pronoun coreference resolution."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import Polarity, PropertyTypeKey, SubjectiveProperty
+from repro.corpus import CorpusGenerator, NoiseProfile
+from repro.corpus.templates import render_pronoun_statement
+from repro.extraction import EvidenceExtractor
+from repro.nlp import Annotator
+
+CUTE = PropertyTypeKey(SubjectiveProperty("cute"), "animal")
+
+
+class TestResolver:
+    def extract(self, small_kb, text, resolve=True):
+        annotator = Annotator(small_kb, resolve_pronouns=resolve)
+        extractor = EvidenceExtractor()
+        return extractor.extract_document(annotator.annotate("d", text))
+
+    def test_it_resolves_to_previous_mention(self, small_kb):
+        statements = self.extract(
+            small_kb, "We visited Chicago last summer. It is hectic."
+        )
+        assert len(statements) == 1
+        assert statements[0].entity_id == "/city/chicago"
+        assert statements[0].property.text == "hectic"
+
+    def test_negated_pronoun_claim(self, small_kb):
+        statements = self.extract(
+            small_kb,
+            "My friends talked about Palo Alto yesterday. "
+            "It is not a big city.",
+        )
+        assert statements[0].polarity is Polarity.NEGATIVE
+        assert statements[0].entity_id == "/city/palo_alto"
+
+    def test_resolution_can_be_disabled(self, small_kb):
+        statements = self.extract(
+            small_kb,
+            "We visited Chicago last summer. It is hectic.",
+            resolve=False,
+        )
+        assert statements == []
+
+    def test_pronoun_tracks_most_recent_mention(self, small_kb):
+        statements = self.extract(
+            small_kb,
+            "We saw the kitten. Then we visited Chicago. It is big.",
+        )
+        assert statements[0].entity_id == "/city/chicago"
+
+    def test_chained_pronouns_keep_antecedent(self, small_kb):
+        statements = self.extract(
+            small_kb,
+            "We saw the kitten. It is cute. It is very friendly.",
+        )
+        assert len(statements) == 2
+        assert all(
+            s.entity_id == "/animal/kitten" for s in statements
+        )
+
+    def test_unresolvable_pronoun_ignored(self, small_kb):
+        statements = self.extract(small_kb, "It is cute.")
+        assert statements == []
+
+    def test_first_person_never_resolved(self, small_kb):
+        statements = self.extract(
+            small_kb, "We love the kitten. I am happy."
+        )
+        # "I am happy" must not become a kitten statement.
+        assert all(s.property.text != "happy" for s in statements)
+
+    def test_they_resolves_like_it(self, small_kb):
+        statements = self.extract(
+            small_kb, "Kittens are popular. They are cute."
+        )
+        properties = {s.property.text for s in statements}
+        assert "cute" in properties
+        cute_statements = [
+            s for s in statements if s.property.text == "cute"
+        ]
+        assert cute_statements[0].entity_id == "/animal/kitten"
+
+
+class TestPronounTemplates:
+    @pytest.mark.parametrize(
+        "polarity", [Polarity.POSITIVE, Polarity.NEGATIVE]
+    )
+    @pytest.mark.parametrize("seed", range(6))
+    def test_rendered_claims_recovered(self, small_kb, polarity, seed):
+        rng = random.Random(seed)
+        text = render_pronoun_statement(
+            "Chicago", SubjectiveProperty("hectic"), polarity, rng
+        )
+        annotator = Annotator(small_kb)
+        extractor = EvidenceExtractor()
+        statements = extractor.extract_document(
+            annotator.annotate("d", text)
+        )
+        assert len(statements) == 1, text
+        assert statements[0].polarity is polarity
+        assert statements[0].entity_id == "/city/chicago"
+
+    def test_generator_pronoun_rate_preserves_counts(
+        self, small_kb, cute_scenario
+    ):
+        """With coreference on, pronoun-form statements still recover
+        the generated counts exactly (clean noise profile)."""
+        noise = NoiseProfile(
+            distractor_rate=0.0,
+            non_intrinsic_rate=0.0,
+            loose_only_rate=0.0,
+            distractor_floor=0.0,
+            allow_broad_renderings=False,
+            pronoun_statement_rate=0.5,
+        )
+        corpus = CorpusGenerator(seed=6, noise=noise).generate(
+            cute_scenario
+        )
+        annotator = Annotator(small_kb)
+        counter = EvidenceExtractor().extract_corpus(
+            annotator.annotate(d.doc_id, d.text) for d in corpus
+        )
+        for (prop, etype, entity_id), (pos, neg) in corpus.truth.items():
+            counts = counter.get(CUTE, entity_id)
+            assert (counts.positive, counts.negative) == (pos, neg)

@@ -1,0 +1,287 @@
+"""Tests for the synthetic corpus substrate."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import Polarity, PropertyTypeKey, SubjectiveProperty
+from repro.corpus import (
+    CorpusGenerator,
+    Document,
+    NoiseProfile,
+    TrueParameters,
+    WebCorpus,
+    covariate_scenario,
+    sample_author_action,
+    sample_author_opinion,
+    sample_statement_counts,
+)
+from repro.corpus.templates import (
+    render_distractor,
+    render_non_intrinsic,
+    render_statement,
+)
+from repro.extraction import EvidenceExtractor
+from repro.nlp import Annotator
+
+
+class TestAuthorModel:
+    def test_opinion_agreement_rate(self):
+        rng = random.Random(1)
+        agreements = sum(
+            sample_author_opinion(Polarity.POSITIVE, 0.8, rng)
+            is Polarity.POSITIVE
+            for _ in range(5000)
+        )
+        assert agreements / 5000 == pytest.approx(0.8, abs=0.03)
+
+    def test_opinion_requires_polarized_dominant(self):
+        with pytest.raises(ValueError):
+            sample_author_opinion(
+                Polarity.NEUTRAL, 0.8, random.Random(0)
+            )
+
+    def test_action_matches_generative_story(self):
+        """Empirical action frequencies match the Figure 7 products."""
+        params = TrueParameters(0.9, 200.0, 20.0)
+        n_documents = 1000
+        rng = random.Random(2)
+        outcomes = {"+": 0, "-": 0, "N": 0}
+        trials = 20000
+        for _ in range(trials):
+            action = sample_author_action(
+                Polarity.POSITIVE, params, n_documents, rng
+            )
+            outcomes[action.value] += 1
+        # Pr(S=+|D=+) = pA * p+S = 0.9 * 0.2 = 0.18
+        assert outcomes["+"] / trials == pytest.approx(0.18, abs=0.02)
+        # Pr(S=-|D=+) = (1-pA) * p-S = 0.1 * 0.02 = 0.002
+        assert outcomes["-"] / trials == pytest.approx(0.002, abs=0.002)
+
+    def test_counts_mean_matches_rates(self):
+        params = TrueParameters(0.9, 50.0, 5.0)
+        rng = random.Random(3)
+        totals = [0, 0]
+        trials = 2000
+        for _ in range(trials):
+            pos, neg = sample_statement_counts(
+                Polarity.POSITIVE, params, rng
+            )
+            totals[0] += pos
+            totals[1] += neg
+        assert totals[0] / trials == pytest.approx(45.0, rel=0.05)
+        assert totals[1] / trials == pytest.approx(0.5, rel=0.4)
+
+    def test_popularity_scales_counts(self):
+        params = TrueParameters(0.9, 50.0, 5.0)
+        rng = random.Random(4)
+        scaled = sum(
+            sample_statement_counts(
+                Polarity.POSITIVE, params, rng, popularity=2.0
+            )[0]
+            for _ in range(1000)
+        )
+        assert scaled / 1000 == pytest.approx(90.0, rel=0.05)
+
+
+class TestScenario:
+    def test_covariate_ground_truth_thresholding(self, small_kb):
+        cities = small_kb.entities_of_type("city")
+        scenario = covariate_scenario(
+            "test",
+            cities,
+            "big",
+            "population",
+            threshold=500_000.0,
+            params=TrueParameters(0.85, 20.0, 2.0),
+        )
+        spec = scenario.specs[0]
+        assert spec.truth_of("/city/chicago") is Polarity.POSITIVE
+        assert spec.truth_of("/city/palo_alto") is Polarity.NEGATIVE
+
+    def test_covariate_popularity_monotone(self, small_kb):
+        cities = small_kb.entities_of_type("city")
+        scenario = covariate_scenario(
+            "test", cities, "big", "population",
+            threshold=500_000.0,
+            params=TrueParameters(0.85, 20.0, 2.0),
+        )
+        spec = scenario.specs[0]
+        assert spec.popularity_of("/city/chicago") > spec.popularity_of(
+            "/city/palo_alto"
+        )
+
+    def test_invert_flips_truth(self, small_kb):
+        cities = small_kb.entities_of_type("city")
+        scenario = covariate_scenario(
+            "test", cities, "small", "population",
+            threshold=500_000.0,
+            params=TrueParameters(0.85, 20.0, 2.0),
+            invert=True,
+        )
+        spec = scenario.specs[0]
+        assert spec.truth_of("/city/chicago") is Polarity.NEGATIVE
+        assert spec.truth_of("/city/palo_alto") is Polarity.POSITIVE
+
+    def test_scenario_validates_entity_types(self, small_kb):
+        from repro.corpus import Scenario
+
+        mixed = small_kb.entities_of_type("city") + small_kb.entities_of_type(
+            "animal"
+        )
+        with pytest.raises(ValueError):
+            Scenario(
+                name="bad",
+                entity_type="city",
+                entities=tuple(mixed),
+                specs=(),
+            )
+
+    def test_curated_scenario_unknown_entity_rejected(self, small_kb):
+        from repro.corpus import curated_scenario
+
+        with pytest.raises(KeyError):
+            curated_scenario(
+                "bad",
+                small_kb.entities_of_type("animal"),
+                truths={"cute": {"unicorn": True}},
+                params_by_property={
+                    "cute": TrueParameters(0.9, 10.0, 1.0)
+                },
+            )
+
+
+class TestTemplates:
+    @pytest.fixture()
+    def annotate(self, small_kb):
+        annotator = Annotator(small_kb)
+
+        def _annotate(text: str):
+            return annotator.annotate("doc", text).sentences[0]
+
+        return _annotate
+
+    @pytest.mark.parametrize("polarity", [Polarity.POSITIVE, Polarity.NEGATIVE])
+    @pytest.mark.parametrize("seed", range(12))
+    def test_strict_renderings_extract_with_v4(
+        self, annotate, polarity, seed
+    ):
+        """Every strict rendering must yield exactly one statement of
+        the intended polarity under the default patterns."""
+        rng = random.Random(seed)
+        text = render_statement(
+            "kitten",
+            SubjectiveProperty("cute"),
+            "animal",
+            polarity,
+            rng,
+            allow_broad=False,
+        )
+        statements = EvidenceExtractor().extract_sentence(annotate(text))
+        assert len(statements) == 1, text
+        assert statements[0].polarity is polarity, text
+        assert statements[0].entity_id == "/animal/kitten", text
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_non_intrinsic_renderings_filtered_by_v4(self, annotate, seed):
+        rng = random.Random(seed)
+        text = render_non_intrinsic(
+            "Chicago", SubjectiveProperty("big"), rng
+        )
+        statements = EvidenceExtractor().extract_sentence(annotate(text))
+        assert statements == [], text
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_distractors_never_extract(self, annotate, seed):
+        rng = random.Random(seed)
+        text = render_distractor("Chicago", rng)
+        statements = EvidenceExtractor().extract_sentence(annotate(text))
+        assert statements == [], text
+
+
+class TestWebCorpus:
+    def test_sharding_round_robin_balanced(self):
+        corpus = WebCorpus(
+            documents=[Document(f"d{i}", "x") for i in range(10)]
+        )
+        shards = corpus.shards(3)
+        sizes = sorted(len(s) for s in shards)
+        assert sizes == [3, 3, 4]
+        recovered = {d.doc_id for s in shards for d in s}
+        assert len(recovered) == 10
+
+    def test_sharding_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            WebCorpus().shards(0)
+
+    def test_size_bytes(self):
+        corpus = WebCorpus(documents=[Document("a", "hello")])
+        assert corpus.size_bytes() == 5
+
+
+class TestCorpusGenerator:
+    def test_deterministic(self, cute_scenario):
+        first = CorpusGenerator(seed=9).generate(cute_scenario)
+        second = CorpusGenerator(seed=9).generate(cute_scenario)
+        assert [d.text for d in first] == [d.text for d in second]
+
+    def test_seed_changes_output(self, cute_scenario):
+        first = CorpusGenerator(seed=9).generate(cute_scenario)
+        second = CorpusGenerator(seed=10).generate(cute_scenario)
+        assert [d.text for d in first] != [d.text for d in second]
+
+    def test_truth_recorded_per_pair(self, cute_scenario):
+        corpus = CorpusGenerator(seed=9).generate(cute_scenario)
+        assert ("cute", "animal", "/animal/kitten") in corpus.truth
+
+    def test_clean_profile_counts_recovered_exactly(
+        self, small_kb, cute_scenario
+    ):
+        """With the CLEAN profile, the extraction pipeline recovers the
+        generator's drawn counts statement for statement."""
+        generator = CorpusGenerator(seed=5, noise=NoiseProfile.CLEAN)
+        corpus = generator.generate(cute_scenario)
+        annotator = Annotator(small_kb)
+        counter = EvidenceExtractor().extract_corpus(
+            annotator.annotate(d.doc_id, d.text) for d in corpus
+        )
+        key = PropertyTypeKey(SubjectiveProperty("cute"), "animal")
+        for (prop, etype, entity_id), (pos, neg) in corpus.truth.items():
+            counts = counter.get(key, entity_id)
+            assert counts.positive == pos, entity_id
+            assert counts.negative == neg, entity_id
+
+    def test_probe_matches_generate_statistics(self, cute_scenario):
+        """probe() and generate()+perfect-extraction draw from the same
+        distribution; with a common seed they agree exactly."""
+        probe_counter = CorpusGenerator(
+            seed=5, noise=NoiseProfile.CLEAN
+        ).probe(cute_scenario)
+        corpus = CorpusGenerator(
+            seed=5, noise=NoiseProfile.CLEAN
+        ).generate(cute_scenario)
+        key = PropertyTypeKey(SubjectiveProperty("cute"), "animal")
+        for (prop, etype, entity_id), (pos, neg) in corpus.truth.items():
+            counts = probe_counter.get(key, entity_id)
+            assert (counts.positive, counts.negative) == (pos, neg)
+
+    def test_noise_profile_adds_documents(self, cute_scenario):
+        clean = CorpusGenerator(
+            seed=5, noise=NoiseProfile.CLEAN
+        ).generate(cute_scenario)
+        noisy = CorpusGenerator(
+            seed=5,
+            noise=NoiseProfile(
+                distractor_rate=1.0,
+                non_intrinsic_rate=0.5,
+                loose_only_rate=0.5,
+            ),
+        ).generate(cute_scenario)
+        assert len(noisy) > len(clean)
+
+    def test_documents_get_unique_ids(self, cute_scenario):
+        corpus = CorpusGenerator(seed=5).generate(cute_scenario)
+        ids = [d.doc_id for d in corpus]
+        assert len(set(ids)) == len(ids)

@@ -1,0 +1,147 @@
+"""Tests for the crowd substrate: ground truth, workers, surveys."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import Polarity
+from repro.crowd import (
+    ALL_COMBINATIONS,
+    GroundTruthCase,
+    SurveyRunner,
+    combination_for,
+    curated_cases,
+    truths_by_property,
+    worker_pool,
+)
+from repro.crowd.survey import SurveyedCase
+
+
+class TestGroundTruth:
+    def test_500_cases(self):
+        assert len(curated_cases()) == 500
+
+    def test_25_combinations(self):
+        assert len(ALL_COMBINATIONS) == 25
+
+    def test_every_case_has_valid_agreement(self):
+        for case in curated_cases():
+            assert 0.5 <= case.agreement <= 1.0
+
+    def test_combination_lookup(self):
+        combo = combination_for("animal", "cute")
+        assert "kitten" in combo.positives
+        assert "spider" not in combo.positives
+
+    def test_unknown_combination_raises(self):
+        with pytest.raises(KeyError):
+            combination_for("animal", "luminous")
+
+    def test_kitten_is_cute(self):
+        combo = combination_for("animal", "cute")
+        case = combo.case_for("kitten")
+        assert case.positive
+
+    def test_boring_sports_low_agreement(self):
+        """The paper: agreement on boring sports < dangerous animals."""
+        boring = combination_for("sport", "boring")
+        dangerous = combination_for("animal", "dangerous")
+        assert boring.default_agreement < dangerous.default_agreement
+
+    def test_truths_by_property_covers_all_entities(self):
+        truths = truths_by_property("animal")
+        assert len(truths) == 5
+        for per_entity in truths.values():
+            assert len(per_entity) == 20
+
+    def test_invalid_agreement_rejected(self):
+        with pytest.raises(ValueError):
+            GroundTruthCase("x", "animal", "cute", True, 0.3)
+
+
+class TestWorkers:
+    def test_pool_size(self):
+        assert len(worker_pool(20)) == 20
+
+    def test_pool_requires_positive(self):
+        with pytest.raises(ValueError):
+            worker_pool(0)
+
+    def test_vote_rate_matches_agreement(self):
+        case = GroundTruthCase("kitten", "animal", "cute", True, 0.8)
+        rng = random.Random(5)
+        worker = worker_pool(1)[0]
+        yes = sum(worker.vote(case, rng) for _ in range(5000))
+        assert yes / 5000 == pytest.approx(0.8, abs=0.02)
+
+    def test_vote_flips_for_negative_truth(self):
+        case = GroundTruthCase("spider", "animal", "cute", False, 0.9)
+        rng = random.Random(6)
+        worker = worker_pool(1)[0]
+        yes = sum(worker.vote(case, rng) for _ in range(5000))
+        assert yes / 5000 == pytest.approx(0.1, abs=0.02)
+
+
+class TestSurvey:
+    @pytest.fixture(scope="class")
+    def survey(self):
+        return SurveyRunner(n_workers=20, seed=2015).run(curated_cases())
+
+    def test_deterministic(self):
+        first = SurveyRunner(seed=1).run(curated_cases())
+        second = SurveyRunner(seed=1).run(curated_cases())
+        assert [c.votes_positive for c in first.cases] == [
+            c.votes_positive for c in second.cases
+        ]
+
+    def test_mean_agreement_near_paper(self, survey):
+        """Paper: average agreement 17 of 20."""
+        assert 16.0 < survey.mean_agreement() < 18.0
+
+    def test_some_perfect_agreement(self, survey):
+        assert survey.perfect_agreement_count() > 30
+
+    def test_tie_fraction_small(self, survey):
+        """Paper: ~4% ties."""
+        assert survey.tie_fraction() < 0.08
+
+    def test_without_ties_excludes_ties(self, survey):
+        assert all(not c.is_tie for c in survey.without_ties())
+
+    def test_histogram_monotone_decreasing(self, survey):
+        histogram = survey.agreement_histogram()
+        values = [histogram[k] for k in sorted(histogram)]
+        assert values == sorted(values, reverse=True)
+
+    def test_at_least_filters(self, survey):
+        subset = survey.at_least(19)
+        assert all(c.agreement >= 19 for c in subset)
+
+    def test_votes_for_figure10(self, survey):
+        votes = survey.votes_for("animal", "cute")
+        assert len(votes) == 20
+        assert votes["kitten"] > 15
+        assert votes["scorpion"] < 5
+
+
+class TestSurveyedCase:
+    def case(self, votes: int, n: int = 20) -> SurveyedCase:
+        truth = GroundTruthCase("kitten", "animal", "cute", True, 0.9)
+        return SurveyedCase(case=truth, votes_positive=votes, n_workers=n)
+
+    def test_majority_positive(self):
+        assert self.case(15).majority is Polarity.POSITIVE
+
+    def test_majority_negative(self):
+        assert self.case(5).majority is Polarity.NEGATIVE
+
+    def test_tie(self):
+        surveyed = self.case(10)
+        assert surveyed.is_tie
+        assert surveyed.majority is Polarity.NEUTRAL
+
+    def test_agreement_is_majority_share(self):
+        assert self.case(15).agreement == 15
+        assert self.case(5).agreement == 15

@@ -1,0 +1,188 @@
+"""Tests for the EM learner (Section 6)."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import EMLearner, EvidenceCounts, ModelParameters, Polarity
+from repro.core.em import _expected_q
+from repro.corpus import TrueParameters, sample_statement_counts
+
+
+def synthetic_evidence(
+    params: TrueParameters,
+    n_positive: int,
+    n_negative: int,
+    seed: int = 5,
+) -> tuple[list[EvidenceCounts], list[Polarity]]:
+    """Draw evidence tuples from the generative model."""
+    rng = random.Random(seed)
+    evidence = []
+    truths = []
+    for index in range(n_positive + n_negative):
+        truth = (
+            Polarity.POSITIVE if index < n_positive else Polarity.NEGATIVE
+        )
+        pos, neg = sample_statement_counts(truth, params, rng)
+        evidence.append(EvidenceCounts(pos, neg))
+        truths.append(truth)
+    return evidence, truths
+
+
+class TestParameterRecovery:
+    def test_recovers_known_parameters(self):
+        true = TrueParameters(0.9, 40.0, 6.0)
+        evidence, _ = synthetic_evidence(true, 60, 120)
+        result = EMLearner().fit(evidence)
+        assert result.parameters.agreement == pytest.approx(0.9, abs=0.05)
+        assert result.parameters.rate_positive == pytest.approx(
+            40.0, rel=0.15
+        )
+        assert result.parameters.rate_negative == pytest.approx(
+            6.0, rel=0.3
+        )
+
+    def test_posteriors_recover_labels(self):
+        true = TrueParameters(0.88, 30.0, 4.0)
+        evidence, truths = synthetic_evidence(true, 40, 80)
+        result = EMLearner().fit(evidence)
+        predicted = [
+            Polarity.POSITIVE if r > 0.5 else Polarity.NEGATIVE
+            for r in result.responsibilities
+        ]
+        accuracy = sum(
+            p is t for p, t in zip(predicted, truths)
+        ) / len(truths)
+        assert accuracy > 0.9
+
+    def test_asymmetric_bias_recovered(self):
+        """A warn-style combination: negatives dominate."""
+        true = TrueParameters(0.85, 4.0, 25.0)
+        evidence, truths = synthetic_evidence(true, 50, 50, seed=11)
+        result = EMLearner().fit(evidence)
+        assert result.parameters.rate_negative > result.parameters.rate_positive
+        predicted = [
+            Polarity.POSITIVE if r > 0.5 else Polarity.NEGATIVE
+            for r in result.responsibilities
+        ]
+        accuracy = sum(p is t for p, t in zip(predicted, truths)) / len(truths)
+        assert accuracy > 0.85
+
+
+class TestConvergence:
+    def test_expected_likelihood_nondecreasing(self):
+        true = TrueParameters(0.9, 30.0, 3.0)
+        evidence, _ = synthetic_evidence(true, 30, 60)
+        result = EMLearner(max_iterations=30, tolerance=0.0).fit(evidence)
+        lls = result.trace.log_likelihoods
+        # EM guarantees monotone Q after the first full cycle; allow
+        # tiny numeric wiggle.
+        for earlier, later in zip(lls[1:], lls[2:]):
+            assert later >= earlier - 1e-6
+
+    def test_converges_before_max_iterations(self):
+        true = TrueParameters(0.9, 30.0, 3.0)
+        evidence, _ = synthetic_evidence(true, 30, 60)
+        result = EMLearner(max_iterations=100).fit(evidence)
+        assert result.trace.converged
+        assert result.trace.iterations < 100
+
+    def test_record_path_traces_parameters(self):
+        true = TrueParameters(0.9, 30.0, 3.0)
+        evidence, _ = synthetic_evidence(true, 20, 40)
+        result = EMLearner(record_path=True, max_iterations=5).fit(evidence)
+        assert len(result.trace.parameters_path) >= 2
+        assert isinstance(
+            result.trace.parameters_path[0], ModelParameters
+        )
+
+
+class TestMStep:
+    def test_closed_form_maximizes_q_for_fixed_agreement(self):
+        """The closed-form np±S must beat any perturbed rates."""
+        true = TrueParameters(0.9, 30.0, 3.0)
+        evidence, _ = synthetic_evidence(true, 30, 60)
+        learner = EMLearner()
+        pos = np.array([e.positive for e in evidence], dtype=float)
+        neg = np.array([e.negative for e in evidence], dtype=float)
+        resp = learner._e_step(pos, neg, true_to_model(true))
+        theta, q_star = learner._m_step(pos, neg, resp)
+
+        g_pp = float(np.dot(pos, resp))
+        g_np = float(np.dot(neg, resp))
+        g_pn = float(np.dot(pos, 1 - resp))
+        g_nn = float(np.dot(neg, 1 - resp))
+        g_pos = float(np.sum(resp))
+        g_neg = float(np.sum(1 - resp))
+        for factor_pos in (0.8, 0.9, 1.1, 1.25):
+            for factor_neg in (0.8, 1.2):
+                perturbed = ModelParameters(
+                    agreement=theta.agreement,
+                    rate_positive=theta.rate_positive * factor_pos,
+                    rate_negative=theta.rate_negative * factor_neg,
+                )
+                q_perturbed = _expected_q(
+                    perturbed, g_pp, g_np, g_pn, g_nn, g_pos, g_neg
+                )
+                assert q_perturbed <= q_star + 1e-9
+
+    def test_linear_time_in_entities(self):
+        """One EM fit over 10x entities takes < ~25x the time (sanity
+        check of the O(m) claim; generous bound for timer noise)."""
+        import time
+
+        true = TrueParameters(0.9, 30.0, 3.0)
+        small, _ = synthetic_evidence(true, 40, 80, seed=3)
+        large = small * 10
+        learner = EMLearner(max_iterations=5, tolerance=0.0)
+
+        learner.fit(small)  # warm-up
+        start = time.perf_counter()
+        learner.fit(small)
+        small_time = time.perf_counter() - start
+        start = time.perf_counter()
+        learner.fit(large)
+        large_time = time.perf_counter() - start
+        assert large_time < max(25 * small_time, 0.5)
+
+
+class TestValidation:
+    def test_empty_evidence_rejected(self):
+        with pytest.raises(ValueError):
+            EMLearner().fit([])
+
+    def test_grid_must_be_identifiable(self):
+        with pytest.raises(ValueError):
+            EMLearner(agreement_grid=(0.4, 0.9))
+        with pytest.raises(ValueError):
+            EMLearner(agreement_grid=(0.9, 1.0))
+
+    def test_grid_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            EMLearner(agreement_grid=())
+
+    def test_max_iterations_positive(self):
+        with pytest.raises(ValueError):
+            EMLearner(max_iterations=0)
+
+    def test_all_zero_evidence_degrades_gracefully(self):
+        """All-silent evidence: no crash, all posteriors defined."""
+        evidence = [EvidenceCounts(0, 0)] * 20
+        result = EMLearner().fit(evidence)
+        assert np.all((result.responsibilities >= 0))
+        assert np.all((result.responsibilities <= 1))
+
+    def test_single_entity(self):
+        result = EMLearner().fit([EvidenceCounts(4, 1)])
+        assert 0.0 <= result.responsibilities[0] <= 1.0
+
+
+def true_to_model(true: TrueParameters) -> ModelParameters:
+    return ModelParameters(
+        agreement=true.agreement,
+        rate_positive=true.rate_positive,
+        rate_negative=true.rate_negative,
+    )

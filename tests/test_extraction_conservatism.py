@@ -1,0 +1,106 @@
+"""Extraction conservatism: constructions that must NOT extract.
+
+The paper prioritizes precision over recall; this suite pins the
+behaviours that keep precision up — questions, comparatives,
+quantified negation, hypotheticals, and other shapes outside the
+supported pattern family must produce no statements rather than wrong
+ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.extraction import EvidenceExtractor
+from repro.nlp import Annotator
+
+
+@pytest.fixture()
+def extract(small_kb):
+    annotator = Annotator(small_kb)
+    extractor = EvidenceExtractor()
+
+    def _extract(text: str):
+        return extractor.extract_document(annotator.annotate("d", text))
+
+    return _extract
+
+
+class TestNoFalseExtractions:
+    def test_question_not_extracted(self, extract):
+        assert extract("Is Chicago big?") == []
+
+    def test_comparative_not_extracted(self, extract):
+        """'bigger' is not an adjective in the pattern sense."""
+        statements = extract("Chicago is bigger than Palo Alto.")
+        assert all(s.property.adjective != "bigger" for s in statements)
+
+    def test_quantified_negation_not_extracted(self, extract):
+        # "No city is safe" quantifies over all cities; extracting
+        # (some city, safe, -) would be wrong.
+        assert extract("No city is safe these days.") == []
+
+    def test_mention_without_claim(self, extract):
+        assert extract("Chicago and Palo Alto share an airport.") == []
+
+    def test_wish_construction_not_extracted(self, extract):
+        assert extract("If only Chicago were warm.") == []
+
+    def test_noun_noun_compound_not_property(self, extract):
+        statements = extract("Chicago is a soccer town.")
+        # "soccer" is a noun, not an adjective; no property extracted.
+        assert all(
+            s.property.adjective != "soccer" for s in statements
+        )
+
+    def test_possessive_aspect_not_attributed(self, extract):
+        # The claim is about the weather, not about Chicago.
+        statements = extract("The weather in Chicago is terrible.")
+        assert statements == []
+
+    def test_verb_phrase_not_extracted(self, extract):
+        assert extract("Chicago grows quickly.") == []
+
+
+class TestRobustnessToMess:
+    def test_gibberish_never_crashes(self, extract):
+        assert extract(",,, ### ???") == []
+
+    def test_empty_document(self, extract):
+        assert extract("") == []
+
+    def test_very_long_run_on_sentence(self, extract):
+        text = ("Chicago is big and " * 40) + "fun."
+        statements = extract(text)
+        # Either parses to coordinated claims or falls back; must not
+        # crash and must not invent negative statements.
+        from repro.core import Polarity
+
+        assert all(
+            s.polarity is Polarity.POSITIVE for s in statements
+        )
+
+    def test_unicode_text(self, extract):
+        assert extract("Chicago — grande ville! ✨") is not None
+
+    def test_repeated_entity_mentions(self, extract):
+        statements = extract(
+            "Chicago, Chicago, Chicago is big."
+        )
+        # At most one claim from the single copular clause.
+        assert len(statements) <= 1
+
+
+class TestPrecisionOfAttribution:
+    def test_claim_attributed_to_subject_not_bystander(self, extract):
+        statements = extract("Near Palo Alto, Chicago is big.")
+        for statement in statements:
+            assert statement.entity_id != "/city/palo_alto"
+
+    def test_two_clauses_two_attributions(self, extract):
+        statements = extract(
+            "Chicago is big. Palo Alto is not big."
+        )
+        by_entity = {s.entity_id: s.polarity.value for s in statements}
+        assert by_entity.get("/city/chicago") == "+"
+        assert by_entity.get("/city/palo_alto") == "-"

@@ -1,0 +1,146 @@
+"""End-to-end integration tests: text corpus in, opinions out."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Polarity,
+    PropertyTypeKey,
+    SubjectiveProperty,
+)
+from repro.corpus import (
+    CorpusGenerator,
+    NoiseProfile,
+    TrueParameters,
+    curated_scenario,
+)
+from repro.kb import evaluation_kb
+from repro.pipeline import SurveyorPipeline
+
+CUTE = PropertyTypeKey(SubjectiveProperty("cute"), "animal")
+
+CUTE_TRUTH = {
+    "pony": True, "spider": False, "koala": True, "rat": False,
+    "scorpion": False, "crow": False, "kitten": True, "monkey": True,
+    "octopus": False, "beaver": True, "goose": False, "tiger": False,
+    "moose": False, "frog": False, "grizzly bear": False,
+    "alligator": False, "puppy": True, "camel": False,
+    "white shark": False, "lion": False,
+}
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return evaluation_kb()
+
+
+@pytest.fixture(scope="module")
+def report(kb):
+    """Full text pipeline over a noisy rendered corpus."""
+    scenario = curated_scenario(
+        "cute-animals",
+        kb.entities_of_type("animal"),
+        truths={"cute": CUTE_TRUTH},
+        params_by_property={
+            "cute": TrueParameters(
+                agreement=0.9, rate_positive=40.0, rate_negative=6.0
+            )
+        },
+    )
+    corpus = CorpusGenerator(
+        seed=11,
+        noise=NoiseProfile(
+            distractor_rate=0.5,
+            non_intrinsic_rate=0.2,
+            loose_only_rate=0.2,
+        ),
+    ).generate(scenario)
+    pipeline = SurveyorPipeline(kb=kb, occurrence_threshold=50)
+    return pipeline.run(corpus)
+
+
+class TestEndToEnd:
+    def test_combination_was_fit(self, report):
+        assert CUTE in report.result.fits
+
+    def test_accuracy_at_least_ninety_percent(self, report):
+        correct = 0
+        for name, truth in CUTE_TRUTH.items():
+            entity_id = f"/animal/{name.replace(' ', '_')}"
+            expected = Polarity.POSITIVE if truth else Polarity.NEGATIVE
+            if report.opinions.polarity(entity_id, CUTE) is expected:
+                correct += 1
+        assert correct >= 18
+
+    def test_learned_parameters_close_to_truth(self, report):
+        params = report.result.fits[CUTE].parameters
+        assert params.agreement == pytest.approx(0.9, abs=0.07)
+        # Rendering noise removes ~10% of statements (broad copulas),
+        # so the learned rates sit slightly below the generative ones.
+        assert 25.0 < params.rate_positive < 45.0
+        assert 3.0 < params.rate_negative < 9.0
+
+    def test_polarity_bias_direction_learned(self, report):
+        params = report.result.fits[CUTE].parameters
+        assert params.rate_positive > params.rate_negative
+
+    def test_noise_documents_did_not_leak(self, report):
+        """Non-intrinsic and distractor renderings must not inflate
+        counts: every extraction's pattern is a strict one."""
+        key_statements = report.evidence.statements_per_key()
+        # Only properties from strict statements should have material
+        # counts; the 'cute' key dominates.
+        assert key_statements[CUTE] == max(key_statements.values())
+
+    def test_ranking_puts_cutest_first(self, report):
+        ranked = report.opinions.entities_with(CUTE)
+        names = [op.entity_id for op in ranked]
+        positives = {
+            f"/animal/{n.replace(' ', '_')}"
+            for n, t in CUTE_TRUTH.items()
+            if t
+        }
+        assert set(names[: len(positives)]) <= positives | set(names)
+        assert all(op.probability > 0.5 for op in ranked)
+
+
+class TestMultiTypePipeline:
+    def test_two_types_processed_independently(self, kb):
+        animals = kb.entities_of_type("animal")
+        cities = kb.entities_of_type("city")
+        animal_scenario = curated_scenario(
+            "animals",
+            animals,
+            truths={"cute": CUTE_TRUTH},
+            params_by_property={
+                "cute": TrueParameters(0.9, 30.0, 4.0)
+            },
+        )
+        big_truth = {
+            entity.name: entity.attribute("population") > 1_000_000
+            for entity in cities
+        }
+        city_scenario = curated_scenario(
+            "cities",
+            cities,
+            truths={"big": big_truth},
+            params_by_property={
+                "big": TrueParameters(0.85, 25.0, 3.0)
+            },
+        )
+        corpus = CorpusGenerator(seed=3).generate(
+            animal_scenario, city_scenario
+        )
+        report = SurveyorPipeline(kb=kb, occurrence_threshold=50).run(
+            corpus
+        )
+        big = PropertyTypeKey(SubjectiveProperty("big"), "city")
+        assert CUTE in report.result.fits
+        assert big in report.result.fits
+        assert report.opinions.polarity("/city/tokyo", big) is (
+            Polarity.POSITIVE
+        )
+        assert report.opinions.polarity("/city/bruges", big) is (
+            Polarity.NEGATIVE
+        )

@@ -1,0 +1,177 @@
+"""Tests for the knowledge-base substrate and seed datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kb import (
+    Entity,
+    KnowledgeBase,
+    british_mountains,
+    california_cities,
+    countries,
+    entity_id,
+    evaluation_entities,
+    evaluation_kb,
+    full_kb,
+    swiss_lakes,
+)
+from repro.kb.seeds import (
+    EVALUATION_PROPERTIES,
+    FIGURE_10_ANIMALS,
+)
+
+
+class TestEntity:
+    def test_id_derivation(self):
+        assert entity_id("City", "San Francisco") == "/city/san_francisco"
+
+    def test_create_builds_id_and_attributes(self):
+        entity = Entity.create("Tokyo", "city", population=13_900_000.0)
+        assert entity.id == "/city/tokyo"
+        assert entity.attribute("population") == 13_900_000.0
+
+    def test_surface_forms_include_aliases(self):
+        entity = Entity.create(
+            "white shark", "animal", aliases=("great white shark",)
+        )
+        assert "great white shark" in entity.surface_forms
+        assert entity.surface_forms[0] == "white shark"
+
+    def test_missing_attribute_raises(self):
+        entity = Entity.create("soccer", "sport")
+        with pytest.raises(KeyError):
+            entity.attribute("population")
+
+    def test_missing_attribute_with_default(self):
+        entity = Entity.create("soccer", "sport")
+        assert entity.attribute("population", default=0.0) == 0.0
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(ValueError):
+            Entity(id="", name="x", entity_type="t")
+
+
+class TestKnowledgeBase:
+    def test_add_and_get(self, small_kb: KnowledgeBase):
+        entity = small_kb.get("/animal/kitten")
+        assert entity.name == "kitten"
+
+    def test_get_unknown_raises(self, small_kb: KnowledgeBase):
+        with pytest.raises(KeyError):
+            small_kb.get("/animal/unicorn")
+
+    def test_maybe_get(self, small_kb: KnowledgeBase):
+        assert small_kb.maybe_get("/animal/unicorn") is None
+        assert small_kb.maybe_get("/animal/kitten") is not None
+
+    def test_duplicate_id_rejected(self, small_kb: KnowledgeBase):
+        with pytest.raises(ValueError):
+            small_kb.add(Entity.create("kitten", "animal"))
+
+    def test_entities_of_type(self, small_kb: KnowledgeBase):
+        names = {e.name for e in small_kb.entities_of_type("sport")}
+        assert names == {"soccer", "golf"}
+
+    def test_entity_ids_of_type_matches(self, small_kb: KnowledgeBase):
+        ids = small_kb.entity_ids_of_type("sport")
+        assert set(ids) == {"/sport/soccer", "/sport/golf"}
+
+    def test_candidates_case_insensitive(self, small_kb: KnowledgeBase):
+        assert small_kb.candidates("san francisco")
+        assert small_kb.candidates("San Francisco")
+
+    def test_ambiguous_surface_returns_both(self, small_kb: KnowledgeBase):
+        candidates = small_kb.candidates("buffalo")
+        assert {c.entity_type for c in candidates} == {"city", "animal"}
+
+    def test_types_listing(self, small_kb: KnowledgeBase):
+        assert set(small_kb.types()) == {"animal", "city", "sport"}
+
+    def test_stats(self, small_kb: KnowledgeBase):
+        stats = small_kb.stats()
+        assert stats["entities"] == len(small_kb)
+        assert stats["types"] == 3
+
+    def test_merged_with(self):
+        left = KnowledgeBase([Entity.create("kitten", "animal")])
+        right = KnowledgeBase([Entity.create("tokyo", "city")])
+        merged = left.merged_with(right)
+        assert len(merged) == 2
+
+    def test_merge_collision_rejected(self):
+        left = KnowledgeBase([Entity.create("kitten", "animal")])
+        with pytest.raises(ValueError):
+            left.merged_with(left)
+
+
+class TestSeeds:
+    def test_figure10_animals_exactly_twenty(self):
+        assert len(FIGURE_10_ANIMALS) == 20
+        assert "kitten" in FIGURE_10_ANIMALS
+        assert "white shark" in FIGURE_10_ANIMALS
+
+    def test_evaluation_properties_table2(self):
+        assert set(EVALUATION_PROPERTIES) == {
+            "animal", "celebrity", "city", "profession", "sport",
+        }
+        for properties in EVALUATION_PROPERTIES.values():
+            assert len(properties) == 5
+
+    def test_evaluation_entities_five_times_twenty(self):
+        entities = evaluation_entities()
+        assert len(entities) == 100
+        by_type = {}
+        for entity in entities:
+            by_type.setdefault(entity.entity_type, []).append(entity)
+        assert all(len(v) == 20 for v in by_type.values())
+
+    def test_evaluation_kb_loads(self):
+        kb = evaluation_kb()
+        assert len(kb) == 100
+
+    def test_california_cities_default_461(self):
+        cities = california_cities()
+        assert len(cities) == 461
+        assert all(e.entity_type == "city" for e in cities)
+        assert all(e.attribute("population") > 0 for e in cities)
+
+    def test_california_cities_deterministic(self):
+        first = california_cities(seed=2015)
+        second = california_cities(seed=2015)
+        assert [e.id for e in first] == [e.id for e in second]
+        assert [e.attributes for e in first] == [
+            e.attributes for e in second
+        ]
+
+    def test_california_population_spans_orders_of_magnitude(self):
+        populations = [
+            e.attribute("population") for e in california_cities()
+        ]
+        assert max(populations) > 1_000_000
+        assert min(populations) < 1_000
+
+    def test_california_count_below_head_rejected(self):
+        with pytest.raises(ValueError):
+            california_cities(count=10)
+
+    def test_countries_have_gdp(self):
+        for entity in countries():
+            assert entity.attribute("gdp_per_capita") > 0
+
+    def test_swiss_lakes_have_area(self):
+        lakes = swiss_lakes()
+        assert len(lakes) > 20
+        assert all(e.attribute("area_km2") > 0 for e in lakes)
+
+    def test_mountains_have_height(self):
+        for entity in british_mountains():
+            assert entity.attribute("relative_height_m") > 0
+
+    def test_full_kb_contains_all_types(self):
+        kb = full_kb()
+        for entity_type in (
+            "animal", "celebrity", "city", "profession", "sport",
+            "country", "lake", "mountain",
+        ):
+            assert kb.entities_of_type(entity_type)

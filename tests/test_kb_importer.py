@@ -1,0 +1,104 @@
+"""Tests for the TSV knowledge-base import/export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kb import Entity, KnowledgeBase, dump_tsv, load_tsv, parse_line
+from repro.kb.importer import ImportError_
+
+
+class TestParseLine:
+    def test_minimal_line(self):
+        entity = parse_line("animal\tkitten")
+        assert entity.id == "/animal/kitten"
+        assert entity.aliases == ()
+        assert entity.attributes == {}
+
+    def test_full_line(self):
+        entity = parse_line(
+            "city\tSan Francisco\tSF|Frisco\tpopulation=870000;"
+            "area_km2=121.4\tport|tech hub"
+        )
+        assert entity.name == "San Francisco"
+        assert entity.aliases == ("SF", "Frisco")
+        assert entity.attribute("population") == 870000.0
+        assert entity.attribute("area_km2") == pytest.approx(121.4)
+        assert entity.other_types == ("port", "tech hub")
+
+    def test_empty_middle_columns(self):
+        entity = parse_line("animal\tkoala\t\t\t")
+        assert entity.aliases == ()
+        assert entity.attributes == {}
+        assert entity.other_types == ()
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ImportError_):
+            parse_line("animal\t", line_number=3)
+
+    def test_single_column_rejected(self):
+        with pytest.raises(ImportError_):
+            parse_line("animal", line_number=1)
+
+    def test_bad_attribute_pair_rejected(self):
+        with pytest.raises(ImportError_):
+            parse_line("city\tTokyo\t\tpopulation", line_number=2)
+
+    def test_non_numeric_attribute_rejected(self):
+        with pytest.raises(ImportError_):
+            parse_line("city\tTokyo\t\tpopulation=big", line_number=2)
+
+
+class TestLoadTsv:
+    def test_load_with_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "kb.tsv"
+        path.write_text(
+            "# my knowledge base\n"
+            "\n"
+            "animal\tkitten\t\t\n"
+            "city\tTokyo\t\tpopulation=13900000\n"
+        )
+        kb = load_tsv(path)
+        assert len(kb) == 2
+        assert kb.get("/city/tokyo").attribute("population") == 13_900_000
+
+    def test_duplicate_entities_rejected(self, tmp_path):
+        path = tmp_path / "kb.tsv"
+        path.write_text("animal\tkitten\nanimal\tkitten\n")
+        with pytest.raises(ValueError):
+            load_tsv(path)
+
+
+class TestRoundTrip:
+    def test_dump_and_reload(self, tmp_path):
+        kb = KnowledgeBase(
+            [
+                Entity.create(
+                    "white shark",
+                    "animal",
+                    aliases=("great white shark",),
+                    other_types=("predator",),
+                    length_m=4.5,
+                ),
+                Entity.create("Tokyo", "city", population=13_900_000.0),
+            ]
+        )
+        path = dump_tsv(kb, tmp_path / "kb.tsv")
+        reloaded = load_tsv(path)
+        assert len(reloaded) == 2
+        shark = reloaded.get("/animal/white_shark")
+        assert shark.aliases == ("great white shark",)
+        assert shark.other_types == ("predator",)
+        assert shark.attribute("length_m") == pytest.approx(4.5)
+
+    def test_round_trip_of_seed_dataset(self, tmp_path):
+        from repro.kb import swiss_lakes
+
+        kb = KnowledgeBase(swiss_lakes())
+        reloaded = load_tsv(dump_tsv(kb, tmp_path / "lakes.tsv"))
+        assert len(reloaded) == len(kb)
+        for entity in kb:
+            restored = reloaded.get(entity.id)
+            assert restored.attribute("area_km2") == pytest.approx(
+                entity.attribute("area_km2")
+            )

@@ -1,0 +1,173 @@
+"""Unit and property tests for the user-behaviour model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import EvidenceCounts, ModelParameters, Polarity, UserBehaviorModel
+
+#: Example 3 of the paper.
+EXAMPLE_PARAMS = ModelParameters(
+    agreement=0.9, rate_positive=100.0, rate_negative=5.0
+)
+
+
+def example_model() -> UserBehaviorModel:
+    return UserBehaviorModel(EXAMPLE_PARAMS)
+
+
+class TestPosterior:
+    def test_figure6_example_is_positive(self):
+        """The evidence tuple <60, 3> of Figure 6 favours D=+."""
+        model = example_model()
+        assert model.posterior_positive(EvidenceCounts(60, 3)) > 0.99
+
+    def test_many_negatives_is_negative(self):
+        model = example_model()
+        assert model.posterior_positive(EvidenceCounts(2, 8)) < 0.01
+
+    def test_silence_favours_negative_under_positive_bias(self):
+        """Zero counts: e^-(90.5) << e^-(14.5), so D=- wins —
+        the 'absence of evidence is evidence' effect."""
+        model = example_model()
+        assert model.posterior_positive(EvidenceCounts(0, 0)) < 1e-20
+
+    def test_posterior_by_bayes_rule_by_hand(self):
+        model = example_model()
+        counts = EvidenceCounts(5, 1)
+        log_pos = model.log_likelihood(counts, True) + math.log(0.5)
+        log_neg = model.log_likelihood(counts, False) + math.log(0.5)
+        expected = 1.0 / (1.0 + math.exp(log_neg - log_pos))
+        assert model.posterior_positive(counts) == pytest.approx(expected)
+
+    def test_monotone_in_positive_count(self):
+        model = example_model()
+        posteriors = [
+            model.posterior_positive(EvidenceCounts(k, 2))
+            for k in range(0, 60, 5)
+        ]
+        assert posteriors == sorted(posteriors)
+
+    def test_monotone_decreasing_in_negative_count(self):
+        model = example_model()
+        posteriors = [
+            model.posterior_positive(EvidenceCounts(30, k))
+            for k in range(0, 12)
+        ]
+        assert posteriors == sorted(posteriors, reverse=True)
+
+    def test_prior_shifts_posterior(self):
+        counts = EvidenceCounts(18, 1)
+        skeptical = UserBehaviorModel(EXAMPLE_PARAMS, prior_positive=0.01)
+        credulous = UserBehaviorModel(EXAMPLE_PARAMS, prior_positive=0.99)
+        assert skeptical.posterior_positive(
+            counts
+        ) < credulous.posterior_positive(counts)
+
+    def test_invalid_prior_rejected(self):
+        with pytest.raises(ValueError):
+            UserBehaviorModel(EXAMPLE_PARAMS, prior_positive=0.0)
+
+
+class TestClassify:
+    def test_positive(self):
+        assert example_model().classify(EvidenceCounts(60, 3)) is (
+            Polarity.POSITIVE
+        )
+
+    def test_negative(self):
+        assert example_model().classify(EvidenceCounts(1, 9)) is (
+            Polarity.NEGATIVE
+        )
+
+    def test_opinion_wraps_everything(self):
+        from repro.core import PropertyTypeKey, SubjectiveProperty
+
+        key = PropertyTypeKey(SubjectiveProperty("cute"), "animal")
+        opinion = example_model().opinion(
+            "/animal/kitten", key, EvidenceCounts(60, 3)
+        )
+        assert opinion.entity_id == "/animal/kitten"
+        assert opinion.key == key
+        assert opinion.evidence == EvidenceCounts(60, 3)
+        assert opinion.polarity is Polarity.POSITIVE
+
+
+class TestSymmetry:
+    def test_symmetric_parameters_give_half_on_symmetric_counts(self):
+        """With p+S == p-S the model cannot prefer either side when
+        the counts are equal."""
+        params = ModelParameters(0.8, 10.0, 10.0)
+        model = UserBehaviorModel(params)
+        for count in (0, 1, 5):
+            assert model.posterior_positive(
+                EvidenceCounts(count, count)
+            ) == pytest.approx(0.5)
+
+    def test_swapping_counts_mirrors_posterior(self):
+        params = ModelParameters(0.8, 10.0, 10.0)
+        model = UserBehaviorModel(params)
+        p_ab = model.posterior_positive(EvidenceCounts(7, 2))
+        p_ba = model.posterior_positive(EvidenceCounts(2, 7))
+        assert p_ab == pytest.approx(1.0 - p_ba)
+
+
+class TestMultinomialApproximation:
+    """Section 5.2: the Poisson product approximates the Multinomial."""
+
+    @given(
+        positive=st.integers(0, 30),
+        negative=st.integers(0, 10),
+    )
+    def test_poisson_close_to_multinomial_for_large_n(
+        self, positive, negative
+    ):
+        model = example_model()
+        counts = EvidenceCounts(positive, negative)
+        approx = model.posterior_positive(counts)
+        exact = model.posterior_positive_multinomial(
+            counts, n_documents=1_000_000
+        )
+        assert approx == pytest.approx(exact, abs=1e-3)
+
+    def test_counts_exceeding_documents_rejected(self):
+        model = example_model()
+        with pytest.raises(ValueError):
+            model.posterior_positive_multinomial(
+                EvidenceCounts(300, 300), n_documents=400
+            )
+
+    def test_log_evidence_marginalizes(self):
+        model = example_model()
+        counts = EvidenceCounts(4, 1)
+        expected = math.log(
+            0.5 * math.exp(model.log_likelihood(counts, True))
+            + 0.5 * math.exp(model.log_likelihood(counts, False))
+        )
+        assert model.log_evidence(counts) == pytest.approx(expected)
+
+
+class TestGenerativeConsistency:
+    """The model's posterior should recover the class that actually
+    generated the counts, on average (sanity of the whole chain)."""
+
+    def test_recovery_rate_above_ninety_percent(self):
+        import random
+
+        from repro.corpus import TrueParameters, sample_statement_counts
+
+        params = TrueParameters(0.9, 100.0, 5.0)
+        model = example_model()
+        rng = random.Random(31)
+        correct = 0
+        trials = 400
+        for i in range(trials):
+            truth = Polarity.POSITIVE if i % 2 == 0 else Polarity.NEGATIVE
+            pos, neg = sample_statement_counts(truth, params, rng)
+            predicted = model.classify(EvidenceCounts(pos, neg))
+            correct += predicted is truth
+        assert correct / trials > 0.9

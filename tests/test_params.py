@@ -1,0 +1,82 @@
+"""Unit tests for model parameters and Poisson-rate derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ModelParameters
+from repro.core.params import (
+    DEFAULT_AGREEMENT_GRID,
+    DEFAULT_INITIAL_PARAMETERS,
+)
+
+
+class TestModelParameters:
+    def test_rates_follow_paper_equations(self):
+        """Example 3 of the paper: pA=0.9, np+S=100, np-S=5."""
+        params = ModelParameters(
+            agreement=0.9, rate_positive=100.0, rate_negative=5.0
+        )
+        rates = params.poisson_rates()
+        assert rates.pos_given_pos == pytest.approx(90.0)
+        assert rates.neg_given_pos == pytest.approx(0.5)
+        assert rates.neg_given_neg == pytest.approx(4.5)
+        assert rates.pos_given_neg == pytest.approx(10.0)
+
+    def test_for_dominant_selects_pair(self):
+        params = ModelParameters(0.8, 10.0, 2.0)
+        rates = params.poisson_rates()
+        assert rates.for_dominant(True) == (
+            rates.pos_given_pos,
+            rates.neg_given_pos,
+        )
+        assert rates.for_dominant(False) == (
+            rates.pos_given_neg,
+            rates.neg_given_neg,
+        )
+
+    def test_agreement_bounds_validated(self):
+        with pytest.raises(ValueError):
+            ModelParameters(1.5, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            ModelParameters(-0.1, 1.0, 1.0)
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            ModelParameters(0.8, -1.0, 1.0)
+
+    def test_statement_probabilities_sum_to_one(self):
+        params = ModelParameters(0.85, 20.0, 3.0)
+        p_pos, p_neg, p_silent = params.statement_probabilities(
+            True, n_documents=1000
+        )
+        assert p_pos + p_neg + p_silent == pytest.approx(1.0)
+        assert p_pos == pytest.approx(0.85 * 20.0 / 1000)
+
+    def test_statement_probabilities_need_positive_n(self):
+        params = ModelParameters(0.85, 20.0, 3.0)
+        with pytest.raises(ValueError):
+            params.statement_probabilities(True, 0)
+
+    def test_rates_exceeding_documents_rejected(self):
+        params = ModelParameters(0.9, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            params.statement_probabilities(True, n_documents=5)
+
+
+class TestDefaults:
+    def test_default_grid_is_identifiable(self):
+        """All grid values must be strictly above 0.5 and below 1."""
+        assert all(0.5 < p < 1.0 for p in DEFAULT_AGREEMENT_GRID)
+
+    def test_default_grid_covers_range(self):
+        assert min(DEFAULT_AGREEMENT_GRID) <= 0.55
+        assert max(DEFAULT_AGREEMENT_GRID) >= 0.95
+
+    def test_default_initial_parameters_valid(self):
+        assert 0.0 < DEFAULT_INITIAL_PARAMETERS.agreement < 1.0
+        # Break the label symmetry toward positive statements.
+        assert (
+            DEFAULT_INITIAL_PARAMETERS.rate_positive
+            > DEFAULT_INITIAL_PARAMETERS.rate_negative
+        )

@@ -1,0 +1,167 @@
+"""Tests for the map/reduce executor and the full pipeline runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Polarity, PropertyTypeKey, SubjectiveProperty
+from repro.corpus import CorpusGenerator
+from repro.pipeline import (
+    MapReduceJob,
+    PipelineMetrics,
+    SurveyorPipeline,
+    shard_items,
+)
+
+
+class TestShardItems:
+    def test_round_robin(self):
+        shards = shard_items(range(7), 3)
+        assert shards == [[0, 3, 6], [1, 4], [2, 5]]
+
+    def test_fewer_items_than_shards(self):
+        shards = shard_items([1], 4)
+        assert shards == [[1], [], [], []]
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            shard_items([1], 0)
+
+
+class TestMapReduceJob:
+    def word_count_job(self, parallel: bool) -> MapReduceJob:
+        return MapReduceJob(
+            mapper=lambda shard: sum(len(s.split()) for s in shard),
+            reducer=lambda partials: sum(partials),
+            n_workers=3,
+            parallel=parallel,
+        )
+
+    def test_sequential_word_count(self):
+        job = self.word_count_job(parallel=False)
+        shards = shard_items(
+            ["a b c", "d e", "f", "g h i j"], 3
+        )
+        assert job.run(shards) == 10
+
+    def test_parallel_equals_sequential(self):
+        shards = shard_items([f"w{i} w{i}" for i in range(20)], 4)
+        sequential = self.word_count_job(parallel=False).run(shards)
+        parallel = self.word_count_job(parallel=True).run(shards)
+        assert sequential == parallel == 40
+
+    def test_metrics_recorded(self):
+        metrics = PipelineMetrics()
+        job = self.word_count_job(parallel=False)
+        job.run(shard_items(["a b", "c"], 2), metrics)
+        assert metrics.stage("map").counters["shards"] == 2
+        assert metrics.stage("map").counters["items"] == 2
+        assert metrics.stage("reduce").counters["partials"] == 2
+        assert metrics.total_seconds >= 0.0
+
+    def test_metrics_report_readable(self):
+        metrics = PipelineMetrics()
+        job = self.word_count_job(parallel=False)
+        job.run(shard_items(["a"], 1), metrics)
+        report = metrics.report()
+        assert "map" in report
+        assert "total" in report
+
+
+class TestSurveyorPipeline:
+    @pytest.fixture()
+    def report(self, small_kb, cute_scenario):
+        corpus = CorpusGenerator(seed=21).generate(cute_scenario)
+        pipeline = SurveyorPipeline(
+            kb=small_kb, occurrence_threshold=10, n_workers=3
+        )
+        return pipeline.run(corpus)
+
+    def test_stages_timed(self, report):
+        stages = set(report.metrics.stages)
+        assert {"map", "reduce", "kb", "group", "em"} <= stages
+
+    def test_opinions_produced(self, report):
+        key = PropertyTypeKey(SubjectiveProperty("cute"), "animal")
+        assert report.opinions.polarity("/animal/kitten", key) is (
+            Polarity.POSITIVE
+        )
+        assert report.opinions.polarity("/animal/snake", key) is (
+            Polarity.NEGATIVE
+        )
+
+    def test_evidence_statements_counted(self, report):
+        assert report.evidence.n_statements > 0
+        assert report.metrics.stage("map").counters["statements"] == (
+            report.evidence.n_statements
+        )
+
+    def test_summary_renders(self, report):
+        summary = report.summary()
+        assert "opinions emitted" in summary
+        assert "evidence statements" in summary
+
+    def test_parallel_run_equals_sequential(self, small_kb, cute_scenario):
+        corpus = CorpusGenerator(seed=22).generate(cute_scenario)
+        sequential = SurveyorPipeline(
+            kb=small_kb, occurrence_threshold=10, parallel=False
+        ).run(corpus)
+        parallel = SurveyorPipeline(
+            kb=small_kb, occurrence_threshold=10, parallel=True,
+            n_workers=4,
+        ).run(corpus)
+        key = PropertyTypeKey(SubjectiveProperty("cute"), "animal")
+        for entity_id in ("/animal/kitten", "/animal/snake"):
+            assert sequential.evidence.get(
+                key, entity_id
+            ) == parallel.evidence.get(key, entity_id)
+
+    def test_threshold_skips_small_combinations(
+        self, small_kb, cute_scenario
+    ):
+        corpus = CorpusGenerator(seed=23).generate(cute_scenario)
+        pipeline = SurveyorPipeline(
+            kb=small_kb, occurrence_threshold=100_000
+        )
+        report = pipeline.run(corpus)
+        assert len(report.opinions) == 0
+        assert report.result.skipped
+
+    def test_process_executor_equals_serial(
+        self, small_kb, cute_scenario
+    ):
+        corpus = CorpusGenerator(seed=24).generate(cute_scenario)
+        serial = SurveyorPipeline(
+            kb=small_kb, occurrence_threshold=10
+        ).run(corpus)
+        process = SurveyorPipeline(
+            kb=small_kb,
+            occurrence_threshold=10,
+            executor="process",
+            n_workers=2,
+        ).run(corpus)
+        assert (
+            serial.evidence.n_statements
+            == process.evidence.n_statements
+        )
+        key = PropertyTypeKey(SubjectiveProperty("cute"), "animal")
+        for entity_id in small_kb.entity_ids_of_type("animal"):
+            assert serial.evidence.get(
+                key, entity_id
+            ) == process.evidence.get(key, entity_id)
+
+    def test_invalid_executor_rejected(self):
+        from repro.pipeline import MapReduceJob
+
+        import pytest
+
+        with pytest.raises(ValueError):
+            MapReduceJob(
+                mapper=len, reducer=sum, executor="quantum"
+            )
+
+    def test_parallel_alias_selects_thread(self):
+        from repro.pipeline import MapReduceJob
+
+        job = MapReduceJob(mapper=len, reducer=sum, parallel=True)
+        assert job.executor == "thread"

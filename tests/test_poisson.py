@@ -1,0 +1,142 @@
+"""Unit and property tests for the Poisson helpers."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.core.poisson import (
+    log_sum_exp,
+    multinomial_log_pmf,
+    poisson_log_pmf,
+    poisson_pmf,
+    sample_poisson,
+)
+
+
+class TestPoissonLogPmf:
+    @pytest.mark.parametrize("count,rate", [(0, 1.0), (3, 2.5), (10, 7.0), (100, 120.0)])
+    def test_matches_scipy(self, count, rate):
+        assert poisson_log_pmf(count, rate) == pytest.approx(
+            stats.poisson.logpmf(count, rate), rel=1e-10
+        )
+
+    def test_zero_rate_zero_count(self):
+        assert poisson_log_pmf(0, 0.0) == 0.0
+
+    def test_zero_rate_positive_count(self):
+        assert poisson_log_pmf(5, 0.0) == -math.inf
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_log_pmf(-1, 1.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_log_pmf(1, -1.0)
+
+    def test_pmf_exponentiates(self):
+        assert poisson_pmf(2, 3.0) == pytest.approx(
+            math.exp(poisson_log_pmf(2, 3.0))
+        )
+
+    @given(rate=st.floats(0.01, 50.0))
+    def test_pmf_sums_to_one(self, rate):
+        total = sum(poisson_pmf(k, rate) for k in range(200))
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    @given(
+        count=st.integers(0, 200),
+        rate=st.floats(1e-6, 1e4),
+    )
+    def test_log_pmf_finite_for_positive_rate(self, count, rate):
+        value = poisson_log_pmf(count, rate)
+        assert value <= 0.0 or value == pytest.approx(0.0, abs=1e-9) or value < 1.0
+        assert not math.isnan(value)
+
+
+class TestMultinomialLogPmf:
+    def test_matches_scipy(self):
+        counts = (3, 2, 5)
+        probs = (0.2, 0.3, 0.5)
+        expected = stats.multinomial.logpmf(counts, n=10, p=probs)
+        assert multinomial_log_pmf(counts, probs) == pytest.approx(
+            float(expected), rel=1e-10
+        )
+
+    def test_zero_prob_with_positive_count(self):
+        assert multinomial_log_pmf((1, 1), (0.0, 1.0)) == -math.inf
+
+    def test_zero_prob_with_zero_count(self):
+        value = multinomial_log_pmf((0, 3), (0.0, 1.0))
+        assert value == pytest.approx(0.0)
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            multinomial_log_pmf((1, 1), (0.3, 0.3))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            multinomial_log_pmf((1,), (0.5, 0.5))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            multinomial_log_pmf((-1, 2), (0.5, 0.5))
+
+
+class TestLogSumExp:
+    def test_two_values(self):
+        assert log_sum_exp((math.log(0.3), math.log(0.7))) == pytest.approx(
+            0.0
+        )
+
+    def test_all_neg_inf(self):
+        assert log_sum_exp((-math.inf, -math.inf)) == -math.inf
+
+    def test_one_neg_inf(self):
+        assert log_sum_exp((0.0, -math.inf)) == pytest.approx(0.0)
+
+    def test_large_values_stable(self):
+        assert log_sum_exp((1000.0, 1000.0)) == pytest.approx(
+            1000.0 + math.log(2.0)
+        )
+
+    def test_empty_is_neg_inf(self):
+        assert log_sum_exp(()) == -math.inf
+
+
+class TestSamplePoisson:
+    def test_zero_rate(self):
+        rng = random.Random(0)
+        assert sample_poisson(0.0, rng) == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            sample_poisson(-1.0, random.Random(0))
+
+    @pytest.mark.parametrize("rate", [0.5, 5.0, 40.0, 200.0])
+    def test_sample_mean_close_to_rate(self, rate):
+        rng = random.Random(12345)
+        n = 4000
+        mean = sum(sample_poisson(rate, rng) for _ in range(n)) / n
+        # Standard error is sqrt(rate / n); allow five sigma.
+        tolerance = 5.0 * math.sqrt(rate / n)
+        assert abs(mean - rate) < tolerance
+
+    def test_large_rate_variance_roughly_poisson(self):
+        rng = random.Random(99)
+        rate = 100.0
+        samples = [sample_poisson(rate, rng) for _ in range(4000)]
+        mean = sum(samples) / len(samples)
+        var = sum((s - mean) ** 2 for s in samples) / len(samples)
+        assert var == pytest.approx(rate, rel=0.15)
+
+    def test_deterministic_given_seed(self):
+        a = [sample_poisson(3.0, random.Random(7)) for _ in range(10)]
+        b = [sample_poisson(3.0, random.Random(7)) for _ in range(10)]
+        assert a == b

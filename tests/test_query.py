@@ -1,0 +1,135 @@
+"""Tests for the subjective query engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    EvidenceCounts,
+    Opinion,
+    OpinionTable,
+    PropertyTypeKey,
+    SubjectiveProperty,
+)
+from repro.core.query import (
+    QueryEngine,
+    QueryError,
+    SubjectiveQuery,
+)
+
+CALM = PropertyTypeKey(SubjectiveProperty("calm"), "city")
+CHEAP = PropertyTypeKey(SubjectiveProperty("cheap"), "city")
+
+
+def table() -> OpinionTable:
+    def op(city, key, p):
+        return Opinion(f"/city/{city}", key, p, EvidenceCounts(1, 0))
+
+    return OpinionTable(
+        [
+            op("bruges", CALM, 0.95), op("bruges", CHEAP, 0.30),
+            op("bangkok", CALM, 0.05), op("bangkok", CHEAP, 0.95),
+            op("tallinn", CALM, 0.90), op("tallinn", CHEAP, 0.80),
+            op("tokyo", CALM, 0.20), op("tokyo", CHEAP, 0.10),
+        ]
+    )
+
+
+class TestParse:
+    def test_single_property(self):
+        query = SubjectiveQuery.parse("calm cities")
+        assert query.entity_type == "city"
+        assert query.terms[0].property.text == "calm"
+        assert not query.terms[0].negated
+
+    def test_multiple_properties(self):
+        query = SubjectiveQuery.parse("calm cheap cities")
+        assert [t.property.text for t in query.terms] == [
+            "calm", "cheap",
+        ]
+
+    def test_type_noun_synonyms(self):
+        assert SubjectiveQuery.parse("calm towns").entity_type == "city"
+        assert (
+            SubjectiveQuery.parse("cute creatures").entity_type
+            == "animal"
+        )
+
+    def test_negated_term(self):
+        query = SubjectiveQuery.parse("not hectic cities")
+        assert query.terms[0].negated
+        assert query.terms[0].property.text == "hectic"
+
+    def test_adverb_property(self):
+        query = SubjectiveQuery.parse("very big cities")
+        assert query.terms[0].property.text == "very big"
+
+    def test_round_trip_text(self):
+        query = SubjectiveQuery.parse("calm not cheap cities")
+        assert query.text() == "calm not cheap city"
+
+    def test_unknown_type_noun_rejected(self):
+        with pytest.raises(QueryError):
+            SubjectiveQuery.parse("calm gadgets")
+
+    def test_too_short_rejected(self):
+        with pytest.raises(QueryError):
+            SubjectiveQuery.parse("cities")
+
+    def test_dangling_not_rejected(self):
+        with pytest.raises(QueryError):
+            SubjectiveQuery.parse("calm not cities")
+
+
+class TestAnswer:
+    def test_single_property_ranking(self):
+        hits = QueryEngine(table()).answer("calm cities")
+        assert hits[0].entity_id == "/city/bruges"
+        assert hits[1].entity_id == "/city/tallinn"
+
+    def test_conjunction_picks_intersection(self):
+        hits = QueryEngine(table()).answer("calm cheap cities")
+        assert hits[0].entity_id == "/city/tallinn"
+        assert hits[0].confident
+
+    def test_conjunction_scores_multiply(self):
+        hits = QueryEngine(table()).answer("calm cheap cities")
+        tallinn = next(
+            h for h in hits if h.entity_id == "/city/tallinn"
+        )
+        assert tallinn.score == pytest.approx(0.9 * 0.8)
+
+    def test_negated_term_inverts(self):
+        hits = QueryEngine(table()).answer("not calm cities")
+        assert hits[0].entity_id == "/city/bangkok"
+
+    def test_unknown_pair_scores_half(self):
+        sparse = OpinionTable(
+            [
+                Opinion(
+                    "/city/x", CALM, 0.9, EvidenceCounts(1, 0)
+                )
+            ]
+        )
+        hits = QueryEngine(sparse).answer("calm cheap cities")
+        assert hits[0].per_term == (0.9, 0.5)
+
+    def test_top_limits(self):
+        hits = QueryEngine(table()).answer("calm cities", top=2)
+        assert len(hits) == 2
+
+    def test_unknown_type_yields_empty(self):
+        hits = QueryEngine(table()).answer("cute animals")
+        assert hits == []
+
+    def test_accepts_prebuilt_query(self):
+        query = SubjectiveQuery.parse("cheap cities")
+        hits = QueryEngine(table()).answer(query)
+        assert hits[0].entity_id == "/city/bangkok"
+
+    def test_confident_flag(self):
+        hits = QueryEngine(table()).answer("calm cheap cities")
+        bruges = next(
+            h for h in hits if h.entity_id == "/city/bruges"
+        )
+        assert not bruges.confident  # cheap is only 0.30

@@ -1,0 +1,107 @@
+"""Tests for region-specific mining (Section 2's user-group lens)."""
+
+from __future__ import annotations
+
+from repro.core import Polarity, PropertyTypeKey, SubjectiveProperty
+from repro.corpus import (
+    CorpusGenerator,
+    Document,
+    TrueParameters,
+    WebCorpus,
+    curated_scenario,
+)
+from repro.pipeline import SurveyorPipeline
+
+CUTE = PropertyTypeKey(SubjectiveProperty("cute"), "animal")
+
+
+class TestCorpusRegions:
+    def test_documents_tagged_with_region(self, cute_scenario):
+        corpus = CorpusGenerator(seed=5, region="us").generate(
+            cute_scenario
+        )
+        assert all(doc.region == "us" for doc in corpus)
+
+    def test_restricted_to_region(self):
+        corpus = WebCorpus(
+            documents=[
+                Document("a", "x", region="us"),
+                Document("b", "y", region="eu"),
+                Document("c", "z", region="us"),
+            ]
+        )
+        us_only = corpus.restricted_to_region("us")
+        assert len(us_only) == 2
+        assert {doc.doc_id for doc in us_only} == {"a", "c"}
+
+    def test_regions_listing(self):
+        corpus = WebCorpus(
+            documents=[
+                Document("a", "x", region="us"),
+                Document("b", "y"),
+            ]
+        )
+        assert corpus.regions() == ["", "us"]
+
+    def test_merged_with_keeps_both_regions(self, cute_scenario):
+        us = CorpusGenerator(seed=5, region="us").generate(cute_scenario)
+        eu = CorpusGenerator(seed=6, region="eu").generate(cute_scenario)
+        merged = us.merged_with(eu)
+        assert len(merged) == len(us) + len(eu)
+        assert set(merged.regions()) == {"us", "eu"}
+
+
+class TestRegionalOpinions:
+    def test_divergent_regional_ground_truth_recovered(self, small_kb):
+        """Two regions disagree about the tiger; mining each region's
+        sub-corpus recovers each region's dominant opinion."""
+        animals = [
+            entity
+            for entity in small_kb.entities_of_type("animal")
+            if entity.name != "buffalo"
+        ]
+        params = {
+            "cute": TrueParameters(
+                agreement=0.9, rate_positive=35.0, rate_negative=5.0
+            )
+        }
+        us_scenario = curated_scenario(
+            "us",
+            animals,
+            truths={
+                "cute": {"kitten": True, "snake": False, "tiger": True}
+            },
+            params_by_property=params,
+        )
+        eu_scenario = curated_scenario(
+            "eu",
+            animals,
+            truths={
+                "cute": {"kitten": True, "snake": False, "tiger": False}
+            },
+            params_by_property=params,
+        )
+        corpus = CorpusGenerator(seed=8, region="us").generate(
+            us_scenario
+        ).merged_with(
+            CorpusGenerator(seed=9, region="eu").generate(eu_scenario)
+        )
+
+        pipeline = SurveyorPipeline(kb=small_kb, occurrence_threshold=10)
+        us_report = pipeline.run(corpus.restricted_to_region("us"))
+        eu_report = pipeline.run(corpus.restricted_to_region("eu"))
+
+        assert us_report.opinions.polarity("/animal/tiger", CUTE) is (
+            Polarity.POSITIVE
+        )
+        assert eu_report.opinions.polarity("/animal/tiger", CUTE) is (
+            Polarity.NEGATIVE
+        )
+        # Both regions agree on the uncontroversial animals.
+        for report in (us_report, eu_report):
+            assert report.opinions.polarity(
+                "/animal/kitten", CUTE
+            ) is Polarity.POSITIVE
+            assert report.opinions.polarity(
+                "/animal/snake", CUTE
+            ) is Polarity.NEGATIVE

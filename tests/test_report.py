@@ -1,0 +1,48 @@
+"""Tests for the one-shot reproduction report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.report import ReproductionReport, full_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return full_report(seed=3, fast=True)
+
+
+class TestFullReport:
+    def test_all_sections_present(self, report):
+        titles = [title for title, _ in report.sections]
+        assert any("Survey" in t for t in titles)
+        assert any("Table 3" in t for t in titles)
+        assert any("Figure 12" in t for t in titles)
+        assert any("covariate" in t for t in titles)
+        assert any("Table 5" in t for t in titles)
+
+    def test_text_renders_every_section(self, report):
+        text = report.text()
+        for title, _ in report.sections:
+            assert title in text
+
+    def test_table3_rows_in_text(self, report):
+        text = report.text()
+        for name in (
+            "Majority Vote", "Scaled Majority Vote", "WebChild",
+            "Surveyor",
+        ):
+            assert name in text
+
+    def test_report_object_shape(self, report):
+        assert isinstance(report, ReproductionReport)
+        for _, lines in report.sections:
+            assert lines
+
+    def test_cli_reproduce_writes_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.txt"
+        rc = main(["reproduce", "--seed", "3", "--out", str(out)])
+        assert rc == 0
+        assert "Table 3" in out.read_text()

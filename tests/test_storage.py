@@ -1,0 +1,163 @@
+"""Tests for JSON persistence of the mined artefacts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import (
+    EvidenceCounts,
+    ModelParameters,
+    Opinion,
+    OpinionTable,
+    PropertyTypeKey,
+    SubjectiveProperty,
+)
+from repro.extraction import EvidenceCounter, EvidenceStatement
+from repro.core.types import Polarity
+from repro.kb import Entity, KnowledgeBase
+from repro.storage import FormatError, load, save
+
+CUTE = PropertyTypeKey(SubjectiveProperty("cute"), "animal")
+VERY_BIG = PropertyTypeKey(
+    SubjectiveProperty("big", ("very",)), "city"
+)
+
+
+class TestKnowledgeBaseRoundTrip:
+    def test_round_trip(self, tmp_path, small_kb):
+        path = save(small_kb, tmp_path / "kb.json")
+        loaded = load(path)
+        assert isinstance(loaded, KnowledgeBase)
+        assert len(loaded) == len(small_kb)
+        original = small_kb.get("/city/san_francisco")
+        restored = loaded.get("/city/san_francisco")
+        assert restored.name == original.name
+        assert restored.attributes == original.attributes
+
+    def test_aliases_survive(self, tmp_path):
+        kb = KnowledgeBase(
+            [Entity.create("white shark", "animal",
+                           aliases=("great white shark",))]
+        )
+        loaded = load(save(kb, tmp_path / "kb.json"))
+        assert loaded.candidates("great white shark")
+
+
+class TestEvidenceRoundTrip:
+    def test_round_trip(self, tmp_path):
+        counter = EvidenceCounter()
+        for _ in range(3):
+            counter.add(
+                EvidenceStatement(
+                    entity_id="/animal/kitten",
+                    entity_type="animal",
+                    property=SubjectiveProperty("cute"),
+                    polarity=Polarity.POSITIVE,
+                    pattern="acomp",
+                )
+            )
+        counter.add(
+            EvidenceStatement(
+                entity_id="/animal/kitten",
+                entity_type="animal",
+                property=SubjectiveProperty("cute"),
+                polarity=Polarity.NEGATIVE,
+                pattern="acomp",
+            )
+        )
+        loaded = load(save(counter, tmp_path / "ev.json"))
+        counts = loaded.get(CUTE, "/animal/kitten")
+        assert (counts.positive, counts.negative) == (3, 1)
+
+
+class TestParametersRoundTrip:
+    def test_round_trip(self, tmp_path):
+        params = {
+            CUTE: ModelParameters(0.9, 30.0, 3.0),
+            VERY_BIG: ModelParameters(0.8, 12.0, 6.0),
+        }
+        loaded = load(save(params, tmp_path / "params.json"))
+        assert loaded == params
+
+    def test_adverb_key_survives(self, tmp_path):
+        params = {VERY_BIG: ModelParameters(0.8, 12.0, 6.0)}
+        loaded = load(save(params, tmp_path / "params.json"))
+        key = next(iter(loaded))
+        assert key.property.adverbs == ("very",)
+
+
+class TestOpinionsRoundTrip:
+    def test_round_trip(self, tmp_path):
+        table = OpinionTable(
+            [
+                Opinion(
+                    "/animal/kitten", CUTE, 0.97, EvidenceCounts(9, 1)
+                ),
+                Opinion(
+                    "/city/tokyo", VERY_BIG, 0.88, EvidenceCounts(4, 0)
+                ),
+            ]
+        )
+        loaded = load(save(table, tmp_path / "op.json"))
+        assert isinstance(loaded, OpinionTable)
+        assert len(loaded) == 2
+        kitten = loaded.get("/animal/kitten", CUTE)
+        assert kitten.probability == pytest.approx(0.97)
+        assert kitten.evidence == EvidenceCounts(9, 1)
+
+    def test_queries_work_after_load(self, tmp_path):
+        table = OpinionTable(
+            [Opinion("/animal/kitten", CUTE, 0.97, EvidenceCounts(9, 1))]
+        )
+        loaded = load(save(table, tmp_path / "op.json"))
+        assert loaded.entities_with(CUTE)[0].entity_id == "/animal/kitten"
+
+
+class TestErrors:
+    def test_unknown_object_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save(object(), tmp_path / "x.json")
+
+    def test_non_artefact_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(FormatError):
+            load(path)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"format": "wat", "version": 1}))
+        with pytest.raises(FormatError):
+            load(path)
+
+    def test_version_mismatch_rejected(self, tmp_path, small_kb):
+        path = save(small_kb, tmp_path / "kb.json")
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(FormatError):
+            load(path)
+
+    def test_malformed_key_rejected(self, tmp_path):
+        path = tmp_path / "op.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "opinions",
+                    "version": 1,
+                    "opinions": [
+                        {
+                            "entity": "/x",
+                            "key": "nokeyhere",
+                            "probability": 0.5,
+                            "positive": 0,
+                            "negative": 0,
+                        }
+                    ],
+                }
+            )
+        )
+        with pytest.raises(FormatError):
+            load(path)

@@ -1,0 +1,88 @@
+"""Tests for the covariate studies and the random-sample study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import (
+    APPENDIX_A_STUDIES,
+    BIG_CITIES,
+    RandomSampleStudy,
+    run_study,
+)
+
+
+class TestCovariateStudies:
+    @pytest.fixture(scope="class")
+    def big_cities(self):
+        return run_study(BIG_CITIES, seed=11)
+
+    def test_surveyor_decides_everything(self, big_cities):
+        assert big_cities.surveyor.decided_fraction == 1.0
+
+    def test_majority_leaves_gaps(self, big_cities):
+        assert big_cities.majority.decided_fraction < 1.0
+
+    def test_surveyor_separates_better(self, big_cities):
+        assert big_cities.surveyor.auc > big_cities.majority.auc
+        assert big_cities.surveyor.auc > 0.95
+
+    def test_positive_medians_exceed_negative(self, big_cities):
+        assert big_cities.surveyor.separation > 2.0
+
+    def test_summary_renders(self, big_cities):
+        text = big_cities.summary()
+        assert "Majority Vote" in text
+        assert "Surveyor" in text
+
+    @pytest.mark.parametrize(
+        "spec", APPENDIX_A_STUDIES, ids=lambda s: s.name
+    )
+    def test_appendix_a_shape(self, spec):
+        outcome = run_study(spec, seed=13)
+        assert outcome.surveyor.decided_fraction == 1.0
+        assert outcome.surveyor.auc >= outcome.majority.auc
+        assert outcome.surveyor.auc > 0.9
+
+
+class TestRandomSampleStudy:
+    @pytest.fixture(scope="class")
+    def scores(self):
+        study = RandomSampleStudy(
+            n_combinations=60, n_precision_cases=30, seed=4
+        )
+        return {s.name: s for s in study.run()}
+
+    def test_surveyor_coverage_near_total(self, scores):
+        assert scores["Surveyor"].coverage > 0.95
+
+    def test_counting_baselines_collapse(self, scores):
+        """Table 5: long-tail entities are mostly silent."""
+        assert scores["Majority Vote"].coverage < 0.4
+        assert scores["Scaled Majority Vote"].coverage < 0.4
+
+    def test_surveyor_best_f1(self, scores):
+        best = max(s.f1 for s in scores.values())
+        assert scores["Surveyor"].f1 == best
+
+    def test_deterministic(self):
+        first = RandomSampleStudy(n_combinations=10, seed=3).run()
+        second = RandomSampleStudy(n_combinations=10, seed=3).run()
+        assert [(s.n_solved, s.n_correct) for s in first] == [
+            (s.n_solved, s.n_correct) for s in second
+        ]
+
+    def test_world_shape(self):
+        study = RandomSampleStudy(
+            n_combinations=10, entities_per_combination=7
+        )
+        kb, scenarios, cases = study.build()
+        assert len(cases) == 70
+        # Two properties per type -> five types.
+        assert len(scenarios) == 5
+        for scenario in scenarios:
+            assert len(scenario.specs) == 2
+
+    def test_invalid_combination_count(self):
+        with pytest.raises(ValueError):
+            RandomSampleStudy(n_combinations=0)

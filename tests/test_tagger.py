@@ -1,0 +1,89 @@
+"""Tests for the rule-based POS tagger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nlp import tag, tokenize
+from repro.nlp.tokens import POS
+
+
+def tags_of(text: str) -> dict[str, POS]:
+    sentence = tag(tokenize(text))
+    return {token.text: token.pos for token in sentence.tokens}
+
+
+class TestClosedClasses:
+    def test_copula(self):
+        assert tags_of("Kittens are cute")["are"] is POS.VERB
+
+    def test_negation_not(self):
+        assert tags_of("It is not big")["not"] is POS.NEG
+
+    def test_negation_contraction(self):
+        assert tags_of("It isn't big")["n't"] is POS.NEG
+
+    def test_never_is_negation(self):
+        """Figure 5 treats "never" as a negation token."""
+        assert tags_of("Snakes are never dangerous")["never"] is POS.NEG
+
+    def test_determiner(self):
+        assert tags_of("The cat is cute")["The"] is POS.DET
+
+    def test_pronoun(self):
+        assert tags_of("I think so")["I"] is POS.PRON
+
+    def test_preposition(self):
+        assert tags_of("bad for parking")["for"] is POS.PREP
+
+    def test_coordinator(self):
+        assert tags_of("fast and exciting")["and"] is POS.CONJ
+
+    def test_aux_do(self):
+        assert tags_of("I do not think")["do"] is POS.AUX
+
+
+class TestContextRepair:
+    def test_that_as_complementizer_after_verb(self):
+        tags = tags_of("I think that snakes are dangerous")
+        assert tags["that"] is POS.MARK
+
+    def test_that_as_determiner_before_noun(self):
+        tags = tags_of("that city is big")
+        assert tags["that"] is POS.DET
+
+    def test_pretty_as_adverb_before_adjective(self):
+        tags = tags_of("The city is pretty big")
+        assert tags["pretty"] is POS.ADV
+
+    def test_pretty_as_adjective_as_predicate(self):
+        tags = tags_of("She is pretty")
+        assert tags["pretty"] is POS.ADJ
+
+
+class TestOpenClasses:
+    def test_known_adjective(self):
+        assert tags_of("Kittens are cute")["cute"] is POS.ADJ
+
+    def test_known_adverb(self):
+        assert tags_of("a very big city")["very"] is POS.ADV
+
+    @pytest.mark.parametrize(
+        "word", ["marvelous", "hazardous", "readable", "stylish"]
+    )
+    def test_suffix_morphology_adjective(self, word):
+        assert tags_of(f"It is {word}")[word] is POS.ADJ
+
+    def test_ly_adverb_before_adjective(self):
+        tags = tags_of("a strangely big city")
+        assert tags["strangely"] is POS.ADV
+
+    def test_capitalized_mid_sentence_proper_noun(self):
+        tags = tags_of("I love Tokyo")
+        assert tags["Tokyo"] is POS.PROPN
+
+    def test_type_noun(self):
+        assert tags_of("It is a big city")["city"] is POS.NOUN
+
+    def test_unknown_lowercase_word_is_noun(self):
+        assert tags_of("The zorblat is big")["zorblat"] is POS.NOUN

@@ -1,0 +1,76 @@
+"""Tests for sentence splitting and tokenization."""
+
+from __future__ import annotations
+
+from repro.nlp import split_sentences, tokenize, tokenize_document
+
+
+class TestSplitSentences:
+    def test_single_sentence(self):
+        assert split_sentences("Kittens are cute.") == ["Kittens are cute."]
+
+    def test_multiple_sentences(self):
+        parts = split_sentences("Kittens are cute. Snakes are not.")
+        assert len(parts) == 2
+
+    def test_exclamation_and_question(self):
+        parts = split_sentences("Is Tokyo big? It is! Really.")
+        assert len(parts) == 3
+
+    def test_empty_text(self):
+        assert split_sentences("   ") == []
+
+
+class TestTokenize:
+    def test_basic_tokens(self):
+        sentence = tokenize("Kittens are cute .")
+        assert [t.text for t in sentence.tokens] == [
+            "Kittens", "are", "cute", ".",
+        ]
+
+    def test_contraction_split(self):
+        sentence = tokenize("I don't think so.")
+        texts = [t.text for t in sentence.tokens]
+        assert "do" in texts
+        assert "n't" in texts
+        assert "don't" not in texts
+
+    def test_contraction_lemma_is_not(self):
+        sentence = tokenize("isn't")
+        lemmas = [t.lemma for t in sentence.tokens]
+        assert "not" in lemmas
+
+    def test_contraction_with_trailing_period(self):
+        sentence = tokenize("He doesn't.")
+        texts = [t.text for t in sentence.tokens]
+        assert texts == ["He", "does", "n't", "."]
+
+    def test_indices_are_sequential(self):
+        sentence = tokenize("San Francisco is not a big city.")
+        assert [t.index for t in sentence.tokens] == list(
+            range(len(sentence.tokens))
+        )
+
+    def test_punctuation_isolated(self):
+        sentence = tokenize("Well, that was fun!")
+        texts = [t.text for t in sentence.tokens]
+        assert "," in texts
+        assert "!" in texts
+
+    def test_hyphenated_words_kept(self):
+        sentence = tokenize("a well-known fact")
+        assert "well-known" in [t.text for t in sentence.tokens]
+
+    def test_text_round_trip(self):
+        sentence = tokenize("Kittens are cute .")
+        assert sentence.text() == "Kittens are cute ."
+
+
+class TestTokenizeDocument:
+    def test_splits_and_tokenizes(self):
+        sentences = tokenize_document(
+            "Kittens are cute. Snakes are dangerous."
+        )
+        assert len(sentences) == 2
+        assert sentences[0].tokens[0].text == "Kittens"
+        assert sentences[1].tokens[0].text == "Snakes"

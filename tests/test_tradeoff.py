@@ -1,0 +1,101 @@
+"""Tests for the precision/coverage tradeoff sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    EvidenceCounts,
+    Opinion,
+    OpinionTable,
+    Polarity,
+    PropertyTypeKey,
+    SubjectiveProperty,
+)
+from repro.crowd import GroundTruthCase
+from repro.crowd.survey import SurveyedCase
+from repro.evaluation import decide_with_margin, tradeoff_curve
+
+CUTE = PropertyTypeKey(SubjectiveProperty("cute"), "animal")
+
+
+def case(name: str, votes: int, truth: bool = True) -> SurveyedCase:
+    return SurveyedCase(
+        case=GroundTruthCase(name, "animal", "cute", truth, 0.9),
+        votes_positive=votes,
+        n_workers=20,
+    )
+
+
+def table_of(probabilities: dict[str, float]) -> OpinionTable:
+    return OpinionTable(
+        Opinion(f"/animal/{name}", CUTE, prob, EvidenceCounts(1, 1))
+        for name, prob in probabilities.items()
+    )
+
+
+class TestDecideWithMargin:
+    def test_zero_margin_is_paper_rule(self):
+        table = table_of({"kitten": 0.51})
+        assert decide_with_margin(
+            table, "/animal/kitten", CUTE, 0.0
+        ) is Polarity.POSITIVE
+
+    def test_margin_suppresses_weak_decisions(self):
+        table = table_of({"kitten": 0.6})
+        assert decide_with_margin(
+            table, "/animal/kitten", CUTE, 0.2
+        ) is Polarity.NEUTRAL
+
+    def test_confident_decisions_survive(self):
+        table = table_of({"kitten": 0.99, "spider": 0.01})
+        assert decide_with_margin(
+            table, "/animal/kitten", CUTE, 0.45
+        ) is Polarity.POSITIVE
+        assert decide_with_margin(
+            table, "/animal/spider", CUTE, 0.45
+        ) is Polarity.NEGATIVE
+
+    def test_missing_pair_neutral(self):
+        assert decide_with_margin(
+            OpinionTable(), "/animal/ghost", CUTE, 0.0
+        ) is Polarity.NEUTRAL
+
+
+class TestTradeoffCurve:
+    def test_coverage_decreases_with_margin(self):
+        table = table_of(
+            {"a": 0.99, "b": 0.8, "c": 0.6, "d": 0.2, "e": 0.05}
+        )
+        cases = [
+            case("a", 18), case("b", 17), case("c", 16),
+            case("d", 4, truth=False), case("e", 2, truth=False),
+        ]
+        points = tradeoff_curve(table, cases, margins=(0.0, 0.25, 0.45))
+        coverages = [p.coverage for p in points]
+        assert coverages == sorted(coverages, reverse=True)
+
+    def test_precision_improves_when_weak_wrong_calls_dropped(self):
+        # 'c' is weakly and wrongly positive; raising the margin
+        # removes it and lifts precision.
+        table = table_of({"a": 0.99, "b": 0.95, "c": 0.6})
+        cases = [
+            case("a", 18), case("b", 17), case("c", 3, truth=False),
+        ]
+        points = tradeoff_curve(table, cases, margins=(0.0, 0.3))
+        assert points[0].precision < points[1].precision
+        assert points[1].precision == 1.0
+
+    def test_invalid_margin_rejected(self):
+        with pytest.raises(ValueError):
+            tradeoff_curve(OpinionTable(), [], margins=(0.5,))
+
+    def test_tied_cases_rejected(self):
+        table = table_of({"a": 0.9})
+        with pytest.raises(ValueError):
+            tradeoff_curve(table, [case("a", 10)], margins=(0.0,))
+
+    def test_rows_render(self):
+        table = table_of({"a": 0.9})
+        points = tradeoff_curve(table, [case("a", 18)], margins=(0.0,))
+        assert "margin=" in points[0].row()
