@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI entry point: the fast, deterministic tier-1 lane plus the
+# fault-injection suite.
+#
+# Usage: scripts/ci.sh
+#
+# Fault-injection tests use fixed seeds (see tests/test_resilience.py),
+# so both lanes are reproducible run to run. Tests marked "slow" are
+# excluded from the first lane and exercised with the resilience suite.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 (fast, no slow-marked tests) =="
+python -m pytest -x -q -m "not slow"
+
+echo "== fault-injection suite (fixed seeds, includes slow tests) =="
+python -m pytest -q tests/test_resilience.py
+
+echo "CI OK"

@@ -16,21 +16,37 @@ directory of ``.txt`` files, against a knowledge base saved with
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+from .core.errors import ReproError
 from .core.result import OpinionTable
 from .core.types import Polarity, PropertyTypeKey, SubjectiveProperty
 from .corpus.document import Document, WebCorpus
 from .extraction.patterns import PATTERN_VERSIONS
 from .kb.knowledge_base import KnowledgeBase
 from .kb.seeds import evaluation_kb
+from .pipeline.resilience import RetryPolicy
 from .pipeline.runner import SurveyorPipeline
-from .storage import load, save
+from .storage import FormatError, load, save
+
+#: Exit code for operational failures (bad input files, corrupt
+#: artefacts); distinct from 1, which subcommands use for "ran fine
+#: but found nothing".
+EXIT_USAGE = 2
+
+
+def _fail(message: str) -> "SystemExit":
+    """One-line operational failure: message on stderr, exit code 2."""
+    print(f"repro: error: {message}", file=sys.stderr)
+    return SystemExit(EXIT_USAGE)
 
 
 def _read_corpus(path: Path, region: str = "") -> WebCorpus:
     """One document per line of a file, or one per .txt file of a dir."""
+    if not path.exists():
+        raise _fail(f"corpus not found: {path}")
     corpus = WebCorpus()
     if path.is_dir():
         for index, file in enumerate(sorted(path.glob("*.txt"))):
@@ -54,7 +70,7 @@ def _read_corpus(path: Path, region: str = "") -> WebCorpus:
                         )
                     )
     if not len(corpus):
-        raise SystemExit(f"no documents found under {path}")
+        raise _fail(f"no documents found under {path}")
     return corpus
 
 
@@ -93,6 +109,14 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 
 def cmd_mine(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        raise _fail(f"--workers must be at least 1, got {args.workers}")
+    if args.retries is not None and args.retries < 1:
+        raise _fail(f"--retries must be at least 1, got {args.retries}")
+    if args.shard_timeout is not None and args.shard_timeout <= 0:
+        raise _fail(
+            f"--shard-timeout must be positive, got {args.shard_timeout}"
+        )
     kb = _load_kb(args.kb)
     corpus = _read_corpus(Path(args.corpus), region=args.region)
     if args.region:
@@ -102,6 +126,14 @@ def cmd_mine(args: argparse.Namespace) -> int:
         pattern_config=PATTERN_VERSIONS[args.patterns],
         occurrence_threshold=args.threshold,
         n_workers=args.workers,
+        strict=args.strict,
+        checkpoint_dir=args.checkpoint_dir,
+        retry_policy=(
+            RetryPolicy(max_attempts=args.retries)
+            if args.retries is not None
+            else None
+        ),
+        shard_timeout=args.shard_timeout,
     )
     report = pipeline.run(corpus)
     print(report.summary(), file=sys.stderr)
@@ -229,6 +261,18 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--region", default="",
                       help="restrict to documents of this region")
     mine.add_argument("--workers", type=int, default=4)
+    mine.add_argument("--strict", action="store_true",
+                      help="fail fast: no retries, no document "
+                           "quarantine, raw tracebacks")
+    mine.add_argument("--checkpoint-dir",
+                      help="persist per-shard checkpoints here and "
+                           "resume from them on rerun")
+    mine.add_argument("--retries", type=int,
+                      help="shard attempts before giving up "
+                           "(default 3)")
+    mine.add_argument("--shard-timeout", type=float,
+                      help="per-shard wall-clock budget in seconds "
+                           "(thread/process executors)")
     mine.set_defaults(func=cmd_mine)
 
     query = sub.add_parser("query", help="query a mined opinion table")
@@ -280,7 +324,21 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (
+        ReproError,
+        FormatError,
+        json.JSONDecodeError,
+        OSError,
+    ) as error:
+        # Operational failures (missing/corrupt inputs, unreadable
+        # checkpoints) become a one-line message and exit code 2
+        # instead of a traceback; --strict restores the raw error.
+        if getattr(args, "strict", False):
+            raise
+        print(f"repro: error: {error}", file=sys.stderr)
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -6,6 +6,12 @@ from .calibration import (
     fit_link,
 )
 from .em import EMLearner, EMResult, EMTrace
+from .errors import (
+    CheckpointError,
+    ExtractionError,
+    ModelFitError,
+    ReproError,
+)
 from .model import UserBehaviorModel
 from .params import (
     DEFAULT_AGREEMENT_GRID,
@@ -36,6 +42,7 @@ from .types import (
 
 __all__ = [
     "CalibrationError",
+    "CheckpointError",
     "DEFAULT_AGREEMENT_GRID",
     "DEFAULT_INITIAL_PARAMETERS",
     "DEFAULT_OCCURRENCE_THRESHOLD",
@@ -43,7 +50,9 @@ __all__ = [
     "EMResult",
     "EMTrace",
     "EvidenceCounts",
+    "ExtractionError",
     "FittedCombination",
+    "ModelFitError",
     "ModelParameters",
     "Opinion",
     "OpinionTable",
@@ -53,6 +62,7 @@ __all__ = [
     "QueryEngine",
     "QueryError",
     "QueryHit",
+    "ReproError",
     "SubjectiveObjectiveLink",
     "SubjectiveQuery",
     "SubjectiveProperty",

@@ -21,11 +21,13 @@ responsibilities).
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .errors import ModelFitError
 from .model import UserBehaviorModel
 from .params import (
     DEFAULT_AGREEMENT_GRID,
@@ -39,12 +41,18 @@ _RATE_FLOOR = 1e-9
 
 @dataclass(frozen=True, slots=True)
 class EMTrace:
-    """Diagnostics for one EM run."""
+    """Diagnostics for one EM run.
+
+    ``degraded`` flags a run whose fit was numerically degenerate
+    (NaN/inf parameters, posteriors, or likelihood); the learner then
+    fell back to the majority-vote baseline for the combination.
+    """
 
     iterations: int
     converged: bool
     log_likelihoods: tuple[float, ...]
     parameters_path: tuple[ModelParameters, ...]
+    degraded: bool = False
 
     @property
     def final_log_likelihood(self) -> float:
@@ -112,7 +120,9 @@ class EMLearner:
         """
         pos, neg = _counts_to_arrays(evidence)
         if pos.size == 0:
-            raise ValueError("evidence must contain at least one entity")
+            raise ModelFitError(
+                "evidence must contain at least one entity"
+            )
 
         theta = self.initial_parameters
         log_likelihoods: list[float] = []
@@ -120,32 +130,64 @@ class EMLearner:
         responsibilities = np.full(pos.shape, 0.5)
         converged = False
         iterations = 0
+        degraded = False
 
-        for iterations in range(1, self.max_iterations + 1):
+        try:
+            for iterations in range(1, self.max_iterations + 1):
+                responsibilities = self._e_step(pos, neg, theta)
+                theta, expected_ll = self._m_step(
+                    pos, neg, responsibilities
+                )
+                log_likelihoods.append(expected_ll)
+                if self.record_path:
+                    path.append(theta)
+                if (
+                    len(log_likelihoods) >= 2
+                    and abs(log_likelihoods[-1] - log_likelihoods[-2])
+                    <= self.tolerance
+                ):
+                    converged = True
+                    break
+
+            # Final E-step so the posteriors reflect the returned
+            # parameters.
             responsibilities = self._e_step(pos, neg, theta)
-            theta, expected_ll = self._m_step(pos, neg, responsibilities)
-            log_likelihoods.append(expected_ll)
-            if self.record_path:
-                path.append(theta)
-            if (
-                len(log_likelihoods) >= 2
-                and abs(log_likelihoods[-1] - log_likelihoods[-2])
-                <= self.tolerance
-            ):
-                converged = True
-                break
-
-        # Final E-step so the posteriors reflect the returned parameters.
-        responsibilities = self._e_step(pos, neg, theta)
+        except (FloatingPointError, ValueError, ZeroDivisionError):
+            # A parameter went NaN/inf mid-iteration (ModelParameters
+            # validation rejects such vectors); treat as degenerate.
+            degraded = True
+        if not degraded and _fit_is_degenerate(
+            theta, responsibilities, log_likelihoods
+        ):
+            degraded = True
+        if degraded:
+            theta, responsibilities = self._majority_fallback(pos, neg)
+            converged = False
         trace = EMTrace(
             iterations=iterations,
             converged=converged,
             log_likelihoods=tuple(log_likelihoods),
             parameters_path=tuple(path),
+            degraded=degraded,
         )
         return EMResult(
             parameters=theta, responsibilities=responsibilities, trace=trace
         )
+
+    def _majority_fallback(
+        self, pos: np.ndarray, neg: np.ndarray
+    ) -> tuple[ModelParameters, np.ndarray]:
+        """Degenerate-fit fallback: majority vote per entity.
+
+        Posteriors become hard votes (1 when positive counts dominate,
+        0 when negative, 0.5 on ties) and the parameters revert to the
+        initial guess — a usable, clearly-flagged answer instead of a
+        NaN-poisoned one.
+        """
+        responsibilities = np.where(
+            pos > neg, 1.0, np.where(neg > pos, 0.0, 0.5)
+        )
+        return self.initial_parameters, responsibilities
 
     # ------------------------------------------------------------------
     # E-step
@@ -245,6 +287,24 @@ def _expected_q(
         + g_nn * log(l_nn)
         - g_neg * l_nn
     )
+
+
+def _fit_is_degenerate(
+    theta: ModelParameters,
+    responsibilities: np.ndarray,
+    log_likelihoods: Sequence[float],
+) -> bool:
+    """Whether a finished fit is numerically unusable (NaN/inf)."""
+    for value in (
+        theta.agreement, theta.rate_positive, theta.rate_negative
+    ):
+        if not math.isfinite(value):
+            return True
+    if not bool(np.all(np.isfinite(responsibilities))):
+        return True
+    if log_likelihoods and not math.isfinite(log_likelihoods[-1]):
+        return True
+    return False
 
 
 def _counts_to_arrays(

@@ -16,10 +16,11 @@ from dataclasses import dataclass, field
 from typing import Protocol
 
 from .em import EMLearner, EMTrace
+from .errors import ModelFitError
 from .model import UserBehaviorModel
 from .params import ModelParameters
 from .result import OpinionTable
-from .types import EvidenceCounts, Opinion, PropertyTypeKey
+from .types import EvidenceCounts, Opinion, Polarity, PropertyTypeKey
 
 #: The paper filters property-type pairs with fewer than 100 evidence
 #: sentences before running EM (Section 7.1).
@@ -54,11 +55,17 @@ class FittedCombination:
 
 @dataclass(frozen=True, slots=True)
 class SurveyorResult:
-    """Output of one Surveyor run."""
+    """Output of one Surveyor run.
+
+    ``degraded`` lists the combinations whose EM fit was numerically
+    degenerate and fell back to the majority-vote baseline; their
+    opinions are hard votes rather than model posteriors.
+    """
 
     opinions: OpinionTable
     fits: dict[PropertyTypeKey, FittedCombination]
     skipped: tuple[PropertyTypeKey, ...]
+    degraded: tuple[PropertyTypeKey, ...] = ()
 
     @property
     def n_pairs(self) -> int:
@@ -102,6 +109,7 @@ class Surveyor:
         table = OpinionTable()
         fits: dict[PropertyTypeKey, FittedCombination] = {}
         skipped: list[PropertyTypeKey] = []
+        degraded: list[PropertyTypeKey] = []
 
         for key in sorted(evidence, key=str):
             per_entity = evidence[key]
@@ -111,13 +119,27 @@ class Surveyor:
                 continue
             fit = self.fit_combination(key, per_entity)
             fits[key] = fit
+            if fit.trace.degraded:
+                # Degenerate fit: the learner fell back to majority
+                # vote, so emit hard votes instead of posteriors.
+                degraded.append(key)
+                for entity_id, counts in self._full_evidence(
+                    key, per_entity
+                ):
+                    opinion = _majority_opinion(entity_id, key, counts)
+                    if opinion.decided or self.emit_undecided:
+                        table.add(opinion)
+                continue
             model = fit.model()
             for entity_id, counts in self._full_evidence(key, per_entity):
                 opinion = model.opinion(entity_id, key, counts)
                 if opinion.decided or self.emit_undecided:
                     table.add(opinion)
         return SurveyorResult(
-            opinions=table, fits=fits, skipped=tuple(skipped)
+            opinions=table,
+            fits=fits,
+            skipped=tuple(skipped),
+            degraded=tuple(degraded),
         )
 
     def fit_combination(
@@ -128,7 +150,7 @@ class Surveyor:
         """Fit the model for one combination (no thresholding)."""
         entities = list(self._full_evidence(key, per_entity))
         if not entities:
-            raise ValueError(
+            raise ModelFitError(
                 f"no entities of type {key.entity_type!r} in the catalog "
                 "or the evidence"
             )
@@ -158,3 +180,20 @@ class Surveyor:
             (entity_id, per_entity.get(entity_id, EvidenceCounts.ZERO))
             for entity_id in ids
         ]
+
+
+def _majority_opinion(
+    entity_id: str, key: PropertyTypeKey, counts: EvidenceCounts
+) -> Opinion:
+    """Hard majority vote wrapped as an opinion (probability 1/0/0.5)."""
+    probability = {
+        Polarity.POSITIVE: 1.0,
+        Polarity.NEGATIVE: 0.0,
+        Polarity.NEUTRAL: 0.5,
+    }[counts.majority()]
+    return Opinion(
+        entity_id=entity_id,
+        key=key,
+        probability=probability,
+        evidence=counts,
+    )

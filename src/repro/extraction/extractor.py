@@ -10,6 +10,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from ..core.errors import ExtractionError
 from ..nlp.annotate import AnnotatedDocument, AnnotatedSentence, Annotator
 from .patterns import DEFAULT_PATTERNS, PatternConfig, find_matches
 from .polarity import statement_polarity
@@ -44,20 +45,33 @@ class EvidenceExtractor:
     def extract_sentence(
         self, annotated: AnnotatedSentence, doc_id: str = ""
     ) -> list[EvidenceStatement]:
-        """All evidence statements in one sentence."""
+        """All evidence statements in one sentence.
+
+        Pattern-matching failures are re-raised as
+        :class:`ExtractionError` with document/sentence context so the
+        pipeline can quarantine the document.
+        """
         statements = []
-        for match in find_matches(annotated, self.config):
-            statements.append(
-                EvidenceStatement(
-                    entity_id=match.mention.entity_id,
-                    entity_type=match.mention.entity_type,
-                    property=match.property,
-                    polarity=statement_polarity(match.property_node),
-                    pattern=match.pattern,
-                    doc_id=doc_id,
-                    sentence=annotated.text(),
+        try:
+            for match in find_matches(annotated, self.config):
+                statements.append(
+                    EvidenceStatement(
+                        entity_id=match.mention.entity_id,
+                        entity_type=match.mention.entity_type,
+                        property=match.property,
+                        polarity=statement_polarity(match.property_node),
+                        pattern=match.pattern,
+                        doc_id=doc_id,
+                        sentence=annotated.text(),
+                    )
                 )
-            )
+        except ExtractionError:
+            raise
+        except Exception as error:
+            raise ExtractionError(
+                f"extraction failed in document {doc_id!r} "
+                f"(sentence {annotated.text()[:60]!r}): {error}"
+            ) from error
         return statements
 
     def extract_document(

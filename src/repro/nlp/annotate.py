@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..core.errors import ExtractionError
 from ..kb.knowledge_base import KnowledgeBase
 from .coref import PronounResolver
 from .deptree import DepTree
@@ -68,17 +69,34 @@ class Annotator:
         return self.linker.stats
 
     def annotate(self, doc_id: str, text: str) -> AnnotatedDocument:
-        """Annotate one raw document."""
-        sentences = tokenize_document(text)
-        for sentence in sentences:
-            tag(sentence)
-        context = document_type_context(sentences)
-        resolver = PronounResolver() if self.resolve_pronouns else None
-        annotated: list[AnnotatedSentence] = []
-        for sentence in sentences:
-            self.linker.link_sentence(sentence, context)
-            if resolver is not None:
-                resolver.resolve_sentence(sentence)
-            tree = self.parser.parse(sentence)
-            annotated.append(AnnotatedSentence(sentence=sentence, tree=tree))
+        """Annotate one raw document.
+
+        A failure anywhere in the per-document NLP stack is re-raised
+        as :class:`ExtractionError` (chained onto its cause) carrying
+        the document id, so the pipeline can quarantine the document
+        instead of killing its shard.
+        """
+        try:
+            sentences = tokenize_document(text)
+            for sentence in sentences:
+                tag(sentence)
+            context = document_type_context(sentences)
+            resolver = (
+                PronounResolver() if self.resolve_pronouns else None
+            )
+            annotated: list[AnnotatedSentence] = []
+            for sentence in sentences:
+                self.linker.link_sentence(sentence, context)
+                if resolver is not None:
+                    resolver.resolve_sentence(sentence)
+                tree = self.parser.parse(sentence)
+                annotated.append(
+                    AnnotatedSentence(sentence=sentence, tree=tree)
+                )
+        except ExtractionError:
+            raise
+        except Exception as error:
+            raise ExtractionError(
+                f"annotation failed for document {doc_id!r}: {error}"
+            ) from error
         return AnnotatedDocument(doc_id=doc_id, sentences=annotated)

@@ -13,6 +13,8 @@ from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from .resilience import PipelineHealth
+
 
 @dataclass
 class StageMetrics:
@@ -34,9 +36,15 @@ class StageMetrics:
 
 @dataclass
 class PipelineMetrics:
-    """Metrics for a full pipeline run, stage by stage."""
+    """Metrics for a full pipeline run, stage by stage.
+
+    ``health`` is the run's resilience ledger: the executor records
+    retries, skipped shards, and quarantined documents here so the
+    report can show how degraded (or not) the run was.
+    """
 
     stages: dict[str, StageMetrics] = field(default_factory=dict)
+    health: PipelineHealth = field(default_factory=PipelineHealth)
 
     def stage(self, name: str) -> StageMetrics:
         if name not in self.stages:

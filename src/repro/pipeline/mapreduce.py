@@ -8,6 +8,13 @@ and a reducer folds the partials into the final result. Workers can be
 simulated sequentially (deterministic, default) or run on a thread
 pool.
 
+The executor is also where the resilience layer lives: a shard attempt
+that raises is retried under the job's :class:`RetryPolicy`, a shard
+that exceeds ``shard_timeout`` on a pooled executor is treated as
+failed (and retried), and — with ``skip_failed_shards`` — a shard that
+exhausts its attempts is dropped from the run instead of aborting it,
+with the skip recorded in the metrics' health ledger.
+
 The abstraction is deliberately generic — the extraction stage maps
 documents to statements and reduces evidence counters, but tests also
 exercise word-count-style jobs.
@@ -15,12 +22,27 @@ exercise word-count-style jobs.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from typing import Generic, TypeVar
 
 from .counters import PipelineMetrics
+from .resilience import (
+    NO_RETRY,
+    PipelineHealth,
+    RetryPolicy,
+    ShardFailure,
+    ShardTimeoutError,
+    call_with_retry,
+)
 
 Item = TypeVar("Item")
 Partial = TypeVar("Partial")
@@ -42,7 +64,7 @@ class MapReduceJob(Generic[Item, Partial, Result]):
         Folds a sequence of partial results into the final result.
     n_workers:
         Simulated cluster width; with a non-serial executor, also the
-        pool size.
+        pool size. Must be at least 1.
     executor:
         ``serial`` (default, deterministic and fastest for small
         inputs), ``thread`` (identical dataflow on a thread pool), or
@@ -51,6 +73,23 @@ class MapReduceJob(Generic[Item, Partial, Result]):
         few hundred milliseconds — worth it only for large corpora).
     parallel:
         Back-compat alias: ``True`` selects the thread executor.
+    retry_policy:
+        Per-shard retry configuration; ``None`` keeps the historical
+        fail-fast single attempt.
+    shard_timeout:
+        Wall-clock budget per shard attempt, in seconds. Enforced on
+        the ``thread`` and ``process`` executors (a timed-out attempt
+        counts as a retryable :class:`ShardTimeoutError`); the serial
+        executor cannot preempt a running mapper and ignores it.
+    skip_failed_shards:
+        When true, a shard that fails after all attempts is recorded
+        in the health ledger and dropped; the job continues on the
+        surviving shards. When false (default), the last error is
+        re-raised.
+
+    Empty shards are never dispatched to the mapper: they contribute
+    nothing to the reduction and, on a pooled executor, would only pay
+    scheduling overhead. The skip is counted in the health ledger.
     """
 
     mapper: Callable[[Sequence[Item]], Partial]
@@ -58,6 +97,9 @@ class MapReduceJob(Generic[Item, Partial, Result]):
     n_workers: int = 4
     executor: str = "serial"
     parallel: bool = False
+    retry_policy: RetryPolicy | None = None
+    shard_timeout: float | None = None
+    skip_failed_shards: bool = False
 
     def __post_init__(self) -> None:
         if self.parallel and self.executor == "serial":
@@ -66,6 +108,14 @@ class MapReduceJob(Generic[Item, Partial, Result]):
             raise ValueError(
                 f"executor must be one of {EXECUTORS}, "
                 f"got {self.executor!r}"
+            )
+        if self.n_workers < 1:
+            raise ValueError(
+                f"n_workers must be at least 1, got {self.n_workers}"
+            )
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError(
+                f"shard_timeout must be positive, got {self.shard_timeout}"
             )
 
     def run(
@@ -76,7 +126,7 @@ class MapReduceJob(Generic[Item, Partial, Result]):
         """Execute the job over pre-built shards."""
         metrics = metrics or PipelineMetrics()
         with metrics.timed("map") as stage:
-            partials = self._map_all(shards)
+            partials = self._map_all(shards, metrics.health)
             stage.bump("shards", len(shards))
             stage.bump(
                 "items", sum(len(shard) for shard in shards)
@@ -86,24 +136,163 @@ class MapReduceJob(Generic[Item, Partial, Result]):
             stage.bump("partials", len(partials))
         return result
 
+    # ------------------------------------------------------------------
+    # Mapping with retries, timeouts, and shard quarantine
+    # ------------------------------------------------------------------
     def _map_all(
-        self, shards: Sequence[Sequence[Item]]
+        self,
+        shards: Sequence[Sequence[Item]],
+        health: PipelineHealth,
     ) -> list[Partial]:
-        if self.executor == "serial" or len(shards) <= 1:
-            return [self.mapper(shard) for shard in shards]
+        live = [
+            (index, shard)
+            for index, shard in enumerate(shards)
+            if len(shard) > 0
+        ]
+        health.empty_shards += len(shards) - len(live)
+        if self.executor == "serial" or len(live) <= 1:
+            return self._map_serial(live, health)
+        return self._map_pooled(live, health)
+
+    def _map_serial(
+        self,
+        live: list[tuple[int, Sequence[Item]]],
+        health: PipelineHealth,
+    ) -> list[Partial]:
+        policy = self.retry_policy or NO_RETRY
+        results: list[Partial] = []
+        for index, shard in live:
+            attempts = 0
+
+            def attempt(shard=shard):
+                nonlocal attempts
+                attempts += 1
+                return self.mapper(shard)
+
+            def count_retry(_attempt, _error):
+                health.retries += 1
+
+            try:
+                results.append(
+                    call_with_retry(
+                        attempt, policy, key=index, on_retry=count_retry
+                    )
+                )
+            except Exception as error:
+                if not self.skip_failed_shards:
+                    raise
+                health.failed_shards.append(
+                    ShardFailure(
+                        shard_id=index,
+                        attempts=attempts,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                )
+        return results
+
+    def _map_pooled(
+        self,
+        live: list[tuple[int, Sequence[Item]]],
+        health: PipelineHealth,
+    ) -> list[Partial]:
+        policy = self.retry_policy or NO_RETRY
         pool_cls = (
             ThreadPoolExecutor
             if self.executor == "thread"
             else ProcessPoolExecutor
         )
+        results: dict[int, Partial] = {}
         with pool_cls(max_workers=self.n_workers) as pool:
-            return list(pool.map(self.mapper, shards))
+            pending: dict[Future, tuple[int, Sequence[Item], int]] = {}
+            deadlines: dict[Future, float] = {}
+
+            def submit(index, shard, attempt):
+                future = pool.submit(self.mapper, shard)
+                pending[future] = (index, shard, attempt)
+                if self.shard_timeout is not None:
+                    deadlines[future] = (
+                        time.monotonic() + self.shard_timeout
+                    )
+
+            for index, shard in live:
+                submit(index, shard, 1)
+
+            while pending:
+                wait_timeout = None
+                if deadlines:
+                    wait_timeout = max(
+                        0.0,
+                        min(deadlines.values()) - time.monotonic(),
+                    )
+                done, _ = wait(
+                    set(pending),
+                    timeout=wait_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                now = time.monotonic()
+                finished: list[tuple[Future, BaseException | None]] = [
+                    (future, None) for future in done
+                ]
+                if self.shard_timeout is not None:
+                    for future in list(pending):
+                        if future in done:
+                            continue
+                        if deadlines.get(future, now) <= now:
+                            finished.append(
+                                (
+                                    future,
+                                    ShardTimeoutError(
+                                        "shard attempt exceeded "
+                                        f"{self.shard_timeout}s"
+                                    ),
+                                )
+                            )
+                for future, timeout_error in finished:
+                    index, shard, attempt = pending.pop(future)
+                    deadlines.pop(future, None)
+                    if timeout_error is not None:
+                        # A timed-out thread cannot be interrupted;
+                        # cancel() stops it only if still queued. Its
+                        # eventual result is discarded either way.
+                        future.cancel()
+                        error: BaseException = timeout_error
+                    else:
+                        try:
+                            results[index] = future.result()
+                            continue
+                        except Exception as raised:
+                            error = raised
+                    if attempt < policy.max_attempts and (
+                        policy.is_retryable(error)
+                    ):
+                        health.retries += 1
+                        pause = policy.delay(attempt, index)
+                        if pause > 0:
+                            time.sleep(pause)
+                        submit(index, shard, attempt + 1)
+                    elif self.skip_failed_shards:
+                        health.failed_shards.append(
+                            ShardFailure(
+                                shard_id=index,
+                                attempts=attempt,
+                                error=(
+                                    f"{type(error).__name__}: {error}"
+                                ),
+                            )
+                        )
+                    else:
+                        raise error
+        return [results[index] for index in sorted(results)]
 
 
 def shard_items(
     items: Iterable[Item], n_shards: int
 ) -> list[list[Item]]:
-    """Round-robin sharding of an arbitrary iterable."""
+    """Round-robin sharding of an arbitrary iterable.
+
+    May produce empty shards when there are fewer items than shards;
+    :class:`MapReduceJob` skips those instead of dispatching them.
+    """
     if n_shards < 1:
         raise ValueError("n_shards must be positive")
     shards: list[list[Item]] = [[] for _ in range(n_shards)]

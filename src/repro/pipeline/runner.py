@@ -11,27 +11,50 @@ Mirrors the four stages the paper times in Section 7.1:
    combination, applying the occurrence threshold ``rho``;
 4. **em** — fit the user-behaviour model per combination and emit
    dominant opinions for every entity of each type.
+
+The extraction stage runs under the fault-tolerant runtime: a document
+whose annotation or extraction raises is quarantined into a dead-letter
+record instead of killing its shard, a shard that fails after all
+retries is skipped (the run continues on the survivors), and — with a
+``checkpoint_dir`` — each completed shard's evidence is persisted so an
+interrupted run resumes without recomputing finished shards. ``strict``
+restores the historical fail-fast behaviour. All of it is accounted in
+the report's health section.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from pathlib import Path
 
 from ..core.em import EMLearner
+from ..core.errors import CheckpointError
 from ..core.surveyor import (
     DEFAULT_OCCURRENCE_THRESHOLD,
     Surveyor,
     SurveyorResult,
 )
-from ..corpus.document import Document, WebCorpus
+from ..corpus.document import CorpusShard, WebCorpus
 from ..extraction.extractor import EvidenceExtractor
 from ..extraction.patterns import DEFAULT_PATTERNS, PatternConfig
 from ..extraction.statement import EvidenceCounter
 from ..kb.knowledge_base import KnowledgeBase
 from ..nlp.annotate import Annotator
+from ..storage.serialize import (
+    load_shard_checkpoint,
+    save_shard_checkpoint,
+)
 from .counters import PipelineMetrics
+from .faults import FaultInjector
 from .mapreduce import MapReduceJob
+from .resilience import (
+    DEFAULT_RETRY_POLICY,
+    NO_RETRY,
+    DeadLetter,
+    PipelineHealth,
+    RetryPolicy,
+    ShardEvidence,
+)
 
 
 @dataclass
@@ -46,6 +69,10 @@ class PipelineReport:
     def opinions(self):
         return self.result.opinions
 
+    @property
+    def health(self) -> PipelineHealth:
+        return self.metrics.health
+
     def summary(self) -> str:
         lines = [
             self.metrics.report(),
@@ -54,13 +81,34 @@ class PipelineReport:
             f"property-type combinations fit: {len(self.result.fits)}",
             f"combinations below threshold: {len(self.result.skipped)}",
             f"opinions emitted: {len(self.result.opinions)}",
+            self.health.report(),
         ]
         return "\n".join(lines)
 
 
 @dataclass
 class SurveyorPipeline:
-    """End-to-end runner configured like the paper's deployment."""
+    """End-to-end runner configured like the paper's deployment.
+
+    Resilience knobs
+    ----------------
+    retry_policy:
+        Per-shard retry configuration (defaults to three attempts with
+        short seeded backoff).
+    shard_timeout:
+        Wall-clock budget per shard attempt; enforced on the pooled
+        executors.
+    strict:
+        Fail fast: per-document exceptions propagate and a failed
+        shard aborts the run, as before the resilience layer existed.
+    checkpoint_dir:
+        Run directory for shard-level checkpoints. A rerun pointing at
+        the same directory (with the same corpus and ``n_workers``)
+        resumes, loading completed shards instead of re-mapping them.
+    fault_injector:
+        Deterministic failure source for resilience testing; see
+        :mod:`repro.pipeline.faults`.
+    """
 
     kb: KnowledgeBase
     pattern_config: PatternConfig = DEFAULT_PATTERNS
@@ -69,6 +117,11 @@ class SurveyorPipeline:
     parallel: bool = False
     executor: str = "serial"
     learner: EMLearner = field(default_factory=EMLearner)
+    retry_policy: RetryPolicy | None = None
+    shard_timeout: float | None = None
+    strict: bool = False
+    checkpoint_dir: str | Path | None = None
+    fault_injector: FaultInjector | None = None
 
     def run(self, corpus: WebCorpus) -> PipelineReport:
         """Process a corpus end to end."""
@@ -92,6 +145,9 @@ class SurveyorPipeline:
             result = surveyor.run(grouped)
             stage.bump("fits", len(result.fits))
             stage.bump("opinions", len(result.opinions))
+            metrics.health.degraded_combinations.extend(
+                str(key) for key in result.degraded
+            )
         return PipelineReport(
             result=result, evidence=evidence, metrics=metrics
         )
@@ -102,43 +158,144 @@ class SurveyorPipeline:
     def _extract(
         self, corpus: WebCorpus, metrics: PipelineMetrics
     ) -> EvidenceCounter:
-        job: MapReduceJob[Document, EvidenceCounter, EvidenceCounter] = (
-            MapReduceJob(
+        health = metrics.health
+        shards = corpus.shards(self.n_workers)
+        run_dir = (
+            Path(self.checkpoint_dir)
+            if self.checkpoint_dir is not None
+            else None
+        )
+
+        resumed: list[ShardEvidence] = []
+        pending: list[CorpusShard] = []
+        if run_dir is not None:
+            run_dir.mkdir(parents=True, exist_ok=True)
+            for shard in shards:
+                loaded = self._load_checkpoint(
+                    run_dir, shard.shard_id, health
+                )
+                if loaded is not None:
+                    resumed.append(loaded)
+                else:
+                    pending.append(shard)
+        else:
+            pending = list(shards)
+
+        fresh: list[ShardEvidence] = []
+        if pending:
+            job: MapReduceJob[
+                CorpusShard, ShardEvidence, list[ShardEvidence]
+            ] = MapReduceJob(
                 mapper=self._map_shard,
-                reducer=_merge_counters,
+                reducer=list,
                 n_workers=self.n_workers,
                 executor=self.executor,
                 parallel=self.parallel,
+                retry_policy=self.retry_policy
+                or (NO_RETRY if self.strict else DEFAULT_RETRY_POLICY),
+                shard_timeout=self.shard_timeout,
+                skip_failed_shards=not self.strict,
             )
-        )
-        shards = [
-            list(shard.documents)
-            for shard in corpus.shards(self.n_workers)
-        ]
-        evidence = job.run(shards, metrics)
+            fresh = job.run(pending, metrics)
+            if run_dir is not None:
+                health.checkpointed_shards += len(fresh)
+
+        evidence = EvidenceCounter()
+        for part in sorted(
+            [*resumed, *fresh], key=lambda p: p.shard_id
+        ):
+            evidence.merge(part.counter)
+            health.record_quarantine(part.dead_letters)
         metrics.stage("map").bump("statements", evidence.n_statements)
         return evidence
 
-    def _map_shard(self, shard: Sequence[Document]) -> EvidenceCounter:
+    def _map_shard(self, shard: CorpusShard) -> ShardEvidence:
         """One worker: annotate and extract a shard of documents.
 
         Each worker builds its own annotator/extractor (workers share
         nothing, as on a real cluster) and returns a per-shard
-        evidence counter — the combine step of the dataflow.
+        evidence counter — the combine step of the dataflow. A
+        document that raises is quarantined as a dead letter unless
+        the pipeline is strict; shard-level failures propagate to the
+        executor's retry loop. On success the shard checkpoints its
+        own output, so a later resume skips it.
         """
+        injector = self.fault_injector
+        if injector is not None:
+            injector.on_shard_start(shard.shard_id)
         annotator = Annotator(self.kb)
         extractor = EvidenceExtractor(config=self.pattern_config)
         counter = EvidenceCounter()
+        dead: list[DeadLetter] = []
         for document in shard:
-            annotated = annotator.annotate(document.doc_id, document.text)
-            counter.add_all(extractor.extract_document(annotated))
-        return counter
+            stage = "annotate"
+            try:
+                if injector is not None:
+                    stage = "inject"
+                    injector.on_document(document.doc_id)
+                    stage = "annotate"
+                annotated = annotator.annotate(
+                    document.doc_id, document.text
+                )
+                stage = "extract"
+                statements = extractor.extract_document(annotated)
+            except Exception as error:
+                if self.strict:
+                    raise
+                dead.append(
+                    DeadLetter.from_exception(
+                        document.doc_id, stage, error,
+                        text=str(document.text),
+                    )
+                )
+                continue
+            counter.add_all(statements)
+        result = ShardEvidence(
+            shard_id=shard.shard_id,
+            counter=counter,
+            dead_letters=tuple(dead),
+        )
+        if self.checkpoint_dir is not None:
+            save_shard_checkpoint(
+                self._checkpoint_path(
+                    Path(self.checkpoint_dir), shard.shard_id
+                ),
+                result.shard_id,
+                result.counter,
+                [letter.to_dict() for letter in result.dead_letters],
+            )
+        return result
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _checkpoint_path(run_dir: Path, shard_id: int) -> Path:
+        return run_dir / f"shard-{shard_id:05d}.json"
 
-def _merge_counters(
-    partials: Sequence[EvidenceCounter],
-) -> EvidenceCounter:
-    merged = EvidenceCounter()
-    for partial in partials:
-        merged.merge(partial)
-    return merged
+    def _load_checkpoint(
+        self, run_dir: Path, shard_id: int, health: PipelineHealth
+    ) -> ShardEvidence | None:
+        """Load one shard checkpoint; corrupt files are dropped and the
+        shard recomputed."""
+        path = self._checkpoint_path(run_dir, shard_id)
+        if not path.exists():
+            return None
+        try:
+            loaded_id, counter, letters = load_shard_checkpoint(path)
+        except CheckpointError:
+            health.corrupt_checkpoints += 1
+            path.unlink(missing_ok=True)
+            return None
+        if loaded_id != shard_id:
+            health.corrupt_checkpoints += 1
+            path.unlink(missing_ok=True)
+            return None
+        health.resumed_shards += 1
+        return ShardEvidence(
+            shard_id=shard_id,
+            counter=counter,
+            dead_letters=tuple(
+                DeadLetter.from_dict(letter) for letter in letters
+            ),
+        )

@@ -8,11 +8,15 @@ from .serialize import (
     kb_from_dict,
     kb_to_dict,
     load,
+    load_shard_checkpoint,
     opinions_from_dict,
     opinions_to_dict,
     parameters_from_dict,
     parameters_to_dict,
     save,
+    save_shard_checkpoint,
+    shard_checkpoint_from_dict,
+    shard_checkpoint_to_dict,
 )
 
 __all__ = [
@@ -23,9 +27,13 @@ __all__ = [
     "kb_from_dict",
     "kb_to_dict",
     "load",
+    "load_shard_checkpoint",
     "opinions_from_dict",
     "opinions_to_dict",
     "parameters_from_dict",
     "parameters_to_dict",
     "save",
+    "save_shard_checkpoint",
+    "shard_checkpoint_from_dict",
+    "shard_checkpoint_to_dict",
 ]

@@ -10,9 +10,11 @@ the payload) so files stay diffable and language-agnostic.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any
 
+from ..core.errors import CheckpointError
 from ..core.params import ModelParameters
 from ..core.result import OpinionTable
 from ..core.types import (
@@ -181,6 +183,84 @@ def parameters_from_dict(
 
 
 # ---------------------------------------------------------------------------
+# Shard checkpoints
+# ---------------------------------------------------------------------------
+#
+# The fault-tolerant pipeline persists each completed shard's evidence
+# counter (plus its quarantined documents, as plain dicts) so an
+# interrupted run can resume without re-mapping finished shards. The
+# payload stays primitive — no pipeline types — to keep this module
+# free of circular imports.
+
+def shard_checkpoint_to_dict(
+    shard_id: int,
+    counter: EvidenceCounter,
+    dead_letters: list[dict[str, str]] | tuple = (),
+) -> dict[str, Any]:
+    return {
+        "format": "shard_checkpoint",
+        "version": FORMAT_VERSION,
+        "shard_id": int(shard_id),
+        "evidence": evidence_to_dict(counter),
+        "dead_letters": [dict(letter) for letter in dead_letters],
+    }
+
+
+def shard_checkpoint_from_dict(
+    payload: dict[str, Any],
+) -> tuple[int, EvidenceCounter, list[dict[str, str]]]:
+    _check_version(payload, "shard_checkpoint")
+    try:
+        shard_id = int(payload["shard_id"])
+        counter = evidence_from_dict(payload["evidence"])
+        dead_letters = [
+            dict(letter) for letter in payload.get("dead_letters", ())
+        ]
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointError(
+            f"malformed shard checkpoint: {error}"
+        ) from error
+    return shard_id, counter, dead_letters
+
+
+def save_shard_checkpoint(
+    path: str | Path,
+    shard_id: int,
+    counter: EvidenceCounter,
+    dead_letters: list[dict[str, str]] | tuple = (),
+) -> Path:
+    """Atomically persist one shard's mapped output.
+
+    Write-then-rename, so a run killed mid-write never leaves a
+    half-written checkpoint behind — the next run sees either the
+    complete file or nothing.
+    """
+    path = Path(path)
+    payload = shard_checkpoint_to_dict(shard_id, counter, dead_letters)
+    _atomic_write_text(
+        path, json.dumps(payload, indent=1, sort_keys=True)
+    )
+    return path
+
+
+def load_shard_checkpoint(
+    path: str | Path,
+) -> tuple[int, EvidenceCounter, list[dict[str, str]]]:
+    """Load one shard checkpoint; corruption raises :class:`CheckpointError`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise CheckpointError(
+            f"{path}: unreadable shard checkpoint: {error}"
+        ) from error
+    try:
+        return shard_checkpoint_from_dict(payload)
+    except FormatError as error:
+        raise CheckpointError(f"{path}: {error}") from error
+
+
+# ---------------------------------------------------------------------------
 # Opinion table
 # ---------------------------------------------------------------------------
 
@@ -236,7 +316,17 @@ _LOADERS = {
     "evidence": evidence_from_dict,
     "parameters": parameters_from_dict,
     "opinions": opinions_from_dict,
+    "shard_checkpoint": shard_checkpoint_from_dict,
 }
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write via a sibling temp file and rename, so readers never see
+    a torn file even if the process dies mid-write."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
 
 
 def save(obj: Any, path: str | Path) -> Path:
@@ -252,7 +342,9 @@ def save(obj: Any, path: str | Path) -> Path:
                 break
         else:
             raise TypeError(f"cannot serialize {type(obj).__name__}")
-    path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    _atomic_write_text(
+        path, json.dumps(payload, indent=1, sort_keys=True)
+    )
     return path
 
 

@@ -180,6 +180,63 @@ class TestValidation:
         assert 0.0 <= result.responsibilities[0] <= 1.0
 
 
+class TestNumericalRobustness:
+    """Degenerate evidence shapes must fit without NaN/inf or raising."""
+
+    def assert_finite_fit(self, result):
+        assert np.all(np.isfinite(result.responsibilities))
+        assert np.all(result.responsibilities >= 0.0)
+        assert np.all(result.responsibilities <= 1.0)
+        params = result.parameters
+        for value in (
+            params.agreement,
+            params.rate_positive,
+            params.rate_negative,
+        ):
+            assert np.isfinite(value)
+
+    def test_all_zero_evidence_fit_is_finite(self):
+        result = EMLearner().fit([EvidenceCounts(0, 0)] * 50)
+        self.assert_finite_fit(result)
+
+    def test_single_entity_combination_is_finite(self):
+        for counts in (
+            EvidenceCounts(0, 0),
+            EvidenceCounts(7, 0),
+            EvidenceCounts(0, 7),
+            EvidenceCounts(3, 3),
+        ):
+            result = EMLearner().fit([counts])
+            self.assert_finite_fit(result)
+
+    def test_extreme_count_spread_is_finite(self):
+        evidence = [
+            EvidenceCounts(10_000, 0),
+            EvidenceCounts(0, 10_000),
+            EvidenceCounts(0, 0),
+            EvidenceCounts(1, 1),
+        ]
+        result = EMLearner().fit(evidence)
+        self.assert_finite_fit(result)
+        assert np.all(np.isfinite(result.trace.log_likelihoods))
+
+    def test_identical_evidence_everywhere_is_finite(self):
+        result = EMLearner().fit([EvidenceCounts(5, 5)] * 30)
+        self.assert_finite_fit(result)
+
+    def test_degraded_fallback_never_produces_nan(self):
+        class NaNLearner(EMLearner):
+            def _m_step(self, pos, neg, resp):
+                theta, _ = super()._m_step(pos, neg, resp)
+                return theta, float("nan")
+
+        result = NaNLearner().fit(
+            [EvidenceCounts(5, 0), EvidenceCounts(0, 5)]
+        )
+        assert result.trace.degraded
+        self.assert_finite_fit(result)
+
+
 def true_to_model(true: TrueParameters) -> ModelParameters:
     return ModelParameters(
         agreement=true.agreement,

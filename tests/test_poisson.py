@@ -110,6 +110,37 @@ class TestLogSumExp:
         assert log_sum_exp(()) == -math.inf
 
 
+class TestNumericalRobustness:
+    """Edge-of-domain inputs must yield defined values, never NaN."""
+
+    def test_zero_rate_log_pmf_never_nan(self):
+        for count in range(0, 50):
+            value = poisson_log_pmf(count, 0.0)
+            assert not math.isnan(value)
+            assert value == (0.0 if count == 0 else -math.inf)
+
+    def test_tiny_rate_large_count_is_finite_or_neg_inf(self):
+        value = poisson_log_pmf(1000, 1e-300)
+        assert not math.isnan(value)
+        assert value < 0.0
+
+    def test_huge_rate_is_finite(self):
+        value = poisson_log_pmf(10**6, 1e6)
+        assert math.isfinite(value)
+
+    def test_huge_count_small_rate_underflows_to_zero_pmf(self):
+        assert poisson_pmf(100_000, 1.0) == 0.0
+
+    def test_log_sum_exp_mixed_magnitudes(self):
+        value = log_sum_exp((-1e308, 0.0, -math.inf))
+        assert value == pytest.approx(0.0)
+        assert not math.isnan(value)
+
+    def test_multinomial_all_zero_counts(self):
+        value = multinomial_log_pmf((0, 0), (0.5, 0.5))
+        assert value == pytest.approx(0.0)
+
+
 class TestSamplePoisson:
     def test_zero_rate(self):
         rng = random.Random(0)
