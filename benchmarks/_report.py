@@ -9,7 +9,9 @@ rows/series the paper reports) is written to
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Any
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -21,3 +23,12 @@ def emit(name: str, lines: list[str]) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text)
     print(f"\n===== {name} =====")
     print(text)
+
+
+def emit_json(name: str, payload: dict[str, Any]) -> None:
+    """Persist one benchmark's machine-readable artefact (for trend
+    tracking across runs; the obs-overhead benchmark uses this)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    )

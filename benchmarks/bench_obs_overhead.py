@@ -1,0 +1,96 @@
+"""Overhead of the observability layer on the hot pipeline path.
+
+The acceptance bar for the tracing subsystem: with telemetry *off*
+(the default — no tracer, no registry), the instrumented pipeline must
+run within 5% of itself, i.e. the guards (`if tracer is not None`,
+null context managers) must be invisible. The benchmark also reports
+the cost of running fully instrumented, which is allowed to be higher
+— that is the price of a trace, paid only when asked for.
+
+Timings use the min over several runs (the stable estimator for
+same-machine comparisons); the corpus is mid-size so per-document
+guard overhead would show up if it existed.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _report import emit, emit_json
+
+from repro.corpus.generator import CorpusGenerator
+from repro.evaluation.harness import EvaluationHarness
+from repro.obs import MetricsRegistry, Tracer
+from repro.pipeline import SurveyorPipeline
+
+#: Telemetry-off runs must stay within this factor of each other.
+OVERHEAD_BUDGET = 1.05
+ROUNDS = 5
+
+
+def _fixture():
+    harness = EvaluationHarness(seed=2015)
+    scenarios = harness.scenarios()[:6]
+    corpus = CorpusGenerator(seed=2015).generate(*scenarios)
+    return harness.kb, corpus
+
+
+def _best_of(kb, corpus, rounds=ROUNDS, **pipeline_kwargs):
+    timings = []
+    for _ in range(rounds):
+        pipeline = SurveyorPipeline(
+            kb=kb, occurrence_threshold=50, **pipeline_kwargs
+        )
+        started = time.perf_counter()
+        pipeline.run(corpus)
+        timings.append(time.perf_counter() - started)
+    return min(timings)
+
+
+def bench_tracing_disabled_overhead(benchmark):
+    kb, corpus = _fixture()
+
+    def measure():
+        baseline = _best_of(kb, corpus)
+        disabled = _best_of(
+            kb, corpus, tracer=Tracer(enabled=False)
+        )
+        traced = _best_of(
+            kb,
+            corpus,
+            tracer=Tracer(enabled=True),
+            registry=MetricsRegistry(),
+        )
+        return baseline, disabled, traced
+
+    baseline, disabled, traced = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    ratio_disabled = disabled / baseline
+    ratio_traced = traced / baseline
+    lines = [
+        "Observability overhead on the full pipeline "
+        f"({len(corpus)} documents, min of {ROUNDS})",
+        f"no telemetry:    {baseline * 1000:8.1f} ms",
+        f"disabled tracer: {disabled * 1000:8.1f} ms "
+        f"({ratio_disabled:.3f}x)",
+        f"full tracing:    {traced * 1000:8.1f} ms "
+        f"({ratio_traced:.3f}x)",
+    ]
+    emit("obs_overhead", lines)
+    emit_json(
+        "obs_overhead",
+        {
+            "documents": len(corpus),
+            "baseline_seconds": baseline,
+            "disabled_seconds": disabled,
+            "traced_seconds": traced,
+            "disabled_ratio": ratio_disabled,
+            "traced_ratio": ratio_traced,
+            "budget": OVERHEAD_BUDGET,
+        },
+    )
+    assert ratio_disabled < OVERHEAD_BUDGET, (
+        f"disabled telemetry costs {ratio_disabled:.3f}x "
+        f"(budget {OVERHEAD_BUDGET}x)"
+    )

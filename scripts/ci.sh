@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# CI entry point: the fast, deterministic tier-1 lane plus the
-# fault-injection suite.
+# CI entry point: the fast, deterministic tier-1 lane, the
+# fault-injection suite, and the observability artefact check.
 #
 # Usage: scripts/ci.sh
 #
 # Fault-injection tests use fixed seeds (see tests/test_resilience.py),
-# so both lanes are reproducible run to run. Tests marked "slow" are
-# excluded from the first lane and exercised with the resilience suite.
+# so all lanes are reproducible run to run. Tests marked "slow" are
+# excluded from the first lane and exercised with the resilience suite;
+# tests marked "trace" stay in the first lane (they are quick) but the
+# marker lets a dev run just the observability surface with
+# `pytest -m trace`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,5 +20,16 @@ python -m pytest -x -q -m "not slow"
 
 echo "== fault-injection suite (fixed seeds, includes slow tests) =="
 python -m pytest -q tests/test_resilience.py
+
+echo "== observability artefacts (trace schema + declared metric names) =="
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR"' EXIT
+python -m repro demo \
+    --trace "$OBS_DIR/trace.jsonl" \
+    --metrics-out "$OBS_DIR/metrics.json" > /dev/null
+# stats --validate exits 2 on schema violations or metric names
+# missing from repro.obs.metrics.CATALOG
+python -m repro stats "$OBS_DIR/trace.jsonl" \
+    --metrics "$OBS_DIR/metrics.json" --validate > /dev/null
 
 echo "CI OK"

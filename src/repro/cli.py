@@ -6,11 +6,17 @@ Subcommands::
     python -m repro mine  ...                 mine opinions from raw text
     python -m repro query ...                 query a mined opinion table
     python -m repro eval                      reproduce the Table 3 comparison
+    python -m repro stats trace.jsonl         inspect a recorded trace
     python -m repro calibrate ...             subjective->objective bridge
 
 ``mine`` reads documents from a file (one document per line) or a
 directory of ``.txt`` files, against a knowledge base saved with
 :mod:`repro.storage` (or the built-in evaluation KB).
+
+``demo``, ``mine``, and ``reproduce`` accept the observability flags
+``--trace`` (JSONL span trace), ``--metrics-out`` (metric registry as
+JSON, EM convergence records included), and ``--profile`` (per-stage
+profile on stderr after the run); ``stats`` renders a recorded trace.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from .core.errors import ReproError
@@ -27,6 +34,25 @@ from .corpus.document import Document, WebCorpus
 from .extraction.patterns import PATTERN_VERSIONS
 from .kb.knowledge_base import KnowledgeBase
 from .kb.seeds import evaluation_kb
+from .obs import (
+    CATALOG,
+    ConvergenceRecord,
+    MetricsRegistry,
+    Tracer,
+    build_manifest,
+    load_convergence,
+    load_metrics_file,
+    manifest_path_for,
+    read_trace,
+    records_to_payload,
+    render_convergence,
+    render_metrics,
+    render_trace,
+    validate_metrics_payload,
+    validate_spans,
+    write_manifest,
+)
+from .pipeline.mapreduce import EXECUTORS
 from .pipeline.resilience import RetryPolicy
 from .pipeline.runner import SurveyorPipeline
 from .storage import FormatError, load, save
@@ -84,6 +110,55 @@ def _load_kb(path: str | None) -> KnowledgeBase:
 
 
 # ---------------------------------------------------------------------------
+# Observability plumbing shared by demo / mine / reproduce
+# ---------------------------------------------------------------------------
+
+def _build_obs(
+    args: argparse.Namespace,
+) -> tuple[Tracer | None, MetricsRegistry | None]:
+    """Tracer/registry per the run's flags (None = stay on the fast
+    path; ``--profile`` needs spans even without ``--trace``)."""
+    tracer = (
+        Tracer(enabled=True)
+        if (args.trace or args.profile)
+        else None
+    )
+    registry = MetricsRegistry() if args.metrics_out else None
+    return tracer, registry
+
+
+def _finish_obs(
+    args: argparse.Namespace,
+    tracer: Tracer | None,
+    registry: MetricsRegistry | None,
+    convergence: list[ConvergenceRecord] | None = None,
+) -> None:
+    """Flush the run's telemetry to wherever the flags pointed."""
+    if tracer is not None and args.trace:
+        tracer.write_jsonl(args.trace)
+        print(
+            f"wrote trace ({len(tracer)} spans) to {args.trace}",
+            file=sys.stderr,
+        )
+    if registry is not None and args.metrics_out:
+        extra = (
+            {"em_convergence": records_to_payload(convergence)}
+            if convergence
+            else None
+        )
+        registry.write_json(args.metrics_out, extra=extra)
+        print(
+            f"wrote {len(registry.names())} metrics to "
+            f"{args.metrics_out}",
+            file=sys.stderr,
+        )
+    if tracer is not None and args.profile:
+        print(render_trace(tracer.export_spans()), file=sys.stderr)
+        if convergence:
+            print(render_convergence(convergence), file=sys.stderr)
+
+
+# ---------------------------------------------------------------------------
 # Subcommands
 # ---------------------------------------------------------------------------
 
@@ -95,8 +170,15 @@ def cmd_demo(args: argparse.Namespace) -> int:
     corpus = CorpusGenerator(seed=args.seed).generate(
         *harness.scenarios()
     )
-    pipeline = SurveyorPipeline(kb=harness.kb, occurrence_threshold=100)
+    tracer, registry = _build_obs(args)
+    pipeline = SurveyorPipeline(
+        kb=harness.kb,
+        occurrence_threshold=100,
+        tracer=tracer,
+        registry=registry,
+    )
     report = pipeline.run(corpus)
+    _finish_obs(args, tracer, registry, report.convergence)
     print(report.summary())
     cute = PropertyTypeKey(SubjectiveProperty("cute"), "animal")
     if cute in report.result.fits:
@@ -121,11 +203,15 @@ def cmd_mine(args: argparse.Namespace) -> int:
     corpus = _read_corpus(Path(args.corpus), region=args.region)
     if args.region:
         corpus = corpus.restricted_to_region(args.region)
+    tracer, registry = _build_obs(args)
+    started_unix = time.time()
+    started = time.perf_counter()
     pipeline = SurveyorPipeline(
         kb=kb,
         pattern_config=PATTERN_VERSIONS[args.patterns],
         occurrence_threshold=args.threshold,
         n_workers=args.workers,
+        executor=args.executor,
         strict=args.strict,
         checkpoint_dir=args.checkpoint_dir,
         retry_policy=(
@@ -134,11 +220,46 @@ def cmd_mine(args: argparse.Namespace) -> int:
             else None
         ),
         shard_timeout=args.shard_timeout,
+        tracer=tracer,
+        registry=registry,
     )
     report = pipeline.run(corpus)
+    _finish_obs(args, tracer, registry, report.convergence)
     print(report.summary(), file=sys.stderr)
     save(report.opinions, args.out)
     print(f"wrote {len(report.opinions)} opinions to {args.out}")
+    manifest = build_manifest(
+        command="mine",
+        config={
+            "corpus": str(args.corpus),
+            "kb": args.kb,
+            "patterns": args.patterns,
+            "threshold": args.threshold,
+            "region": args.region,
+            "workers": args.workers,
+            "executor": args.executor,
+            "strict": args.strict,
+            "checkpoint_dir": args.checkpoint_dir,
+            "retries": args.retries,
+            "shard_timeout": args.shard_timeout,
+        },
+        started_unix=started_unix,
+        duration_seconds=time.perf_counter() - started,
+        health=report.health,
+        outputs={
+            "opinions": str(args.out),
+            **({"trace": args.trace} if args.trace else {}),
+            **(
+                {"metrics": args.metrics_out}
+                if args.metrics_out
+                else {}
+            ),
+        },
+    )
+    manifest_path = write_manifest(
+        manifest_path_for(args.out), manifest
+    )
+    print(f"wrote run manifest to {manifest_path}", file=sys.stderr)
     if args.params_out:
         save(
             {
@@ -210,11 +331,65 @@ def cmd_eval(args: argparse.Namespace) -> int:
 def cmd_reproduce(args: argparse.Namespace) -> int:
     from .evaluation.report import full_report
 
-    report = full_report(seed=args.seed, fast=not args.full)
+    tracer, registry = _build_obs(args)
+    report = full_report(
+        seed=args.seed,
+        fast=not args.full,
+        tracer=tracer,
+        registry=registry,
+    )
+    _finish_obs(args, tracer, registry)
     print(report.text())
     if args.out:
         Path(args.out).write_text(report.text() + "\n")
         print(f"\nwrote report to {args.out}", file=sys.stderr)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Render (and optionally validate) recorded telemetry artefacts."""
+    spans = read_trace(args.trace)
+    if args.validate:
+        problems = validate_spans(spans)
+        if problems:
+            for problem in problems:
+                print(
+                    f"repro: invalid trace: {problem}",
+                    file=sys.stderr,
+                )
+            return EXIT_USAGE
+    print(render_trace(spans, top=args.top))
+    if args.metrics:
+        payload = load_metrics_file(args.metrics)
+        if args.validate:
+            problems = validate_metrics_payload(payload, CATALOG)
+            if problems:
+                for problem in problems:
+                    print(
+                        f"repro: invalid metrics: {problem}",
+                        file=sys.stderr,
+                    )
+                return EXIT_USAGE
+        print()
+        print(render_metrics(payload))
+        embedded = payload.get("em_convergence")
+        if embedded:
+            print()
+            print(
+                render_convergence(
+                    [
+                        ConvergenceRecord.from_dict(row)
+                        for row in embedded
+                    ]
+                )
+            )
+    if args.convergence:
+        print()
+        print(
+            render_convergence(load_convergence(args.convergence))
+        )
+    if args.validate:
+        print("telemetry artefacts valid", file=sys.stderr)
     return 0
 
 
@@ -238,6 +413,22 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
 # Parser
 # ---------------------------------------------------------------------------
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="write a JSONL span trace of the run here",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write the metric registry (and EM convergence records) "
+             "as JSON here",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print the per-stage profile on stderr after the run",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -247,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="run the end-to-end demo")
     demo.add_argument("--seed", type=int, default=2015)
+    _add_obs_flags(demo)
     demo.set_defaults(func=cmd_demo)
 
     mine = sub.add_parser("mine", help="mine opinions from raw text")
@@ -273,6 +465,10 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--shard-timeout", type=float,
                       help="per-shard wall-clock budget in seconds "
                            "(thread/process executors)")
+    mine.add_argument("--executor", choices=EXECUTORS,
+                      default="serial",
+                      help="shard executor (default serial)")
+    _add_obs_flags(mine)
     mine.set_defaults(func=cmd_mine)
 
     query = sub.add_parser("query", help="query a mined opinion table")
@@ -305,7 +501,26 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--full", action="store_true",
                            help="full-size Table 5 (803 combinations)")
     reproduce.add_argument("--out", help="also write the report here")
+    _add_obs_flags(reproduce)
     reproduce.set_defaults(func=cmd_reproduce)
+
+    stats = sub.add_parser(
+        "stats",
+        help="render a recorded trace (timeline, shard latency, "
+             "slowest documents)",
+    )
+    stats.add_argument("trace", help="JSONL trace from --trace")
+    stats.add_argument("--metrics",
+                       help="metrics JSON from --metrics-out")
+    stats.add_argument("--convergence",
+                       help="em-convergence.json from a checkpoint dir")
+    stats.add_argument("--top", type=int, default=10,
+                       help="how many slowest documents/combinations "
+                            "to list (default 10)")
+    stats.add_argument("--validate", action="store_true",
+                       help="schema-check the artefacts; exit 2 on "
+                            "violations")
+    stats.set_defaults(func=cmd_stats)
 
     calibrate = sub.add_parser(
         "calibrate",

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 from collections.abc import Iterable, Sequence
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -37,6 +38,18 @@ from .params import (
 from .types import EvidenceCounts
 
 _RATE_FLOOR = 1e-9
+
+
+class _NullSpan:
+    """No-op span for untraced runs (duck-types SpanHandle.set)."""
+
+    __slots__ = ()
+
+    def set(self, key, value):  # pragma: no cover - trivial
+        pass
+
+
+_NULL_SPAN = _NullSpan()
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,6 +70,19 @@ class EMTrace:
     @property
     def final_log_likelihood(self) -> float:
         return self.log_likelihoods[-1]
+
+    @property
+    def verdict(self) -> str:
+        """Telemetry verdict: how this fit ended.
+
+        ``converged`` | ``max-iterations`` | ``degraded-fallback`` —
+        the vocabulary used by convergence records and ``repro stats``.
+        """
+        if self.degraded:
+            return "degraded-fallback"
+        if self.converged:
+            return "converged"
+        return "max-iterations"
 
 
 @dataclass(frozen=True, slots=True)
@@ -89,6 +115,15 @@ class EMLearner:
         Convergence threshold on the change in expected log-likelihood.
     initial_parameters:
         Algorithm 2's initial guess ``theta_0``.
+    record_path:
+        Keep the per-iteration parameter vectors on the trace —
+        required for the ``pA``/``np+S``/``np−S`` trajectories in
+        convergence telemetry.
+    tracer:
+        Optional span tracer (anything with a ``span(name, **attrs)``
+        context manager). When set, each EM iteration opens an
+        ``em_iteration`` span carrying the iteration's expected
+        log-likelihood and chosen agreement value.
     """
 
     agreement_grid: Sequence[float] = DEFAULT_AGREEMENT_GRID
@@ -96,6 +131,7 @@ class EMLearner:
     tolerance: float = 1e-7
     initial_parameters: ModelParameters = DEFAULT_INITIAL_PARAMETERS
     record_path: bool = False
+    tracer: object | None = field(default=None, repr=False)
     _grid: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -134,10 +170,13 @@ class EMLearner:
 
         try:
             for iterations in range(1, self.max_iterations + 1):
-                responsibilities = self._e_step(pos, neg, theta)
-                theta, expected_ll = self._m_step(
-                    pos, neg, responsibilities
-                )
+                with self._iteration_span(iterations) as span:
+                    responsibilities = self._e_step(pos, neg, theta)
+                    theta, expected_ll = self._m_step(
+                        pos, neg, responsibilities
+                    )
+                    span.set("log_likelihood", expected_ll)
+                    span.set("agreement", theta.agreement)
                 log_likelihoods.append(expected_ll)
                 if self.record_path:
                     path.append(theta)
@@ -172,6 +211,13 @@ class EMLearner:
         )
         return EMResult(
             parameters=theta, responsibilities=responsibilities, trace=trace
+        )
+
+    def _iteration_span(self, iteration: int):
+        if self.tracer is None:
+            return nullcontext(_NULL_SPAN)
+        return self.tracer.span(
+            "em_iteration", kind="em_iteration", iteration=iteration
         )
 
     def _majority_fallback(

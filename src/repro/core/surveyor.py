@@ -12,10 +12,11 @@ is itself informative.
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Protocol
 
-from .em import EMLearner, EMTrace
+from .em import _NULL_SPAN, EMLearner, EMTrace
 from .errors import ModelFitError
 from .model import UserBehaviorModel
 from .params import ModelParameters
@@ -88,12 +89,17 @@ class Surveyor:
     emit_undecided:
         When true, pairs with posterior exactly 0.5 are kept in the
         table as ``NEUTRAL``; the paper drops them (default).
+    tracer:
+        Optional span tracer; each interpreted combination then opens
+        a ``combination`` span (with the learner's ``em_iteration``
+        spans nested inside when the learner shares the tracer).
     """
 
     catalog: EntityCatalog
     occurrence_threshold: int = DEFAULT_OCCURRENCE_THRESHOLD
     learner: EMLearner = field(default_factory=EMLearner)
     emit_undecided: bool = False
+    tracer: object | None = field(default=None, repr=False)
 
     def run(
         self,
@@ -117,29 +123,45 @@ class Surveyor:
             if n_statements < self.occurrence_threshold:
                 skipped.append(key)
                 continue
-            fit = self.fit_combination(key, per_entity)
-            fits[key] = fit
-            if fit.trace.degraded:
-                # Degenerate fit: the learner fell back to majority
-                # vote, so emit hard votes instead of posteriors.
-                degraded.append(key)
+            with self._combination_span(key) as span:
+                fit = self.fit_combination(key, per_entity)
+                fits[key] = fit
+                span.set("verdict", fit.trace.verdict)
+                span.set("iterations", fit.trace.iterations)
+                span.set("n_entities", fit.n_entities)
+                span.set("n_statements", fit.n_statements)
+                if fit.trace.degraded:
+                    # Degenerate fit: the learner fell back to majority
+                    # vote, so emit hard votes instead of posteriors.
+                    degraded.append(key)
+                    for entity_id, counts in self._full_evidence(
+                        key, per_entity
+                    ):
+                        opinion = _majority_opinion(
+                            entity_id, key, counts
+                        )
+                        if opinion.decided or self.emit_undecided:
+                            table.add(opinion)
+                    continue
+                model = fit.model()
                 for entity_id, counts in self._full_evidence(
                     key, per_entity
                 ):
-                    opinion = _majority_opinion(entity_id, key, counts)
+                    opinion = model.opinion(entity_id, key, counts)
                     if opinion.decided or self.emit_undecided:
                         table.add(opinion)
-                continue
-            model = fit.model()
-            for entity_id, counts in self._full_evidence(key, per_entity):
-                opinion = model.opinion(entity_id, key, counts)
-                if opinion.decided or self.emit_undecided:
-                    table.add(opinion)
         return SurveyorResult(
             opinions=table,
             fits=fits,
             skipped=tuple(skipped),
             degraded=tuple(degraded),
+        )
+
+    def _combination_span(self, key: PropertyTypeKey):
+        if self.tracer is None:
+            return nullcontext(_NULL_SPAN)
+        return self.tracer.span(
+            "combination", kind="combination", key=str(key)
         )
 
     def fit_combination(

@@ -80,6 +80,27 @@ def bar_chart(
     return "\n".join(lines)
 
 
+def histogram_panel(
+    edges: Sequence[float],
+    counts: Sequence[int],
+    width: int = 40,
+) -> str:
+    """Bucketed-histogram bars (used by ``repro stats --metrics``).
+
+    ``counts`` has one slot per edge plus a trailing overflow slot;
+    each row is labelled with its inclusive upper bound (``le=``,
+    Prometheus convention), the last with ``+Inf``.
+    """
+    labels = [f"le={edge:g}" for edge in edges] + ["le=+Inf"]
+    return bar_chart(
+        [
+            (label, float(count))
+            for label, count in zip(labels, counts)
+        ],
+        width=width,
+    )
+
+
 def sparkline(values: Sequence[float]) -> str:
     """Compact trend line (used for agreement/precision series)."""
     if not values:

@@ -6,10 +6,15 @@ formats a single text report — the quick way to check the
 reproduction on a new machine without the benchmark suite:
 
     python -m repro reproduce
+
+With a tracer, each experiment is timed as a ``section`` span, so
+``repro reproduce --trace r.jsonl`` followed by ``repro stats``
+shows where the reproduction spends its time.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from .harness import EvaluationHarness
@@ -32,19 +37,35 @@ class ReproductionReport:
 
 
 def full_report(
-    seed: int = 2015, fast: bool = True
+    seed: int = 2015,
+    fast: bool = True,
+    tracer: object | None = None,
+    registry: object | None = None,
 ) -> ReproductionReport:
     """Run the reproduction and collect a report.
 
     ``fast`` shrinks the Table 5 sample (60 combinations instead of
     803); the rest is identical to the benchmark configuration.
+    ``tracer``/``registry`` are duck-typed observability sinks (see
+    :mod:`repro.obs`): each experiment opens a ``section`` span and
+    bumps the section counter.
     """
     sections: list[tuple[str, list[str]]] = []
-    harness = EvaluationHarness(seed=seed)
 
-    survey = harness.survey
-    sections.append(
-        (
+    def section_span(name: str):
+        if tracer is None:
+            return nullcontext()
+        return tracer.span(name, kind="section")
+
+    def add_section(title: str, lines: list[str]) -> None:
+        sections.append((title, lines))
+        if registry is not None:
+            registry.inc("repro_report_sections_total")
+
+    with section_span("survey"):
+        harness = EvaluationHarness(seed=seed)
+        survey = harness.survey
+        add_section(
             "Survey (Section 7.3)",
             [
                 f"cases: {len(survey.cases)}",
@@ -54,43 +75,42 @@ def full_report(
                 f"perfect agreement: {survey.perfect_agreement_count()}",
             ],
         )
-    )
 
-    table3 = harness.table3()
-    sections.append(
-        (
+    with section_span("table3"):
+        table3 = harness.table3()
+        add_section(
             "Table 3 — method comparison",
             [score.row() for score in table3],
         )
-    )
 
-    figure12 = harness.figure12()
-    lines = []
-    for series in figure12:
-        precisions = series.precisions()
-        lines.append(
-            f"{series.name:22s} precision {precisions[0]:.2f} -> "
-            f"{precisions[-1]:.2f} across agreement thresholds"
-        )
-    sections.append(("Figure 12 — precision vs agreement", lines))
+    with section_span("figure12"):
+        figure12 = harness.figure12()
+        lines = []
+        for series in figure12:
+            precisions = series.precisions()
+            lines.append(
+                f"{series.name:22s} precision {precisions[0]:.2f} -> "
+                f"{precisions[-1]:.2f} across agreement thresholds"
+            )
+        add_section("Figure 12 — precision vs agreement", lines)
 
-    lines = []
-    for spec in (BIG_CITIES, *APPENDIX_A_STUDIES):
-        outcome = run_study(spec, seed=seed)
-        lines.append(f"[{spec.name}]")
-        lines.append("  " + outcome.majority.row())
-        lines.append("  " + outcome.surveyor.row())
-    sections.append(("Figures 3 / 13 — covariate studies", lines))
+    with section_span("covariate-studies"):
+        lines = []
+        for spec in (BIG_CITIES, *APPENDIX_A_STUDIES):
+            outcome = run_study(spec, seed=seed)
+            lines.append(f"[{spec.name}]")
+            lines.append("  " + outcome.majority.row())
+            lines.append("  " + outcome.surveyor.row())
+        add_section("Figures 3 / 13 — covariate studies", lines)
 
-    n_combinations = 60 if fast else 803
-    table5 = RandomSampleStudy(
-        n_combinations=n_combinations, seed=seed
-    ).run()
-    sections.append(
-        (
+    with section_span("table5"):
+        n_combinations = 60 if fast else 803
+        table5 = RandomSampleStudy(
+            n_combinations=n_combinations, seed=seed
+        ).run()
+        add_section(
             f"Table 5 — random sample ({n_combinations} combinations)",
             [score.row() for score in table5],
         )
-    )
 
     return ReproductionReport(sections=sections)

@@ -1,0 +1,79 @@
+"""Observability subsystem: tracing, metrics, and EM telemetry.
+
+Three pillars, all deterministic and dependency-free:
+
+* :mod:`repro.obs.trace` — nested spans with a JSONL sink that survives
+  the process-pool boundary (worker spans are exported, shipped back
+  with shard results, and re-parented);
+* :mod:`repro.obs.metrics` — a declared-name registry of counters,
+  gauges, and fixed-bucket histograms with Prometheus-style exposition
+  and JSON export;
+* :mod:`repro.obs.convergence` — per-combination EM fit trajectories
+  (log-likelihood, ``pA``/``np+S``/``np−S``) with verdicts.
+
+:mod:`repro.obs.manifest` stamps each run (config, git describe, wall
+clock, health) and :mod:`repro.obs.stats` renders recorded traces for
+``repro stats`` and ``--profile``.
+"""
+
+from .convergence import (
+    ConvergenceRecord,
+    load_convergence,
+    record_from_fit,
+    records_from_result,
+    records_to_payload,
+    save_convergence,
+)
+from .manifest import (
+    build_manifest,
+    git_describe,
+    manifest_path_for,
+    write_manifest,
+)
+from .metrics import (
+    CATALOG,
+    MetricsError,
+    MetricSpec,
+    MetricsRegistry,
+    load_metrics_file,
+    validate_metrics_payload,
+)
+from .stats import render_convergence, render_metrics, render_trace
+from .trace import (
+    NULL_SPAN,
+    TRACE_SCHEMA_VERSION,
+    TraceError,
+    Tracer,
+    read_trace,
+    validate_spans,
+    validate_trace,
+)
+
+__all__ = [
+    "CATALOG",
+    "ConvergenceRecord",
+    "MetricSpec",
+    "MetricsError",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "TRACE_SCHEMA_VERSION",
+    "TraceError",
+    "Tracer",
+    "build_manifest",
+    "git_describe",
+    "load_convergence",
+    "load_metrics_file",
+    "manifest_path_for",
+    "read_trace",
+    "record_from_fit",
+    "records_from_result",
+    "records_to_payload",
+    "render_convergence",
+    "render_metrics",
+    "render_trace",
+    "save_convergence",
+    "validate_metrics_payload",
+    "validate_spans",
+    "validate_trace",
+    "write_manifest",
+]

@@ -1,0 +1,155 @@
+"""EM convergence telemetry: per-combination fit trajectories.
+
+The paper fits one user-behaviour model per property-type combination
+(380,000 of them in the full run); debugging interpretation quality
+means looking at *how* each fit converged, not just the final
+parameters. A :class:`ConvergenceRecord` captures one combination's
+per-iteration log-likelihood and the ``pA`` / ``np+S`` / ``np−S``
+trajectories, plus a verdict:
+
+* ``converged`` — the log-likelihood delta fell below tolerance;
+* ``max-iterations`` — EM ran out of iterations without converging;
+* ``degraded-fallback`` — the fit went numerically degenerate and fell
+  back to per-entity majority vote (see PR 1's resilience layer).
+
+Records are plain dataclasses over primitives, JSON-round-trippable so
+they persist alongside checkpoints and inside ``--metrics-out`` files.
+Rendering (sparklines) lives in :mod:`repro.obs.stats`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any
+
+CONVERGENCE_FORMAT = "em_convergence"
+CONVERGENCE_VERSION = 1
+
+#: Filename used when records are persisted next to shard checkpoints.
+CONVERGENCE_BASENAME = "em-convergence.json"
+
+
+@dataclass(frozen=True, slots=True)
+class ConvergenceRecord:
+    """One combination's EM fit, flattened for telemetry."""
+
+    key: str
+    verdict: str  # converged | max-iterations | degraded-fallback
+    iterations: int
+    converged: bool
+    degraded: bool
+    n_entities: int
+    n_statements: int
+    final_log_likelihood: float
+    log_likelihoods: tuple[float, ...]
+    agreement_path: tuple[float, ...]
+    rate_positive_path: tuple[float, ...]
+    rate_negative_path: tuple[float, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        payload = asdict(self)
+        for field in (
+            "log_likelihoods",
+            "agreement_path",
+            "rate_positive_path",
+            "rate_negative_path",
+        ):
+            payload[field] = list(payload[field])
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ConvergenceRecord":
+        return cls(
+            key=str(payload["key"]),
+            verdict=str(payload["verdict"]),
+            iterations=int(payload["iterations"]),
+            converged=bool(payload["converged"]),
+            degraded=bool(payload["degraded"]),
+            n_entities=int(payload["n_entities"]),
+            n_statements=int(payload["n_statements"]),
+            final_log_likelihood=float(
+                payload["final_log_likelihood"]
+            ),
+            log_likelihoods=tuple(payload["log_likelihoods"]),
+            agreement_path=tuple(payload["agreement_path"]),
+            rate_positive_path=tuple(payload["rate_positive_path"]),
+            rate_negative_path=tuple(payload["rate_negative_path"]),
+        )
+
+
+def record_from_fit(fit: Any) -> ConvergenceRecord:
+    """Build a record from a ``FittedCombination`` (duck-typed: needs
+    ``key``, ``trace``, ``n_entities``, ``n_statements``).
+
+    The parameter trajectories are taken from the trace's
+    ``parameters_path`` — populated when the learner ran with
+    ``record_path=True``; otherwise they are empty and only the
+    log-likelihood series is available.
+    """
+    trace = fit.trace
+    path = trace.parameters_path
+    final_ll = (
+        trace.log_likelihoods[-1]
+        if trace.log_likelihoods
+        else float("nan")
+    )
+    return ConvergenceRecord(
+        key=str(fit.key),
+        verdict=trace.verdict,
+        iterations=trace.iterations,
+        converged=trace.converged,
+        degraded=trace.degraded,
+        n_entities=fit.n_entities,
+        n_statements=fit.n_statements,
+        final_log_likelihood=final_ll,
+        log_likelihoods=tuple(trace.log_likelihoods),
+        agreement_path=tuple(p.agreement for p in path),
+        rate_positive_path=tuple(p.rate_positive for p in path),
+        rate_negative_path=tuple(p.rate_negative for p in path),
+    )
+
+
+def records_from_result(result: Any) -> list[ConvergenceRecord]:
+    """Records for every fit in a ``SurveyorResult``, key-sorted."""
+    return [
+        record_from_fit(result.fits[key])
+        for key in sorted(result.fits, key=str)
+    ]
+
+
+def records_to_payload(
+    records: list[ConvergenceRecord],
+) -> list[dict[str, Any]]:
+    return [record.to_dict() for record in records]
+
+
+def save_convergence(
+    records: list[ConvergenceRecord], path: str | Path
+) -> Path:
+    """Persist records (e.g. next to the run's shard checkpoints)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": CONVERGENCE_FORMAT,
+        "version": CONVERGENCE_VERSION,
+        "combinations": records_to_payload(records),
+    }
+    path.write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def load_convergence(path: str | Path) -> list[ConvergenceRecord]:
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != CONVERGENCE_FORMAT:
+        raise ValueError(
+            f"{path}: not an EM convergence artefact "
+            f"(format={payload.get('format')!r})"
+        )
+    return [
+        ConvergenceRecord.from_dict(row)
+        for row in payload["combinations"]
+    ]

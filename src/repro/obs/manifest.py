@@ -1,0 +1,98 @@
+"""Run manifests: what produced this opinion table, exactly.
+
+A deployment mines opinions once and serves them for months; when a
+table misbehaves later, the first question is "what run made this?".
+The manifest — written next to the opinion table — answers it: the
+resolved configuration, the code version (``git describe`` when
+available), wall-clock start and duration, and the run's health
+summary.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+MANIFEST_FORMAT = "run_manifest"
+MANIFEST_VERSION = 1
+
+
+def git_describe() -> str | None:
+    """``git describe --always --dirty`` of the source tree, or None
+    outside a checkout / without git."""
+    try:
+        result = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if result.returncode != 0:
+        return None
+    return result.stdout.strip() or None
+
+
+def health_summary(health: Any) -> dict[str, Any]:
+    """Flatten a ``PipelineHealth`` ledger to primitives (duck-typed)."""
+    return {
+        "healthy": bool(health.healthy),
+        "retries": health.retries,
+        "quarantined": len(health.quarantined),
+        "failed_shards": len(health.failed_shards),
+        "empty_shards": health.empty_shards,
+        "resumed_shards": health.resumed_shards,
+        "checkpointed_shards": health.checkpointed_shards,
+        "corrupt_checkpoints": health.corrupt_checkpoints,
+        "degraded_combinations": list(health.degraded_combinations),
+    }
+
+
+def build_manifest(
+    *,
+    command: str,
+    config: dict[str, Any],
+    started_unix: float,
+    duration_seconds: float,
+    health: Any = None,
+    outputs: dict[str, str] | None = None,
+) -> dict[str, Any]:
+    """Assemble the manifest payload (pure; no filesystem access
+    beyond ``git describe``)."""
+    return {
+        "format": MANIFEST_FORMAT,
+        "version": MANIFEST_VERSION,
+        "command": command,
+        "config": config,
+        "git_describe": git_describe(),
+        "python": sys.version.split()[0],
+        "started_at": time.strftime(
+            "%Y-%m-%dT%H:%M:%S%z", time.localtime(started_unix)
+        ),
+        "duration_seconds": round(duration_seconds, 6),
+        "health": None if health is None else health_summary(health),
+        "outputs": dict(outputs or {}),
+    }
+
+
+def manifest_path_for(artefact: str | Path) -> Path:
+    """Manifest filename convention: ``<artefact>.manifest.json``."""
+    artefact = Path(artefact)
+    return artefact.with_name(artefact.name + ".manifest.json")
+
+
+def write_manifest(
+    path: str | Path, payload: dict[str, Any]
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    )
+    return path

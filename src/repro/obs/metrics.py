@@ -1,0 +1,366 @@
+"""Named metrics with a declared catalogue and deterministic exposition.
+
+Three instrument kinds, mirroring the Prometheus data model at the
+scale this reproduction needs:
+
+* **counter** — monotonically increasing totals (documents processed,
+  statements extracted, shard retries);
+* **gauge** — last-written values (run wall seconds, KB entity count);
+* **histogram** — fixed-bucket distributions (statements per document,
+  per-shard latency, C+/C− evidence magnitudes).
+
+Every metric name must be *declared* in :data:`CATALOG` before use —
+an undeclared name raises :class:`MetricsError` at the call site, and
+``validate_metrics_payload`` applies the same rule to files so CI can
+reject a run that invented names. Exposition is deterministic (sorted
+names, ``%.10g`` floats) so golden-file tests are byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from ..core.errors import ReproError
+
+METRICS_FORMAT = "metrics"
+METRICS_VERSION = 1
+
+
+class MetricsError(ReproError):
+    """An undeclared metric name or a malformed metrics payload."""
+
+
+@dataclass(frozen=True, slots=True)
+class MetricSpec:
+    """One declared metric: its kind, help line, and histogram edges."""
+
+    name: str
+    kind: str  # counter | gauge | histogram
+    help: str
+    buckets: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("counter", "gauge", "histogram"):
+            raise ValueError(f"unknown metric kind {self.kind!r}")
+        if self.kind == "histogram" and not self.buckets:
+            raise ValueError(f"histogram {self.name} needs buckets")
+        if self.buckets and list(self.buckets) != sorted(
+            set(self.buckets)
+        ):
+            raise ValueError(
+                f"{self.name}: buckets must be strictly increasing"
+            )
+
+
+#: Latency buckets (seconds) — spans sub-millisecond documents through
+#: multi-second shards.
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
+#: Small-count buckets (per-document statements, sentences, EM iters).
+COUNT_BUCKETS = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
+
+#: Evidence-magnitude buckets for the per-pair ``<C+, C->`` tuples.
+MAGNITUDE_BUCKETS = (
+    0.0, 1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0,
+)
+
+
+def _catalog(*specs: MetricSpec) -> dict[str, MetricSpec]:
+    return {spec.name: spec for spec in specs}
+
+
+#: Every metric the pipeline may emit. CI fails on names outside this.
+CATALOG: dict[str, MetricSpec] = _catalog(
+    # extraction-side counters (merged back from workers)
+    MetricSpec("repro_documents_total", "counter",
+               "documents annotated and extracted"),
+    MetricSpec("repro_sentences_total", "counter",
+               "sentences processed by the NLP stack"),
+    MetricSpec("repro_mentions_total", "counter",
+               "entity mentions linked by the annotator"),
+    MetricSpec("repro_statements_total", "counter",
+               "evidence statements extracted"),
+    MetricSpec("repro_statements_positive_total", "counter",
+               "positive-polarity statements"),
+    MetricSpec("repro_statements_negative_total", "counter",
+               "negative-polarity statements"),
+    MetricSpec("repro_quarantined_documents_total", "counter",
+               "documents quarantined as dead letters"),
+    # executor counters
+    MetricSpec("repro_shards_total", "counter",
+               "non-empty shards mapped"),
+    MetricSpec("repro_shard_retries_total", "counter",
+               "shard attempts that were retried"),
+    # interpretation counters
+    MetricSpec("repro_em_fits_total", "counter",
+               "property-type combinations fit with EM"),
+    MetricSpec("repro_em_degraded_total", "counter",
+               "combinations that fell back to majority vote"),
+    MetricSpec("repro_combinations_skipped_total", "counter",
+               "combinations below the occurrence threshold"),
+    MetricSpec("repro_opinions_total", "counter",
+               "opinions emitted into the table"),
+    MetricSpec("repro_report_sections_total", "counter",
+               "sections assembled by the reproduction report"),
+    # gauges
+    MetricSpec("repro_run_wall_seconds", "gauge",
+               "wall-clock duration of the whole run"),
+    MetricSpec("repro_kb_entities", "gauge",
+               "entities in the knowledge base"),
+    # histograms
+    MetricSpec("repro_statements_per_document", "histogram",
+               "evidence statements extracted per document",
+               COUNT_BUCKETS),
+    MetricSpec("repro_sentences_per_document", "histogram",
+               "sentences per document", COUNT_BUCKETS),
+    MetricSpec("repro_document_seconds", "histogram",
+               "annotate+extract latency per document",
+               LATENCY_BUCKETS),
+    MetricSpec("repro_shard_seconds", "histogram",
+               "end-to-end latency per shard attempt chain",
+               LATENCY_BUCKETS),
+    MetricSpec("repro_em_iterations", "histogram",
+               "EM iterations per fitted combination", COUNT_BUCKETS),
+    MetricSpec("repro_evidence_positive_magnitude", "histogram",
+               "C+ magnitude per entity-property pair",
+               MAGNITUDE_BUCKETS),
+    MetricSpec("repro_evidence_negative_magnitude", "histogram",
+               "C- magnitude per entity-property pair",
+               MAGNITUDE_BUCKETS),
+)
+
+
+def _format_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.10g}"
+
+
+class MetricsRegistry:
+    """Holds the run's instruments; every name checked against a catalogue."""
+
+    def __init__(
+        self, catalog: dict[str, MetricSpec] | None = None
+    ) -> None:
+        self._catalog = dict(CATALOG if catalog is None else catalog)
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        # name -> (per-edge counts + overflow slot, sum, count)
+        self._histograms: dict[str, dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # Instruments
+    # ------------------------------------------------------------------
+    def _spec(self, name: str, kind: str) -> MetricSpec:
+        spec = self._catalog.get(name)
+        if spec is None:
+            raise MetricsError(
+                f"undeclared metric {name!r}: add it to "
+                "repro.obs.metrics.CATALOG first"
+            )
+        if spec.kind != kind:
+            raise MetricsError(
+                f"{name} is declared as a {spec.kind}, used as a {kind}"
+            )
+        return spec
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        self._spec(name, "counter")
+        if amount < 0:
+            raise MetricsError(f"{name}: counters only go up")
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._spec(name, "gauge")
+        self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        spec = self._spec(name, "histogram")
+        state = self._histograms.get(name)
+        if state is None:
+            state = {
+                "counts": [0] * (len(spec.buckets) + 1),
+                "sum": 0.0,
+                "count": 0,
+            }
+            self._histograms[name] = state
+        # le semantics: the first edge >= value owns the observation;
+        # beyond the last edge lands in the +Inf overflow slot.
+        state["counts"][bisect_left(spec.buckets, value)] += 1
+        state["sum"] += float(value)
+        state["count"] += 1
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (sums counters and histograms;
+        gauges take the other side's latest value)."""
+        for name, value in other._counters.items():
+            self._spec(name, "counter")
+            self._counters[name] = self._counters.get(name, 0) + value
+        for name, value in other._gauges.items():
+            self._spec(name, "gauge")
+            self._gauges[name] = value
+        for name, theirs in other._histograms.items():
+            self._spec(name, "histogram")
+            state = self._histograms.get(name)
+            if state is None:
+                self._histograms[name] = {
+                    "counts": list(theirs["counts"]),
+                    "sum": theirs["sum"],
+                    "count": theirs["count"],
+                }
+                continue
+            state["counts"] = [
+                a + b for a, b in zip(state["counts"], theirs["counts"])
+            ]
+            state["sum"] += theirs["sum"]
+            state["count"] += theirs["count"]
+
+    def names(self) -> list[str]:
+        """Names with recorded data, sorted."""
+        return sorted(
+            {*self._counters, *self._gauges, *self._histograms}
+        )
+
+    def counter_value(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def exposition(self) -> str:
+        """Prometheus-style text exposition, deterministically ordered."""
+        lines: list[str] = []
+        for name in self.names():
+            spec = self._catalog[name]
+            lines.append(f"# HELP {name} {spec.help}")
+            lines.append(f"# TYPE {name} {spec.kind}")
+            if spec.kind == "counter":
+                lines.append(
+                    f"{name} {_format_value(self._counters[name])}"
+                )
+            elif spec.kind == "gauge":
+                lines.append(
+                    f"{name} {_format_value(self._gauges[name])}"
+                )
+            else:
+                state = self._histograms[name]
+                cumulative = 0
+                for edge, count in zip(
+                    spec.buckets, state["counts"]
+                ):
+                    cumulative += count
+                    lines.append(
+                        f'{name}_bucket{{le="{_format_value(edge)}"}}'
+                        f" {cumulative}"
+                    )
+                cumulative += state["counts"][-1]
+                lines.append(
+                    f'{name}_bucket{{le="+Inf"}} {cumulative}'
+                )
+                lines.append(
+                    f"{name}_sum {_format_value(state['sum'])}"
+                )
+                lines.append(f"{name}_count {state['count']}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON payload for ``--metrics-out`` (format-tagged)."""
+        metrics: dict[str, Any] = {}
+        for name in self.names():
+            spec = self._catalog[name]
+            if spec.kind == "counter":
+                metrics[name] = {
+                    "type": "counter",
+                    "value": self._counters[name],
+                }
+            elif spec.kind == "gauge":
+                metrics[name] = {
+                    "type": "gauge",
+                    "value": self._gauges[name],
+                }
+            else:
+                state = self._histograms[name]
+                metrics[name] = {
+                    "type": "histogram",
+                    "buckets": list(spec.buckets),
+                    "counts": list(state["counts"]),
+                    "sum": state["sum"],
+                    "count": state["count"],
+                }
+        return {
+            "format": METRICS_FORMAT,
+            "version": METRICS_VERSION,
+            "metrics": metrics,
+        }
+
+    def write_json(
+        self, path: str | Path, extra: dict[str, Any] | None = None
+    ) -> Path:
+        """Persist :meth:`to_dict` (plus optional extra sections)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = self.to_dict()
+        if extra:
+            payload.update(extra)
+        path.write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n"
+        )
+        return path
+
+
+def validate_metrics_payload(
+    payload: Any, catalog: dict[str, MetricSpec] | None = None
+) -> list[str]:
+    """Check a ``--metrics-out`` payload: shape, and that every metric
+    name is declared with the right kind. Returns violations."""
+    catalog = CATALOG if catalog is None else catalog
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        return ["metrics payload is not a JSON object"]
+    if payload.get("format") != METRICS_FORMAT:
+        errors.append(
+            f"format must be {METRICS_FORMAT!r}, "
+            f"got {payload.get('format')!r}"
+        )
+    if payload.get("version") != METRICS_VERSION:
+        errors.append(
+            f"unsupported metrics version {payload.get('version')!r}"
+        )
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append("missing 'metrics' object")
+        return errors
+    for name, row in sorted(metrics.items()):
+        spec = catalog.get(name)
+        if spec is None:
+            errors.append(f"undeclared metric name {name!r}")
+            continue
+        if not isinstance(row, dict):
+            errors.append(f"{name}: entry is not an object")
+            continue
+        if row.get("type") != spec.kind:
+            errors.append(
+                f"{name}: declared {spec.kind}, "
+                f"file says {row.get('type')!r}"
+            )
+    return errors
+
+
+def load_metrics_file(path: str | Path) -> dict[str, Any]:
+    """Read a metrics JSON file; malformed files raise MetricsError."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise MetricsError(
+            f"{path}: unreadable metrics file: {error}"
+        ) from error
+    return payload

@@ -1,0 +1,208 @@
+"""Render a recorded trace as a terminal report (``repro stats``).
+
+Consumes the JSONL span stream written by :class:`repro.obs.trace.Tracer`
+and produces the Section 7.1-style view: a per-stage timeline, the
+per-shard latency spread, the top-k slowest documents, and — when a
+metrics/convergence file is supplied — per-combination EM convergence
+sparklines.
+
+The heavy lifting (bars, sparklines) reuses
+:mod:`repro.evaluation.ascii_plots`, imported lazily so this module
+stays importable from anywhere without dragging the evaluation stack
+into the pipeline's import graph.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from .convergence import ConvergenceRecord
+
+
+def _by_kind(spans: list[dict[str, Any]]) -> dict[str, list[dict]]:
+    grouped: dict[str, list[dict]] = {}
+    for span in spans:
+        grouped.setdefault(span.get("kind", "span"), []).append(span)
+    return grouped
+
+
+def _timeline_rows(
+    spans: list[dict[str, Any]], origin: float
+) -> list[str]:
+    """One row per span: offset, duration, name, error flag."""
+    rows = []
+    for span in sorted(spans, key=lambda s: s["start_unix"]):
+        offset = span["start_unix"] - origin
+        flag = (
+            ""
+            if span.get("status") == "ok"
+            else f"  ERROR={span.get('error', '?')}"
+        )
+        rows.append(
+            f"  +{offset:8.3f}s  {span['duration']:9.4f}s"
+            f"  {span['name']}{flag}"
+        )
+    return rows
+
+
+def render_trace(
+    spans: list[dict[str, Any]], top: int = 10
+) -> str:
+    """The full ``repro stats`` report for one trace."""
+    from ..evaluation.ascii_plots import bar_chart
+
+    if not spans:
+        return "(empty trace)"
+    grouped = _by_kind(spans)
+    origin = min(span["start_unix"] for span in spans)
+    lines: list[str] = []
+
+    counts = Counter(span.get("kind", "span") for span in spans)
+    errors = [s for s in spans if s.get("status") != "ok"]
+    runs = grouped.get("run", [])
+    total = (
+        max(r["duration"] for r in runs)
+        if runs
+        else sum(s["duration"] for s in grouped.get("stage", []))
+    )
+    lines.append(
+        f"trace: {len(spans)} spans "
+        f"({', '.join(f'{k}={v}' for k, v in sorted(counts.items()))})"
+    )
+    lines.append(f"run wall time: {total:.3f}s  errors: {len(errors)}")
+
+    stages = grouped.get("stage", [])
+    if stages:
+        lines.append("")
+        lines.append("stage timeline (offset, duration):")
+        lines.extend(_timeline_rows(stages, origin))
+        lines.append("")
+        lines.append("stage durations:")
+        lines.append(
+            bar_chart(
+                [
+                    (span["name"], span["duration"])
+                    for span in sorted(
+                        stages, key=lambda s: s["start_unix"]
+                    )
+                ]
+            )
+        )
+
+    shards = grouped.get("shard", [])
+    if shards:
+        lines.append("")
+        lines.append("per-shard latency:")
+        lines.append(
+            bar_chart(
+                [
+                    (
+                        f"shard-{span['attrs'].get('shard_id', '?')}",
+                        span["duration"],
+                    )
+                    for span in sorted(
+                        shards,
+                        key=lambda s: s["attrs"].get("shard_id", 0),
+                    )
+                ]
+            )
+        )
+
+    documents = grouped.get("document", [])
+    if documents:
+        slowest = sorted(
+            documents, key=lambda s: s["duration"], reverse=True
+        )[:top]
+        lines.append("")
+        lines.append(f"top {len(slowest)} slowest documents:")
+        for span in slowest:
+            attrs = span.get("attrs", {})
+            lines.append(
+                f"  {span['duration']:9.4f}s"
+                f"  {attrs.get('doc_id', '?'):30s}"
+                f" statements={attrs.get('statements', '?')}"
+            )
+
+    combos = grouped.get("combination", [])
+    if combos:
+        lines.append("")
+        lines.append("EM combinations:")
+        for span in sorted(
+            combos, key=lambda s: s["duration"], reverse=True
+        )[:top]:
+            attrs = span.get("attrs", {})
+            lines.append(
+                f"  {span['duration']:9.4f}s  {attrs.get('key', '?')}"
+            )
+
+    if errors:
+        lines.append("")
+        lines.append("error spans:")
+        for span in errors[:top]:
+            lines.append(
+                f"  {span['name']} [{span.get('kind')}]"
+                f" error={span.get('error', '?')}"
+            )
+    return "\n".join(lines)
+
+
+def render_metrics(payload: dict[str, Any]) -> str:
+    """Human view of a ``--metrics-out`` payload.
+
+    Counters and gauges print as name/value rows; non-empty histograms
+    get a bucket panel. Ordering follows the file (already sorted).
+    """
+    from ..evaluation.ascii_plots import histogram_panel
+
+    metrics = payload.get("metrics", {})
+    if not metrics:
+        return "(no metrics recorded)"
+    lines: list[str] = ["metrics:"]
+    scalar_width = max(len(name) for name in metrics)
+    for name, row in metrics.items():
+        kind = row.get("type")
+        if kind in ("counter", "gauge"):
+            lines.append(
+                f"  {name:<{scalar_width}}  {row['value']:g}"
+                f"  ({kind})"
+            )
+    for name, row in metrics.items():
+        if row.get("type") != "histogram" or not row.get("count"):
+            continue
+        lines.append("")
+        lines.append(
+            f"  {name}  count={row['count']}  sum={row['sum']:g}"
+        )
+        panel = histogram_panel(row["buckets"], row["counts"])
+        lines.extend("    " + line for line in panel.splitlines())
+    return "\n".join(lines)
+
+
+def render_convergence(
+    records: list[ConvergenceRecord],
+) -> str:
+    """Per-combination convergence panel with sparkline trajectories."""
+    from ..evaluation.ascii_plots import sparkline
+
+    if not records:
+        return "(no EM convergence records)"
+    lines = ["EM convergence per combination:"]
+    width = max(len(record.key) for record in records)
+    for record in records:
+        trend = sparkline(record.log_likelihoods)
+        lines.append(
+            f"  {record.key:<{width}}  {record.verdict:<17}"
+            f" iters={record.iterations:<3}"
+            f" ll={record.final_log_likelihood:.4g}  {trend}"
+        )
+        if record.agreement_path:
+            lines.append(
+                f"  {'':<{width}}  pA "
+                f"{record.agreement_path[0]:.2f}→"
+                f"{record.agreement_path[-1]:.2f} "
+                f"{sparkline(record.agreement_path)}  np+S "
+                f"{sparkline(record.rate_positive_path)}  np-S "
+                f"{sparkline(record.rate_negative_path)}"
+            )
+    return "\n".join(lines)

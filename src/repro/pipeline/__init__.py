@@ -13,6 +13,7 @@ from .resilience import (
     ShardEvidence,
     ShardFailure,
     ShardTimeoutError,
+    WorkerTelemetry,
     call_with_retry,
 )
 from .runner import PipelineReport, SurveyorPipeline
@@ -33,6 +34,7 @@ __all__ = [
     "ShardTimeoutError",
     "StageMetrics",
     "SurveyorPipeline",
+    "WorkerTelemetry",
     "call_with_retry",
     "shard_items",
 ]

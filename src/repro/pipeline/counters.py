@@ -4,13 +4,24 @@ The paper reports per-stage wall times and record counts for the
 5000-node run (Section 7.1); this module provides the accounting
 objects our single-machine executor uses to produce the same report
 shape.
+
+Counters are process-pool safe by *merging*, not by sharing: a worker
+process bumps its own :class:`StageMetrics` and ships it back with the
+shard result; the parent folds it in with :meth:`StageMetrics.merge`
+(see ``SurveyorPipeline._extract``). Before this existed, counters
+bumped inside process-pool workers were silently dropped.
+
+When the owning :class:`PipelineMetrics` carries a tracer (duck-typed;
+see :class:`repro.obs.trace.Tracer`), each :meth:`PipelineMetrics.timed`
+stage also opens a ``stage`` span, so the trace and the counter report
+agree on stage boundaries.
 """
 
 from __future__ import annotations
 
 import time
 from collections import Counter
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 
 from .resilience import PipelineHealth
@@ -27,6 +38,11 @@ class StageMetrics:
     def bump(self, counter: str, amount: int = 1) -> None:
         self.counters[counter] += amount
 
+    def merge(self, other: "StageMetrics") -> None:
+        """Fold a worker-side stage's accounting into this one."""
+        self.wall_seconds += other.wall_seconds
+        self.counters.update(other.counters)
+
     def report(self) -> str:
         parts = [f"{self.name}: {self.wall_seconds:.2f}s"]
         for key in sorted(self.counters):
@@ -40,11 +56,14 @@ class PipelineMetrics:
 
     ``health`` is the run's resilience ledger: the executor records
     retries, skipped shards, and quarantined documents here so the
-    report can show how degraded (or not) the run was.
+    report can show how degraded (or not) the run was. ``tracer`` is
+    an optional span tracer (anything with a ``span(name, **attrs)``
+    context manager); stage timings then double as ``stage`` spans.
     """
 
     stages: dict[str, StageMetrics] = field(default_factory=dict)
     health: PipelineHealth = field(default_factory=PipelineHealth)
+    tracer: object | None = field(default=None, repr=False)
 
     def stage(self, name: str) -> StageMetrics:
         if name not in self.stages:
@@ -53,11 +72,27 @@ class PipelineMetrics:
 
     @contextmanager
     def timed(self, name: str):
-        """Time a stage body; accumulates across repeated entries."""
+        """Time a stage body; accumulates across repeated entries.
+
+        Exception-safe: a body that raises still records its elapsed
+        wall time, bumps an ``errors.<ExceptionType>`` counter on the
+        stage, and — when tracing — leaves the stage span tagged
+        ``status="error"`` (the tracer does that on unwind). Partial
+        timings are therefore never lost mid-retry.
+        """
         metrics = self.stage(name)
+        span_cm = (
+            self.tracer.span(name, kind="stage")
+            if self.tracer is not None
+            else nullcontext()
+        )
         started = time.perf_counter()
         try:
-            yield metrics
+            with span_cm:
+                yield metrics
+        except BaseException as error:
+            metrics.bump(f"errors.{type(error).__name__}")
+            raise
         finally:
             metrics.wall_seconds += time.perf_counter() - started
 

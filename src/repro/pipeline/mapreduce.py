@@ -86,6 +86,14 @@ class MapReduceJob(Generic[Item, Partial, Result]):
         in the health ledger and dropped; the job continues on the
         surviving shards. When false (default), the last error is
         re-raised.
+    shard_observer:
+        Optional callback ``(shard_id, seconds, attempts)`` fired when
+        a shard succeeds, with the wall-clock latency of its whole
+        attempt chain (first submission to success, retries and
+        backoff included). The pipeline runner wires this into the
+        metrics registry's per-shard latency histogram; it lives here
+        because only the executor can see the full chain — a worker
+        timing itself would miss queueing, retries, and timeouts.
 
     Empty shards are never dispatched to the mapper: they contribute
     nothing to the reduction and, on a pooled executor, would only pay
@@ -100,6 +108,7 @@ class MapReduceJob(Generic[Item, Partial, Result]):
     retry_policy: RetryPolicy | None = None
     shard_timeout: float | None = None
     skip_failed_shards: bool = False
+    shard_observer: Callable[[int, float, int], None] | None = None
 
     def __post_init__(self) -> None:
         if self.parallel and self.executor == "serial":
@@ -136,6 +145,12 @@ class MapReduceJob(Generic[Item, Partial, Result]):
             stage.bump("partials", len(partials))
         return result
 
+    def _observe_shard(
+        self, index: int, seconds: float, attempts: int
+    ) -> None:
+        if self.shard_observer is not None:
+            self.shard_observer(index, seconds, attempts)
+
     # ------------------------------------------------------------------
     # Mapping with retries, timeouts, and shard quarantine
     # ------------------------------------------------------------------
@@ -163,6 +178,7 @@ class MapReduceJob(Generic[Item, Partial, Result]):
         results: list[Partial] = []
         for index, shard in live:
             attempts = 0
+            chain_started = time.perf_counter()
 
             def attempt(shard=shard):
                 nonlocal attempts
@@ -177,6 +193,11 @@ class MapReduceJob(Generic[Item, Partial, Result]):
                     call_with_retry(
                         attempt, policy, key=index, on_retry=count_retry
                     )
+                )
+                self._observe_shard(
+                    index,
+                    time.perf_counter() - chain_started,
+                    attempts,
                 )
             except Exception as error:
                 if not self.skip_failed_shards:
@@ -202,11 +223,13 @@ class MapReduceJob(Generic[Item, Partial, Result]):
             else ProcessPoolExecutor
         )
         results: dict[int, Partial] = {}
+        chain_started: dict[int, float] = {}
         with pool_cls(max_workers=self.n_workers) as pool:
             pending: dict[Future, tuple[int, Sequence[Item], int]] = {}
             deadlines: dict[Future, float] = {}
 
             def submit(index, shard, attempt):
+                chain_started.setdefault(index, time.perf_counter())
                 future = pool.submit(self.mapper, shard)
                 pending[future] = (index, shard, attempt)
                 if self.shard_timeout is not None:
@@ -258,10 +281,18 @@ class MapReduceJob(Generic[Item, Partial, Result]):
                         error: BaseException = timeout_error
                     else:
                         try:
-                            results[index] = future.result()
-                            continue
+                            partial = future.result()
                         except Exception as raised:
                             error = raised
+                        else:
+                            results[index] = partial
+                            self._observe_shard(
+                                index,
+                                time.perf_counter()
+                                - chain_started[index],
+                                attempt,
+                            )
+                            continue
                     if attempt < policy.max_attempts and (
                         policy.is_retryable(error)
                     ):

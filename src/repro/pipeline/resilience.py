@@ -183,12 +183,38 @@ class ShardFailure:
 
 
 @dataclass(frozen=True, slots=True)
+class WorkerTelemetry:
+    """Observability payload a worker ships back with its shard result.
+
+    Everything here is primitives so it pickles across the process-pool
+    boundary — this is how counters bumped *inside* a worker process
+    reach the parent's ledger instead of dying with the worker:
+
+    * ``counters`` — folded into the parent's ``map`` stage metrics;
+    * ``observations`` — ``(histogram_name, value)`` pairs replayed
+      into the parent's metrics registry;
+    * ``spans`` — exported tracer spans, re-parented under the parent's
+      ``map`` stage span by ``Tracer.adopt``.
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    observations: tuple[tuple[str, float], ...] = ()
+    spans: tuple[dict, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
 class ShardEvidence:
-    """One shard's mapped output; the unit of checkpointing."""
+    """One shard's mapped output; the unit of checkpointing.
+
+    ``telemetry`` rides along only for freshly-mapped shards; shards
+    resumed from a checkpoint carry ``None`` (their worker's telemetry
+    belonged to the run that wrote the checkpoint).
+    """
 
     shard_id: int
     counter: EvidenceCounter
     dead_letters: tuple[DeadLetter, ...] = ()
+    telemetry: WorkerTelemetry | None = None
 
 
 # ---------------------------------------------------------------------------

@@ -20,11 +20,21 @@ retries is skipped (the run continues on the survivors), and — with a
 interrupted run resumes without recomputing finished shards. ``strict``
 restores the historical fail-fast behaviour. All of it is accounted in
 the report's health section.
+
+The runner is also the observability seam. With a ``tracer`` the run
+produces a span tree (run → stage → shard → document for extraction;
+run → stage → combination → em-iteration for interpretation); worker
+processes trace themselves and their spans are adopted back into the
+parent's tree. With a ``registry`` the run fills the metric catalogue
+(see :mod:`repro.obs.metrics`). Worker-side counters are *always*
+collected and merged — they ride back with each shard's result — so
+process-pool runs report the same numbers as serial ones.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from ..core.em import EMLearner
@@ -40,11 +50,19 @@ from ..extraction.patterns import DEFAULT_PATTERNS, PatternConfig
 from ..extraction.statement import EvidenceCounter
 from ..kb.knowledge_base import KnowledgeBase
 from ..nlp.annotate import Annotator
+from ..obs.convergence import (
+    CONVERGENCE_BASENAME,
+    ConvergenceRecord,
+    records_from_result,
+    save_convergence,
+)
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
 from ..storage.serialize import (
     load_shard_checkpoint,
     save_shard_checkpoint,
 )
-from .counters import PipelineMetrics
+from .counters import PipelineMetrics, StageMetrics
 from .faults import FaultInjector
 from .mapreduce import MapReduceJob
 from .resilience import (
@@ -54,6 +72,7 @@ from .resilience import (
     PipelineHealth,
     RetryPolicy,
     ShardEvidence,
+    WorkerTelemetry,
 )
 
 
@@ -64,6 +83,7 @@ class PipelineReport:
     result: SurveyorResult
     evidence: EvidenceCounter
     metrics: PipelineMetrics
+    convergence: list[ConvergenceRecord] = field(default_factory=list)
 
     @property
     def opinions(self):
@@ -108,6 +128,17 @@ class SurveyorPipeline:
     fault_injector:
         Deterministic failure source for resilience testing; see
         :mod:`repro.pipeline.faults`.
+
+    Observability knobs
+    -------------------
+    tracer:
+        Span tracer for the run; disabled (or ``None``) costs nothing
+        on the hot path. Worker processes build their own tracers and
+        their spans are re-parented under the ``map`` stage span.
+    registry:
+        Metrics registry to fill (counters, gauges, histograms from
+        the declared catalogue). Convergence records are written next
+        to the shard checkpoints when ``checkpoint_dir`` is set.
     """
 
     kb: KnowledgeBase
@@ -122,25 +153,76 @@ class SurveyorPipeline:
     strict: bool = False
     checkpoint_dir: str | Path | None = None
     fault_injector: FaultInjector | None = None
+    tracer: Tracer | None = None
+    registry: MetricsRegistry | None = None
+
+    @property
+    def _tracing(self) -> bool:
+        return self.tracer is not None and self.tracer.enabled
+
+    @property
+    def _telemetry(self) -> bool:
+        return self._tracing or self.registry is not None
 
     def run(self, corpus: WebCorpus) -> PipelineReport:
         """Process a corpus end to end."""
-        metrics = PipelineMetrics()
+        started = time.perf_counter()
+        metrics = PipelineMetrics(tracer=self.tracer)
+        if self._tracing:
+            with self.tracer.span(
+                "run",
+                kind="run",
+                documents=len(corpus),
+                n_workers=self.n_workers,
+                executor=self.executor,
+            ) as span:
+                report = self._run_stages(corpus, metrics)
+                span.set("opinions", len(report.result.opinions))
+                span.set("healthy", report.health.healthy)
+        else:
+            report = self._run_stages(corpus, metrics)
+        if self.registry is not None:
+            self.registry.set_gauge(
+                "repro_run_wall_seconds",
+                time.perf_counter() - started,
+            )
+        return report
+
+    def _run_stages(
+        self, corpus: WebCorpus, metrics: PipelineMetrics
+    ) -> PipelineReport:
+        registry = self.registry
         evidence = self._extract(corpus, metrics)
         with metrics.timed("kb") as stage:
             catalog = self.kb
             stats = catalog.stats()
             for key, value in stats.items():
                 stage.bump(key, value)
+            if registry is not None:
+                registry.set_gauge(
+                    "repro_kb_entities", stats.get("entities", 0)
+                )
         with metrics.timed("group") as stage:
             grouped = evidence.as_evidence()
             stage.bump("pairs", evidence.n_pairs)
             stage.bump("combinations", len(grouped))
+            if registry is not None:
+                for per_entity in grouped.values():
+                    for counts in per_entity.values():
+                        registry.observe(
+                            "repro_evidence_positive_magnitude",
+                            counts.positive,
+                        )
+                        registry.observe(
+                            "repro_evidence_negative_magnitude",
+                            counts.negative,
+                        )
         with metrics.timed("em") as stage:
             surveyor = Surveyor(
                 catalog=catalog,
                 occurrence_threshold=self.occurrence_threshold,
-                learner=self.learner,
+                learner=self._telemetry_learner(),
+                tracer=self.tracer if self._tracing else None,
             )
             result = surveyor.run(grouped)
             stage.bump("fits", len(result.fits))
@@ -148,9 +230,50 @@ class SurveyorPipeline:
             metrics.health.degraded_combinations.extend(
                 str(key) for key in result.degraded
             )
-        return PipelineReport(
-            result=result, evidence=evidence, metrics=metrics
+        convergence = (
+            records_from_result(result) if self._telemetry else []
         )
+        if registry is not None:
+            registry.inc("repro_em_fits_total", len(result.fits))
+            registry.inc(
+                "repro_em_degraded_total", len(result.degraded)
+            )
+            registry.inc(
+                "repro_combinations_skipped_total",
+                len(result.skipped),
+            )
+            registry.inc(
+                "repro_opinions_total", len(result.opinions)
+            )
+            for fit in result.fits.values():
+                registry.observe(
+                    "repro_em_iterations", fit.trace.iterations
+                )
+        if convergence and self.checkpoint_dir is not None:
+            save_convergence(
+                convergence,
+                Path(self.checkpoint_dir) / CONVERGENCE_BASENAME,
+            )
+        return PipelineReport(
+            result=result,
+            evidence=evidence,
+            metrics=metrics,
+            convergence=convergence,
+        )
+
+    def _telemetry_learner(self) -> EMLearner:
+        """The configured learner, upgraded for telemetry when needed.
+
+        Trajectory recording and iteration spans are opt-in on the
+        learner; a traced run turns them on without mutating the
+        caller's learner instance.
+        """
+        learner = self.learner
+        if self._telemetry and not learner.record_path:
+            learner = replace(learner, record_path=True)
+        if self._tracing and learner.tracer is None:
+            learner = replace(learner, tracer=self.tracer)
+        return learner
 
     # ------------------------------------------------------------------
     # Extraction stage
@@ -159,6 +282,7 @@ class SurveyorPipeline:
         self, corpus: WebCorpus, metrics: PipelineMetrics
     ) -> EvidenceCounter:
         health = metrics.health
+        registry = self.registry
         shards = corpus.shards(self.n_workers)
         run_dir = (
             Path(self.checkpoint_dir)
@@ -181,6 +305,13 @@ class SurveyorPipeline:
         else:
             pending = list(shards)
 
+        def observe_shard(
+            shard_id: int, seconds: float, attempts: int
+        ) -> None:
+            metrics.stage("map").bump("shard_attempts", attempts)
+            if registry is not None:
+                registry.observe("repro_shard_seconds", seconds)
+
         fresh: list[ShardEvidence] = []
         if pending:
             job: MapReduceJob[
@@ -195,19 +326,83 @@ class SurveyorPipeline:
                 or (NO_RETRY if self.strict else DEFAULT_RETRY_POLICY),
                 shard_timeout=self.shard_timeout,
                 skip_failed_shards=not self.strict,
+                shard_observer=observe_shard,
             )
             fresh = job.run(pending, metrics)
             if run_dir is not None:
                 health.checkpointed_shards += len(fresh)
 
+        map_span_id = (
+            self.tracer.last_span_id("map", kind="stage")
+            if self._tracing
+            else None
+        )
         evidence = EvidenceCounter()
+        map_stage = metrics.stage("map")
         for part in sorted(
             [*resumed, *fresh], key=lambda p: p.shard_id
         ):
             evidence.merge(part.counter)
             health.record_quarantine(part.dead_letters)
-        metrics.stage("map").bump("statements", evidence.n_statements)
+            self._merge_telemetry(
+                part.telemetry, map_stage, map_span_id
+            )
+        map_stage.bump("statements", evidence.n_statements)
+        if registry is not None:
+            counters = map_stage.counters
+            registry.inc(
+                "repro_statements_total", evidence.n_statements
+            )
+            registry.inc(
+                "repro_documents_total", counters.get("documents", 0)
+            )
+            registry.inc(
+                "repro_sentences_total", counters.get("sentences", 0)
+            )
+            registry.inc(
+                "repro_mentions_total", counters.get("mentions", 0)
+            )
+            registry.inc(
+                "repro_statements_positive_total",
+                counters.get("statements_positive", 0),
+            )
+            registry.inc(
+                "repro_statements_negative_total",
+                counters.get("statements_negative", 0),
+            )
+            registry.inc(
+                "repro_shards_total", counters.get("shards", 0)
+            )
+            registry.inc("repro_shard_retries_total", health.retries)
+            registry.inc(
+                "repro_quarantined_documents_total",
+                len(health.quarantined),
+            )
         return evidence
+
+    def _merge_telemetry(
+        self,
+        telemetry: WorkerTelemetry | None,
+        map_stage: StageMetrics,
+        map_span_id: int | None,
+    ) -> None:
+        """Fold one worker's shipped-back telemetry into the parent.
+
+        This closes the process-pool counter hole: worker-side bumps
+        and histogram observations arrive here as data, and worker
+        spans are re-parented under the parent's ``map`` stage span.
+        """
+        if telemetry is None:
+            return
+        for name, amount in sorted(telemetry.counters.items()):
+            map_stage.bump(name, amount)
+        if self.registry is not None:
+            for name, value in telemetry.observations:
+                self.registry.observe(name, value)
+        if self._tracing and telemetry.spans:
+            self.tracer.adopt(
+                list(telemetry.spans), parent_id=map_span_id
+            )
 
     def _map_shard(self, shard: CorpusShard) -> ShardEvidence:
         """One worker: annotate and extract a shard of documents.
@@ -219,41 +414,95 @@ class SurveyorPipeline:
         the pipeline is strict; shard-level failures propagate to the
         executor's retry loop. On success the shard checkpoints its
         own output, so a later resume skips it.
+
+        The worker also traces itself (shard and document spans) and
+        counts its work; both ride back on the returned
+        :class:`ShardEvidence` as :class:`WorkerTelemetry`, because a
+        worker process cannot reach the parent's tracer or registry.
         """
         injector = self.fault_injector
         if injector is not None:
             injector.on_shard_start(shard.shard_id)
         annotator = Annotator(self.kb)
         extractor = EvidenceExtractor(config=self.pattern_config)
+        worker_tracer = Tracer(enabled=self._tracing)
+        observations: list[tuple[str, float]] = []
         counter = EvidenceCounter()
         dead: list[DeadLetter] = []
-        for document in shard:
-            stage = "annotate"
-            try:
-                if injector is not None:
-                    stage = "inject"
-                    injector.on_document(document.doc_id)
-                    stage = "annotate"
-                annotated = annotator.annotate(
-                    document.doc_id, document.text
-                )
-                stage = "extract"
-                statements = extractor.extract_document(annotated)
-            except Exception as error:
-                if self.strict:
-                    raise
-                dead.append(
-                    DeadLetter.from_exception(
-                        document.doc_id, stage, error,
-                        text=str(document.text),
+        with worker_tracer.span(
+            "shard", kind="shard", shard_id=shard.shard_id
+        ) as shard_span:
+            for document in shard:
+                stage = "annotate"
+                statements = []
+                doc_started = time.perf_counter()
+                try:
+                    with worker_tracer.span(
+                        "document",
+                        kind="document",
+                        doc_id=document.doc_id,
+                    ) as doc_span:
+                        if injector is not None:
+                            stage = "inject"
+                            injector.on_document(document.doc_id)
+                            stage = "annotate"
+                        annotated = annotator.annotate(
+                            document.doc_id, document.text
+                        )
+                        stage = "extract"
+                        statements = extractor.extract_document(
+                            annotated
+                        )
+                        doc_span.set("statements", len(statements))
+                        doc_span.set(
+                            "sentences", len(annotated.sentences)
+                        )
+                except Exception as error:
+                    if self.strict:
+                        raise
+                    dead.append(
+                        DeadLetter.from_exception(
+                            document.doc_id, stage, error,
+                            text=str(document.text),
+                        )
                     )
-                )
-                continue
-            counter.add_all(statements)
+                    observations.append((
+                        "repro_document_seconds",
+                        time.perf_counter() - doc_started,
+                    ))
+                    continue
+                counter.add_all(statements)
+                observations.append((
+                    "repro_document_seconds",
+                    time.perf_counter() - doc_started,
+                ))
+                observations.append((
+                    "repro_statements_per_document",
+                    float(len(statements)),
+                ))
+                observations.append((
+                    "repro_sentences_per_document",
+                    float(len(annotated.sentences)),
+                ))
+            shard_span.set("documents", extractor.stats.documents)
+            shard_span.set("quarantined", len(dead))
+        telemetry = WorkerTelemetry(
+            counters={
+                "documents": extractor.stats.documents,
+                "sentences": extractor.stats.sentences,
+                "mentions": annotator.linker_stats.linked,
+                "statements_positive": extractor.stats.positive,
+                "statements_negative": extractor.stats.negative,
+                "quarantined": len(dead),
+            },
+            observations=tuple(observations),
+            spans=tuple(worker_tracer.export_spans()),
+        )
         result = ShardEvidence(
             shard_id=shard.shard_id,
             counter=counter,
             dead_letters=tuple(dead),
+            telemetry=telemetry,
         )
         if self.checkpoint_dir is not None:
             save_shard_checkpoint(

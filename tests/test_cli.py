@@ -198,3 +198,93 @@ class TestParser:
     def test_unknown_subcommand(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestObservabilityFlags:
+    def mine_with_telemetry(self, corpus_file, tmp_path):
+        out = tmp_path / "opinions.json"
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        rc = main(
+            [
+                "mine", str(corpus_file),
+                "--out", str(out),
+                "--threshold", "1",
+                "--trace", str(trace),
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert rc == 0
+        return out, trace, metrics
+
+    @pytest.mark.trace
+    def test_mine_writes_valid_telemetry(self, corpus_file, tmp_path):
+        from repro.obs import (
+            load_metrics_file,
+            validate_metrics_payload,
+            validate_trace,
+        )
+
+        out, trace, metrics = self.mine_with_telemetry(
+            corpus_file, tmp_path
+        )
+        assert validate_trace(trace) == []
+        payload = load_metrics_file(metrics)
+        assert validate_metrics_payload(payload) == []
+        assert len(payload["metrics"]) >= 12
+        assert payload["em_convergence"]  # records ride along
+
+    @pytest.mark.trace
+    def test_mine_writes_manifest(self, corpus_file, tmp_path):
+        import json
+
+        out, _, _ = self.mine_with_telemetry(corpus_file, tmp_path)
+        manifest = json.loads(
+            (tmp_path / "opinions.json.manifest.json").read_text()
+        )
+        assert manifest["format"] == "run_manifest"
+        assert manifest["command"] == "mine"
+        assert manifest["config"]["threshold"] == 1
+        assert manifest["health"]["healthy"] is True
+        assert manifest["outputs"]["opinions"] == str(out)
+
+    @pytest.mark.trace
+    def test_stats_renders_trace_and_metrics(
+        self, corpus_file, tmp_path, capsys
+    ):
+        _, trace, metrics = self.mine_with_telemetry(
+            corpus_file, tmp_path
+        )
+        capsys.readouterr()
+        rc = main(
+            [
+                "stats", str(trace),
+                "--metrics", str(metrics),
+                "--validate",
+            ]
+        )
+        assert rc == 0
+        output = capsys.readouterr().out
+        assert "stage timeline" in output
+        assert "per-shard latency" in output
+        assert "repro_statements_total" in output
+        assert "EM convergence per combination" in output
+
+    def test_stats_rejects_corrupt_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(
+            '{"trace_schema": 1, "n_spans": 1}\n'
+            '{"span_id": 0, "parent_id": null, "name": "x", '
+            '"kind": "warp", "start_unix": 0.0, "duration": 0.0, '
+            '"attrs": {}, "status": "ok"}\n'
+        )
+        rc = main(["stats", str(trace), "--validate"])
+        assert rc == 2
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_demo_profile_prints_stages(self, capsys):
+        rc = main(["demo", "--profile"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "stage timeline" in err
+        assert "EM convergence per combination" in err

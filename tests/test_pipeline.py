@@ -165,3 +165,153 @@ class TestSurveyorPipeline:
 
         job = MapReduceJob(mapper=len, reducer=sum, parallel=True)
         assert job.executor == "thread"
+
+
+class TestTimedStage:
+    def test_exception_keeps_elapsed_and_tags_error(self):
+        metrics = PipelineMetrics()
+        with pytest.raises(RuntimeError):
+            with metrics.timed("em"):
+                raise RuntimeError("solver blew up")
+        stage = metrics.stage("em")
+        # regression: partial timings used to be lost on exception
+        assert stage.wall_seconds > 0.0
+        assert stage.counters["errors.RuntimeError"] == 1
+
+    def test_exception_marks_span_error(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        metrics = PipelineMetrics(tracer=tracer)
+        with pytest.raises(ValueError):
+            with metrics.timed("group"):
+                raise ValueError("bad evidence")
+        (span,) = tracer.export_spans()
+        assert span["name"] == "group"
+        assert span["status"] == "error"
+        assert span["error"] == "ValueError"
+
+    def test_stage_metrics_merge(self):
+        from repro.pipeline import StageMetrics
+
+        parent = StageMetrics(name="map", wall_seconds=1.0)
+        parent.bump("documents", 2)
+        worker = StageMetrics(name="map", wall_seconds=0.5)
+        worker.bump("documents", 3)
+        worker.bump("sentences", 7)
+        parent.merge(worker)
+        assert parent.wall_seconds == 1.5
+        assert parent.counters["documents"] == 5
+        assert parent.counters["sentences"] == 7
+
+
+class TestObservabilityIntegration:
+    def run_with_executor(self, small_kb, cute_scenario, executor):
+        from repro.obs import MetricsRegistry, Tracer
+
+        corpus = CorpusGenerator(seed=31).generate(cute_scenario)
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        report = SurveyorPipeline(
+            kb=small_kb,
+            occurrence_threshold=10,
+            executor=executor,
+            n_workers=2,
+            tracer=tracer,
+            registry=registry,
+        ).run(corpus)
+        return report, tracer, registry
+
+    def worker_counters(self, report):
+        counters = report.metrics.stage("map").counters
+        return {
+            key: counters[key]
+            for key in (
+                "documents", "sentences", "mentions",
+                "statements_positive", "statements_negative",
+            )
+        }
+
+    def test_worker_counters_survive_thread_pool(
+        self, small_kb, cute_scenario
+    ):
+        serial, _, _ = self.run_with_executor(
+            small_kb, cute_scenario, "serial"
+        )
+        threaded, _, _ = self.run_with_executor(
+            small_kb, cute_scenario, "thread"
+        )
+        expected = self.worker_counters(serial)
+        assert expected["documents"] > 0
+        assert self.worker_counters(threaded) == expected
+
+    @pytest.mark.trace
+    def test_worker_counters_survive_process_pool(
+        self, small_kb, cute_scenario
+    ):
+        # regression: counters bumped inside process-pool workers were
+        # silently dropped before WorkerTelemetry shipped them back
+        serial, _, _ = self.run_with_executor(
+            small_kb, cute_scenario, "serial"
+        )
+        pooled, tracer, registry = self.run_with_executor(
+            small_kb, cute_scenario, "process"
+        )
+        assert self.worker_counters(pooled) == self.worker_counters(
+            serial
+        )
+        # worker spans crossed the pool boundary and were re-parented
+        from repro.obs import validate_spans
+
+        spans = tracer.export_spans()
+        kinds = {span["kind"] for span in spans}
+        assert {"run", "stage", "shard", "document"} <= kinds
+        assert validate_spans(spans) == []
+
+    def test_trace_covers_all_layers(self, small_kb, cute_scenario):
+        report, tracer, registry = self.run_with_executor(
+            small_kb, cute_scenario, "serial"
+        )
+        from repro.obs import validate_spans
+
+        spans = tracer.export_spans()
+        assert validate_spans(spans) == []
+        kinds = {span["kind"] for span in spans}
+        assert {
+            "run", "stage", "shard", "document",
+            "combination", "em_iteration",
+        } <= kinds
+        # shard/document spans hang under the map stage span
+        by_id = {span["span_id"]: span for span in spans}
+        shard_spans = [s for s in spans if s["kind"] == "shard"]
+        assert shard_spans
+        for span in shard_spans:
+            assert by_id[span["parent_id"]]["name"] == "map"
+
+    def test_registry_and_convergence_populated(
+        self, small_kb, cute_scenario
+    ):
+        report, _, registry = self.run_with_executor(
+            small_kb, cute_scenario, "serial"
+        )
+        names = registry.names()
+        assert len(names) >= 12
+        assert registry.counter_value("repro_documents_total") > 0
+        assert registry.counter_value("repro_statements_total") == (
+            report.evidence.n_statements
+        )
+        assert report.convergence
+        for record in report.convergence:
+            assert record.verdict in (
+                "converged", "max-iterations", "degraded-fallback"
+            )
+            assert record.log_likelihoods
+
+    def test_untraced_run_has_no_telemetry_artifacts(
+        self, small_kb, cute_scenario
+    ):
+        corpus = CorpusGenerator(seed=31).generate(cute_scenario)
+        report = SurveyorPipeline(
+            kb=small_kb, occurrence_threshold=10
+        ).run(corpus)
+        assert report.convergence == []
