@@ -13,7 +13,7 @@ fitting every combination.
 
 from __future__ import annotations
 
-from _report import emit
+from _report import emit, perf_counts
 
 from repro.corpus import CorpusGenerator, NoiseProfile
 from repro.pipeline import SurveyorPipeline
@@ -32,6 +32,11 @@ def bench_sec71_full_pipeline(benchmark, harness):
         lambda: pipeline.run(corpus), rounds=1, iterations=1
     )
 
+    perf_counts(
+        documents=len(corpus),
+        statements=report.evidence.n_statements,
+        combinations=len(report.result.fits),
+    )
     metrics = report.metrics
     extraction_seconds = (
         metrics.stage("map").wall_seconds
@@ -65,4 +70,5 @@ def bench_sec71_em_stage_alone(benchmark, harness, evidence):
     grouped = evidence.as_evidence()
 
     result = benchmark(lambda: surveyor.run(grouped))
+    perf_counts(combinations=len(result.fits))
     assert len(result.fits) > 0

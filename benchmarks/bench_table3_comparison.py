@@ -14,7 +14,7 @@ between Surveyor and the counting baselines is wide.
 
 from __future__ import annotations
 
-from _report import emit
+from _report import emit, perf_counts
 
 from repro.evaluation import evaluate_table
 
@@ -29,6 +29,7 @@ def bench_table3(benchmark, harness, interpreted, survey):
         ]
 
     scores = benchmark(score_all)
+    perf_counts(test_cases=len(test_cases))
     lines = ["Table 3 — method comparison (synthetic corpus)"]
     lines += [score.row() for score in scores]
     emit("table3_comparison", lines)

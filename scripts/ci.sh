@@ -32,4 +32,18 @@ python -m repro demo \
 python -m repro stats "$OBS_DIR/trace.jsonl" \
     --metrics "$OBS_DIR/metrics.json" --validate > /dev/null
 
+echo "== bench-gate (quick subset vs committed baseline) =="
+# A quick-mode run of the scale benchmark (which includes the EM stage
+# alone) and the overhead budget; the trajectory lands in a temp dir so
+# CI never rewrites the committed repo-root BENCH_<gitsha>.json. The
+# compare gates only the benchmarks present in both files, so this
+# subset cannot fail on benches it did not run.
+BENCH_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR" "$BENCH_DIR"' EXIT
+REPRO_BENCH_DIR="$BENCH_DIR" python -m pytest -q -p no:cacheprovider \
+    benchmarks/bench_sec71_pipeline_scale.py \
+    benchmarks/bench_obs_overhead.py > /dev/null
+python -m repro bench compare "$BENCH_DIR"/BENCH_*.json \
+    --baseline benchmarks/baseline.json
+
 echo "CI OK"

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro query ...                 query a mined opinion table
     python -m repro eval                      reproduce the Table 3 comparison
     python -m repro stats trace.jsonl         inspect a recorded trace
+    python -m repro bench ...                 perf baselines + regression gate
     python -m repro calibrate ...             subjective->objective bridge
 
 ``mine`` reads documents from a file (one document per line) or a
@@ -15,8 +16,12 @@ directory of ``.txt`` files, against a knowledge base saved with
 
 ``demo``, ``mine``, and ``reproduce`` accept the observability flags
 ``--trace`` (JSONL span trace), ``--metrics-out`` (metric registry as
-JSON, EM convergence records included), and ``--profile`` (per-stage
-profile on stderr after the run); ``stats`` renders a recorded trace.
+JSON, EM convergence records included), ``--profile`` (per-stage
+profile on stderr after the run), and ``--profile-mem`` (additionally
+sample peak RSS and tracemalloc per span); ``stats`` renders a
+recorded trace. ``bench record/compare/trend`` manages the benchmark
+trajectory files written by the benchmark suite (see
+``docs/observability.md``, "Performance telemetry").
 """
 
 from __future__ import annotations
@@ -117,10 +122,12 @@ def _build_obs(
     args: argparse.Namespace,
 ) -> tuple[Tracer | None, MetricsRegistry | None]:
     """Tracer/registry per the run's flags (None = stay on the fast
-    path; ``--profile`` needs spans even without ``--trace``)."""
+    path; ``--profile``/``--profile-mem`` need spans even without
+    ``--trace``)."""
+    profile_mem = getattr(args, "profile_mem", False)
     tracer = (
-        Tracer(enabled=True)
-        if (args.trace or args.profile)
+        Tracer(enabled=True, profile_memory=profile_mem)
+        if (args.trace or args.profile or profile_mem)
         else None
     )
     registry = MetricsRegistry() if args.metrics_out else None
@@ -152,7 +159,9 @@ def _finish_obs(
             f"{args.metrics_out}",
             file=sys.stderr,
         )
-    if tracer is not None and args.profile:
+    if tracer is not None and (
+        args.profile or getattr(args, "profile_mem", False)
+    ):
         print(render_trace(tracer.export_spans()), file=sys.stderr)
         if convergence:
             print(render_convergence(convergence), file=sys.stderr)
@@ -393,6 +402,57 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Benchmark-trajectory tooling: record / compare / trend.
+
+    ``record`` freezes a trajectory file into a baseline; ``compare``
+    gates a fresh trajectory against one (exit 1 on regression, 2 on
+    malformed inputs); ``trend`` sparklines every metric across the
+    ``BENCH_*.json`` files of a directory.
+    """
+    from .obs.baseline import (
+        compare,
+        discover_trajectories,
+        load_baseline,
+        record_baseline,
+        trend,
+        write_baseline,
+    )
+    from .obs.perf import load_trajectory
+
+    if args.bench_command == "record":
+        trajectory = load_trajectory(args.trajectory)
+        path = write_baseline(
+            args.out, record_baseline(trajectory)
+        )
+        print(
+            f"recorded baseline for "
+            f"{len(trajectory['entries'])} benchmarks to {path}"
+        )
+        return 0
+    if args.bench_command == "compare":
+        baseline = load_baseline(args.baseline)
+        trajectory = load_trajectory(args.trajectory)
+        tolerances = {
+            "wall_seconds": args.wall_tolerance,
+            "peak_rss_bytes": args.rss_tolerance,
+            "tracemalloc_peak_bytes": args.heap_tolerance,
+        }
+        report = compare(baseline, trajectory, tolerances)
+        print(report.render())
+        return 0 if report.passed else 1
+    # trend
+    paths = (
+        [Path(p) for p in args.trajectory]
+        if args.trajectory
+        else discover_trajectories(args.dir)
+    )
+    if not paths:
+        raise _fail(f"no BENCH_*.json files under {args.dir}")
+    print(trend(paths))
+    return 0
+
+
 def cmd_calibrate(args: argparse.Namespace) -> int:
     from .core.calibration import fit_link
 
@@ -426,6 +486,11 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--profile", action="store_true",
         help="print the per-stage profile on stderr after the run",
+    )
+    parser.add_argument(
+        "--profile-mem", action="store_true",
+        help="also sample peak RSS and tracemalloc per span (implies "
+             "--profile output; tracemalloc slows the run)",
     )
 
 
@@ -521,6 +586,70 @@ def build_parser() -> argparse.ArgumentParser:
                        help="schema-check the artefacts; exit 2 on "
                             "violations")
     stats.set_defaults(func=cmd_stats)
+
+    bench = sub.add_parser(
+        "bench",
+        help="performance baselines and the regression gate over "
+             "BENCH_<gitsha>.json trajectory files",
+    )
+    bench_sub = bench.add_subparsers(
+        dest="bench_command", required=True
+    )
+
+    bench_record = bench_sub.add_parser(
+        "record", help="freeze a trajectory file into a baseline"
+    )
+    bench_record.add_argument(
+        "trajectory", help="BENCH_<gitsha>.json from a bench run"
+    )
+    bench_record.add_argument(
+        "--out", default="benchmarks/baseline.json",
+        help="where to write the baseline "
+             "(default benchmarks/baseline.json)",
+    )
+    bench_record.set_defaults(func=cmd_bench)
+
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="gate a fresh trajectory against a baseline "
+             "(exit 1 on regression)",
+    )
+    bench_compare.add_argument(
+        "trajectory", help="BENCH_<gitsha>.json from the fresh run"
+    )
+    bench_compare.add_argument(
+        "--baseline", default="benchmarks/baseline.json",
+        help="baseline from 'repro bench record' "
+             "(default benchmarks/baseline.json)",
+    )
+    bench_compare.add_argument(
+        "--wall-tolerance", type=float, default=0.15,
+        help="relative wall-time slack before a regression "
+             "(default 0.15)",
+    )
+    bench_compare.add_argument(
+        "--rss-tolerance", type=float, default=0.10,
+        help="relative peak-RSS slack (default 0.10)",
+    )
+    bench_compare.add_argument(
+        "--heap-tolerance", type=float, default=0.25,
+        help="relative tracemalloc-peak slack (default 0.25)",
+    )
+    bench_compare.set_defaults(func=cmd_bench)
+
+    bench_trend = bench_sub.add_parser(
+        "trend",
+        help="sparkline each metric across trajectory files",
+    )
+    bench_trend.add_argument(
+        "trajectory", nargs="*",
+        help="trajectory files (default: BENCH_*.json under --dir)",
+    )
+    bench_trend.add_argument(
+        "--dir", default=".",
+        help="directory to scan for BENCH_*.json (default .)",
+    )
+    bench_trend.set_defaults(func=cmd_bench)
 
     calibrate = sub.add_parser(
         "calibrate",

@@ -16,6 +16,18 @@ clock, health) and :mod:`repro.obs.stats` renders recorded traces for
 ``repro stats`` and ``--profile``.
 """
 
+from .baseline import (
+    DEFAULT_TOLERANCES,
+    ComparisonReport,
+    MetricVerdict,
+    compare,
+    discover_trajectories,
+    load_baseline,
+    record_baseline,
+    trend,
+    validate_baseline,
+    write_baseline,
+)
 from .convergence import (
     ConvergenceRecord,
     load_convergence,
@@ -38,6 +50,22 @@ from .metrics import (
     load_metrics_file,
     validate_metrics_payload,
 )
+from .perf import (
+    BENCH_METRICS,
+    BENCH_SCHEMA_VERSION,
+    MemoryProbe,
+    MemorySample,
+    PerfError,
+    build_bench_record,
+    build_trajectory,
+    format_bytes,
+    load_trajectory,
+    merge_into_trajectory,
+    rss_peak_bytes,
+    trajectory_filename,
+    validate_bench_record,
+    validate_trajectory,
+)
 from .stats import render_convergence, render_metrics, render_trace
 from .trace import (
     NULL_SPAN,
@@ -50,8 +78,16 @@ from .trace import (
 )
 
 __all__ = [
+    "BENCH_METRICS",
+    "BENCH_SCHEMA_VERSION",
     "CATALOG",
+    "ComparisonReport",
     "ConvergenceRecord",
+    "DEFAULT_TOLERANCES",
+    "MemoryProbe",
+    "MemorySample",
+    "MetricVerdict",
+    "PerfError",
     "MetricSpec",
     "MetricsError",
     "MetricsRegistry",
@@ -59,12 +95,24 @@ __all__ = [
     "TRACE_SCHEMA_VERSION",
     "TraceError",
     "Tracer",
+    "build_bench_record",
     "build_manifest",
+    "build_trajectory",
+    "compare",
+    "discover_trajectories",
+    "format_bytes",
     "git_describe",
+    "load_baseline",
     "load_convergence",
     "load_metrics_file",
+    "load_trajectory",
     "manifest_path_for",
+    "merge_into_trajectory",
     "read_trace",
+    "record_baseline",
+    "rss_peak_bytes",
+    "trajectory_filename",
+    "trend",
     "record_from_fit",
     "records_from_result",
     "records_to_payload",
@@ -72,8 +120,12 @@ __all__ = [
     "render_metrics",
     "render_trace",
     "save_convergence",
+    "validate_baseline",
+    "validate_bench_record",
     "validate_metrics_payload",
     "validate_spans",
     "validate_trace",
+    "validate_trajectory",
+    "write_baseline",
     "write_manifest",
 ]

@@ -1,0 +1,360 @@
+"""Performance baselines and the regression gate (``repro bench``).
+
+A trajectory file (:mod:`repro.obs.perf`) says what one run cost; a
+*baseline* freezes those costs so later runs can be gated against
+them. Three operations:
+
+* :func:`record_baseline` — distil a trajectory file into a baseline
+  (per-benchmark scalar metrics only, no throughput derivations);
+* :func:`compare` — new trajectory vs. baseline with per-metric noise
+  tolerances (wall ±15%, RSS ±10%, tracemalloc ±25% by default);
+  regressions are *slower/bigger beyond tolerance* — getting faster
+  never fails the gate;
+* :func:`trend` — ASCII sparkline of each metric across every
+  ``BENCH_*.json`` in a directory, oldest run first.
+
+Tiny absolute values are noise, not signal: metrics whose baseline
+falls below a floor (1 ms wall, 1 MiB memory) are reported but never
+gated, so a 0.3 ms benchmark cannot flap CI.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .perf import (
+    BENCH_METRICS,
+    BENCH_SCHEMA_VERSION,
+    PerfError,
+    format_bytes,
+    load_trajectory,
+)
+
+BASELINE_FORMAT = "bench_baseline"
+
+#: Relative slack per metric before a growth counts as a regression.
+DEFAULT_TOLERANCES: dict[str, float] = {
+    "wall_seconds": 0.15,
+    "peak_rss_bytes": 0.10,
+    "tracemalloc_peak_bytes": 0.25,
+}
+
+#: Baselines below these absolute floors are too small to gate.
+NOISE_FLOORS: dict[str, float] = {
+    "wall_seconds": 0.001,
+    "peak_rss_bytes": float(1 << 20),
+    "tracemalloc_peak_bytes": float(1 << 20),
+}
+
+
+def _format_metric(metric: str, value: float | None) -> str:
+    if value is None:
+        return "-"
+    if metric == "wall_seconds":
+        return f"{value * 1000:.1f}ms"
+    return format_bytes(value)
+
+
+# ---------------------------------------------------------------------------
+# Baseline files
+# ---------------------------------------------------------------------------
+
+def record_baseline(trajectory: dict[str, Any]) -> dict[str, Any]:
+    """Freeze a trajectory's scalar metrics into a baseline payload."""
+    entries: dict[str, Any] = {}
+    for name, record in sorted(trajectory["entries"].items()):
+        entries[name] = {
+            metric: record.get(metric) for metric in BENCH_METRICS
+        }
+    return {
+        "format": BASELINE_FORMAT,
+        "version": BENCH_SCHEMA_VERSION,
+        "git_describe": trajectory.get("git_describe"),
+        "entries": entries,
+    }
+
+
+def validate_baseline(payload: Any) -> list[str]:
+    """Schema-check a baseline payload; returns violations."""
+    if not isinstance(payload, dict):
+        return ["baseline payload is not a JSON object"]
+    errors: list[str] = []
+    if payload.get("format") != BASELINE_FORMAT:
+        errors.append(
+            f"format must be {BASELINE_FORMAT!r}, "
+            f"got {payload.get('format')!r}"
+        )
+    if payload.get("version") != BENCH_SCHEMA_VERSION:
+        errors.append(
+            f"unsupported baseline version {payload.get('version')!r}"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, dict):
+        errors.append("missing 'entries' object")
+        return errors
+    for name, row in sorted(entries.items()):
+        if not isinstance(row, dict):
+            errors.append(f"{name}: entry is not an object")
+            continue
+        for metric, value in sorted(row.items()):
+            if metric not in BENCH_METRICS:
+                errors.append(
+                    f"{name}: unknown metric name {metric!r}"
+                )
+                continue
+            if value is None:
+                if metric != "tracemalloc_peak_bytes":
+                    errors.append(
+                        f"{name}: {metric} must not be null"
+                    )
+                continue
+            if not isinstance(value, (int, float)) or isinstance(
+                value, bool
+            ):
+                errors.append(f"{name}: {metric} is not a number")
+            elif not math.isfinite(value) or value < 0:
+                errors.append(
+                    f"{name}: {metric} must be finite and >= 0, "
+                    f"got {value!r}"
+                )
+        for metric in ("wall_seconds", "peak_rss_bytes"):
+            if metric not in row:
+                errors.append(f"{name}: missing metric {metric!r}")
+    return errors
+
+
+def load_baseline(path: str | Path) -> dict[str, Any]:
+    """Read and validate a baseline file (raises :class:`PerfError`)."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise PerfError(
+            f"{path}: unreadable baseline: {error}"
+        ) from error
+    problems = validate_baseline(payload)
+    if problems:
+        raise PerfError(
+            f"{path}: invalid baseline: "
+            + "; ".join(problems[:5])
+            + ("; ..." if len(problems) > 5 else "")
+        )
+    return payload
+
+
+def write_baseline(
+    path: str | Path, payload: dict[str, Any]
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    )
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class MetricVerdict:
+    """One benchmark × metric comparison row."""
+
+    benchmark: str
+    metric: str
+    baseline: float | None
+    current: float | None
+    #: ok | regression | improved | skipped (below floor or absent)
+    status: str
+
+    @property
+    def ratio(self) -> float | None:
+        if not self.baseline or self.current is None:
+            return None
+        return self.current / self.baseline
+
+    def row(self) -> str:
+        ratio = self.ratio
+        return (
+            f"{self.benchmark:<32} {self.metric:<24}"
+            f" {_format_metric(self.metric, self.baseline):>10}"
+            f" -> {_format_metric(self.metric, self.current):>10}"
+            f"  {'' if ratio is None else f'{ratio:5.2f}x'}"
+            f"  {self.status.upper() if self.status == 'regression' else self.status}"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """Everything ``repro bench compare`` decided, renderable."""
+
+    verdicts: list[MetricVerdict] = field(default_factory=list)
+    #: Benchmarks in the baseline with no fresh measurement.
+    unmeasured: list[str] = field(default_factory=list)
+    #: Benchmarks measured but absent from the baseline.
+    unbaselined: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricVerdict]:
+        return [
+            v for v in self.verdicts if v.status == "regression"
+        ]
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = ["benchmark regression gate:"]
+        lines.extend("  " + v.row() for v in self.verdicts)
+        if self.unmeasured:
+            lines.append(
+                "  (not measured this run: "
+                + ", ".join(sorted(self.unmeasured))
+                + ")"
+            )
+        if self.unbaselined:
+            lines.append(
+                "  (no baseline yet: "
+                + ", ".join(sorted(self.unbaselined))
+                + ")"
+            )
+        lines.append(
+            f"verdict: "
+            + (
+                "PASS"
+                if self.passed
+                else f"FAIL ({len(self.regressions)} regression"
+                + ("s" if len(self.regressions) != 1 else "")
+                + ")"
+            )
+        )
+        return "\n".join(lines)
+
+
+def compare(
+    baseline: dict[str, Any],
+    trajectory: dict[str, Any],
+    tolerances: dict[str, float] | None = None,
+) -> ComparisonReport:
+    """Gate a fresh trajectory against a frozen baseline.
+
+    Only benchmarks present on *both* sides are gated (a quick-mode
+    run measuring a subset must not fail for what it skipped); the
+    report still names what was skipped on either side.
+    """
+    tolerances = {**DEFAULT_TOLERANCES, **(tolerances or {})}
+    report = ComparisonReport()
+    base_entries = baseline["entries"]
+    new_entries = trajectory["entries"]
+    report.unmeasured = [
+        name for name in base_entries if name not in new_entries
+    ]
+    report.unbaselined = [
+        name for name in new_entries if name not in base_entries
+    ]
+    for name in sorted(set(base_entries) & set(new_entries)):
+        base_row = base_entries[name]
+        new_row = new_entries[name]
+        for metric in BENCH_METRICS:
+            base_value = base_row.get(metric)
+            new_value = new_row.get(metric)
+            if base_value is None or new_value is None:
+                report.verdicts.append(
+                    MetricVerdict(
+                        name, metric, base_value, new_value,
+                        "skipped",
+                    )
+                )
+                continue
+            if base_value < NOISE_FLOORS.get(metric, 0.0):
+                report.verdicts.append(
+                    MetricVerdict(
+                        name, metric, base_value, new_value,
+                        "skipped",
+                    )
+                )
+                continue
+            budget = 1.0 + tolerances.get(
+                metric, DEFAULT_TOLERANCES["wall_seconds"]
+            )
+            ratio = new_value / base_value
+            if ratio > budget:
+                status = "regression"
+            elif ratio < 1.0:
+                status = "improved"
+            else:
+                status = "ok"
+            report.verdicts.append(
+                MetricVerdict(
+                    name, metric, base_value, new_value, status
+                )
+            )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Trend
+# ---------------------------------------------------------------------------
+
+def discover_trajectories(directory: str | Path) -> list[Path]:
+    """Every ``BENCH_*.json`` under ``directory`` (non-recursive)."""
+    return sorted(Path(directory).glob("BENCH_*.json"))
+
+
+def _recorded_at(payload: dict[str, Any]) -> float:
+    stamps = [
+        record.get("meta", {}).get("recorded_unix", 0.0)
+        for record in payload["entries"].values()
+    ]
+    return min(stamps) if stamps else 0.0
+
+
+def trend(
+    paths: list[str | Path],
+    metrics: tuple[str, ...] = BENCH_METRICS,
+) -> str:
+    """Sparkline each benchmark × metric across the trajectory files.
+
+    Files are ordered by their earliest record timestamp, so the
+    rightmost point of every sparkline is the most recent run.
+    """
+    from ..evaluation.ascii_plots import sparkline
+
+    loaded: list[dict[str, Any]] = []
+    for path in paths:
+        loaded.append(load_trajectory(path))
+    if not loaded:
+        return "(no trajectory files)"
+    loaded.sort(key=_recorded_at)
+    names = sorted(
+        {name for payload in loaded for name in payload["entries"]}
+    )
+    lines = [
+        f"benchmark trend over {len(loaded)} run"
+        + ("s" if len(loaded) != 1 else "")
+        + ":"
+    ]
+    width = max(len(name) for name in names) if names else 0
+    for name in names:
+        for metric in metrics:
+            series = [
+                payload["entries"][name].get(metric)
+                for payload in loaded
+                if name in payload["entries"]
+            ]
+            values = [v for v in series if v is not None]
+            if not values:
+                continue
+            lines.append(
+                f"  {name:<{width}}  {metric:<24}"
+                f" {_format_metric(metric, values[0]):>10}"
+                f" -> {_format_metric(metric, values[-1]):>10}"
+                f"  {sparkline(values)}"
+            )
+    return "\n".join(lines)

@@ -18,6 +18,7 @@ from collections import Counter
 from typing import Any
 
 from .convergence import ConvergenceRecord
+from .perf import format_bytes
 
 
 def _by_kind(spans: list[dict[str, Any]]) -> dict[str, list[dict]]:
@@ -27,21 +28,57 @@ def _by_kind(spans: list[dict[str, Any]]) -> dict[str, list[dict]]:
     return grouped
 
 
+def _duration(span: dict[str, Any]) -> float:
+    """A span's duration, 0.0 when absent (in-flight/crashed spans)."""
+    value = span.get("duration")
+    return value if isinstance(value, (int, float)) else 0.0
+
+
+def _mem_cell(span: dict[str, Any]) -> str:
+    """Memory column for a ``--profile-mem`` span ('' when unprofiled)."""
+    attrs = span.get("attrs", {})
+    rss = attrs.get("rss_peak_bytes")
+    traced = attrs.get("tracemalloc_peak_bytes")
+    if rss is None and traced is None:
+        return ""
+    parts = []
+    if rss is not None:
+        parts.append(f"rss={format_bytes(rss)}")
+    if traced is not None:
+        parts.append(f"heap+={format_bytes(traced)}")
+    return "  " + " ".join(parts)
+
+
 def _timeline_rows(
     spans: list[dict[str, Any]], origin: float
 ) -> list[str]:
-    """One row per span: offset, duration, name, error flag."""
+    """One row per span: offset, duration, name, memory, error flag.
+
+    A span with no ``duration`` never closed — it was in flight when
+    the trace was written, or its process died (a quarantined shard).
+    Those render as ``RUNNING`` (status ok) or ``ABORTED`` (status
+    error) instead of raising ``KeyError``.
+    """
     rows = []
-    for span in sorted(spans, key=lambda s: s["start_unix"]):
-        offset = span["start_unix"] - origin
+    for span in sorted(
+        spans, key=lambda s: s.get("start_unix", 0.0)
+    ):
+        offset = span.get("start_unix", origin) - origin
         flag = (
             ""
             if span.get("status") == "ok"
             else f"  ERROR={span.get('error', '?')}"
         )
+        duration = span.get("duration")
+        if isinstance(duration, (int, float)):
+            duration_cell = f"{duration:9.4f}s"
+        elif span.get("status") == "ok":
+            duration_cell = f"{'RUNNING':>10}"
+        else:
+            duration_cell = f"{'ABORTED':>10}"
         rows.append(
-            f"  +{offset:8.3f}s  {span['duration']:9.4f}s"
-            f"  {span['name']}{flag}"
+            f"  +{offset:8.3f}s  {duration_cell}"
+            f"  {span['name']}{_mem_cell(span)}{flag}"
         )
     return rows
 
@@ -55,16 +92,18 @@ def render_trace(
     if not spans:
         return "(empty trace)"
     grouped = _by_kind(spans)
-    origin = min(span["start_unix"] for span in spans)
+    origin = min(
+        span.get("start_unix", 0.0) for span in spans
+    )
     lines: list[str] = []
 
     counts = Counter(span.get("kind", "span") for span in spans)
     errors = [s for s in spans if s.get("status") != "ok"]
     runs = grouped.get("run", [])
     total = (
-        max(r["duration"] for r in runs)
+        max(_duration(r) for r in runs)
         if runs
-        else sum(s["duration"] for s in grouped.get("stage", []))
+        else sum(_duration(s) for s in grouped.get("stage", []))
     )
     lines.append(
         f"trace: {len(spans)} spans "
@@ -82,9 +121,10 @@ def render_trace(
         lines.append(
             bar_chart(
                 [
-                    (span["name"], span["duration"])
+                    (span["name"], _duration(span))
                     for span in sorted(
-                        stages, key=lambda s: s["start_unix"]
+                        stages,
+                        key=lambda s: s.get("start_unix", 0.0),
                     )
                 ]
             )
@@ -99,7 +139,7 @@ def render_trace(
                 [
                     (
                         f"shard-{span['attrs'].get('shard_id', '?')}",
-                        span["duration"],
+                        _duration(span),
                     )
                     for span in sorted(
                         shards,
@@ -112,16 +152,17 @@ def render_trace(
     documents = grouped.get("document", [])
     if documents:
         slowest = sorted(
-            documents, key=lambda s: s["duration"], reverse=True
+            documents, key=_duration, reverse=True
         )[:top]
         lines.append("")
         lines.append(f"top {len(slowest)} slowest documents:")
         for span in slowest:
             attrs = span.get("attrs", {})
             lines.append(
-                f"  {span['duration']:9.4f}s"
+                f"  {_duration(span):9.4f}s"
                 f"  {attrs.get('doc_id', '?'):30s}"
                 f" statements={attrs.get('statements', '?')}"
+                f"{_mem_cell(span)}"
             )
 
     combos = grouped.get("combination", [])
@@ -129,11 +170,12 @@ def render_trace(
         lines.append("")
         lines.append("EM combinations:")
         for span in sorted(
-            combos, key=lambda s: s["duration"], reverse=True
+            combos, key=_duration, reverse=True
         )[:top]:
             attrs = span.get("attrs", {})
             lines.append(
-                f"  {span['duration']:9.4f}s  {attrs.get('key', '?')}"
+                f"  {_duration(span):9.4f}s  {attrs.get('key', '?')}"
+                f"{_mem_cell(span)}"
             )
 
     if errors:

@@ -25,12 +25,14 @@ Design constraints:
 from __future__ import annotations
 
 import json
+import math
 import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator
 
 from ..core.errors import ReproError
+from .perf import MemoryProbe, start_tracemalloc
 
 #: Version stamp written into the JSONL header record.
 TRACE_SCHEMA_VERSION = 1
@@ -103,8 +105,18 @@ class Tracer:
     the file reads chronologically.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(
+        self, enabled: bool = True, profile_memory: bool = False
+    ) -> None:
         self.enabled = enabled
+        #: With ``profile_memory`` every span additionally carries
+        #: ``rss_peak_bytes`` / ``tracemalloc_peak_bytes`` /
+        #: ``tracemalloc_net_bytes`` attrs (``repro stats`` renders
+        #: them as a memory column). Opt-in: tracemalloc tracing slows
+        #: allocation-heavy code, so it is never on by default.
+        self.profile_memory = profile_memory and enabled
+        if self.profile_memory:
+            start_tracemalloc()
         self._spans: list[dict[str, Any]] = []
         self._stack: list[int] = []
         self._next_id = 0
@@ -137,6 +149,9 @@ class Tracer:
             "status": "ok",
         }
         self._stack.append(span_id)
+        probe = (
+            MemoryProbe().start() if self.profile_memory else None
+        )
         started = time.perf_counter()
         try:
             yield SpanHandle(record)
@@ -146,6 +161,18 @@ class Tracer:
             raise
         finally:
             record["duration"] = time.perf_counter() - started
+            if probe is not None:
+                sample = probe.stop()
+                record["attrs"]["rss_peak_bytes"] = (
+                    sample.peak_rss_bytes
+                )
+                if sample.tracemalloc_peak_bytes is not None:
+                    record["attrs"]["tracemalloc_peak_bytes"] = (
+                        sample.tracemalloc_peak_bytes
+                    )
+                    record["attrs"]["tracemalloc_net_bytes"] = (
+                        sample.tracemalloc_net_bytes
+                    )
             self._stack.pop()
             self._spans.append(record)
 
@@ -263,10 +290,15 @@ def validate_spans(spans: list[dict[str, Any]]) -> list[str]:
             errors.append(
                 f"{where}: unknown kind {record['kind']!r}"
             )
-        if not isinstance(record["duration"], (int, float)) or (
-            record["duration"] < 0
+        if (
+            not isinstance(record["duration"], (int, float))
+            or isinstance(record["duration"], bool)
+            or not math.isfinite(record["duration"])
+            or record["duration"] < 0
         ):
-            errors.append(f"{where}: negative or non-numeric duration")
+            errors.append(
+                f"{where}: negative, NaN, or non-numeric duration"
+            )
         if record["status"] not in ("ok", "error"):
             errors.append(
                 f"{where}: status must be ok|error, "

@@ -29,11 +29,14 @@ from .resilience import PipelineHealth
 
 @dataclass
 class StageMetrics:
-    """Wall time and record counters for one pipeline stage."""
+    """Wall time, record counters, and (opt-in) memory for one stage."""
 
     name: str
     wall_seconds: float = 0.0
     counters: Counter = field(default_factory=Counter)
+    #: Process peak RSS observed at stage close, bytes; 0 unless the
+    #: run profiles memory (``--profile-mem``).
+    peak_rss_bytes: int = 0
 
     def bump(self, counter: str, amount: int = 1) -> None:
         self.counters[counter] += amount
@@ -42,9 +45,16 @@ class StageMetrics:
         """Fold a worker-side stage's accounting into this one."""
         self.wall_seconds += other.wall_seconds
         self.counters.update(other.counters)
+        self.peak_rss_bytes = max(
+            self.peak_rss_bytes, other.peak_rss_bytes
+        )
 
     def report(self) -> str:
         parts = [f"{self.name}: {self.wall_seconds:.2f}s"]
+        if self.peak_rss_bytes:
+            from ..obs.perf import format_bytes
+
+            parts.append(f"rss={format_bytes(self.peak_rss_bytes)}")
         for key in sorted(self.counters):
             parts.append(f"{key}={self.counters[key]}")
         return "  ".join(parts)
@@ -86,6 +96,9 @@ class PipelineMetrics:
             if self.tracer is not None
             else nullcontext()
         )
+        profiling = bool(
+            getattr(self.tracer, "profile_memory", False)
+        )
         started = time.perf_counter()
         try:
             with span_cm:
@@ -95,6 +108,12 @@ class PipelineMetrics:
             raise
         finally:
             metrics.wall_seconds += time.perf_counter() - started
+            if profiling:
+                from ..obs.perf import rss_peak_bytes
+
+                metrics.peak_rss_bytes = max(
+                    metrics.peak_rss_bytes, rss_peak_bytes()
+                )
 
     @property
     def total_seconds(self) -> float:

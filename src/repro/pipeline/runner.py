@@ -425,7 +425,14 @@ class SurveyorPipeline:
             injector.on_shard_start(shard.shard_id)
         annotator = Annotator(self.kb)
         extractor = EvidenceExtractor(config=self.pattern_config)
-        worker_tracer = Tracer(enabled=self._tracing)
+        # Workers profile memory iff the parent does: spans shipped
+        # back then carry rss/tracemalloc attrs like local ones.
+        worker_tracer = Tracer(
+            enabled=self._tracing,
+            profile_memory=getattr(
+                self.tracer, "profile_memory", False
+            ),
+        )
         observations: list[tuple[str, float]] = []
         counter = EvidenceCounter()
         dead: list[DeadLetter] = []

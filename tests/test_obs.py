@@ -132,6 +132,33 @@ class TestTracer:
         assert any("status" in p for p in problems)
         assert any("dangling parent_id" in p for p in problems)
 
+    def test_validate_rejects_nan_duration(self):
+        tracer = Tracer()
+        with tracer.span("run", kind="run"):
+            pass
+        (span,) = tracer.export_spans()
+        span["duration"] = float("nan")
+        problems = validate_spans([span])
+        assert any("duration" in p for p in problems)
+
+    def test_profile_memory_annotates_spans(self):
+        tracer = Tracer(profile_memory=True)
+        with tracer.span("run", kind="run"):
+            blob = bytearray(1 << 20)
+            del blob
+        (span,) = tracer.export_spans()
+        assert span["attrs"]["rss_peak_bytes"] > 0
+        assert span["attrs"]["tracemalloc_peak_bytes"] >= 0
+        assert "tracemalloc_net_bytes" in span["attrs"]
+        assert validate_spans([span]) == []
+
+    def test_profile_memory_off_adds_no_attrs(self):
+        tracer = Tracer()
+        with tracer.span("run", kind="run"):
+            pass
+        (span,) = tracer.export_spans()
+        assert "rss_peak_bytes" not in span["attrs"]
+
 
 class TestMetricsRegistry:
     def test_counters_accumulate(self):
@@ -310,6 +337,28 @@ class TestRendering:
 
     def test_render_empty_trace(self):
         assert render_trace([]) == "(empty trace)"
+
+    def test_render_tolerates_unfinished_spans(self):
+        spans = self.trace_spans()
+        stage = next(s for s in spans if s["kind"] == "stage")
+        del stage["duration"]  # crashed mid-flight: never closed
+        text = render_trace(spans)
+        assert "RUNNING" in text
+        stage["status"] = "error"
+        text = render_trace(spans)
+        assert "ABORTED" in text
+
+    def test_render_shows_memory_columns_when_profiled(self):
+        tracer = Tracer(profile_memory=True)
+        with tracer.span("run", kind="run"):
+            with tracer.span("em", kind="stage"):
+                with tracer.span(
+                    "combination", kind="combination", key="cute animal"
+                ):
+                    pass
+        text = render_trace(tracer.export_spans())
+        assert "rss=" in text
+        assert "heap+=" in text
 
     def test_render_metrics(self):
         registry = MetricsRegistry()
