@@ -43,7 +43,11 @@ trap 'rm -rf "$OBS_DIR" "$BENCH_DIR"' EXIT
 REPRO_BENCH_DIR="$BENCH_DIR" python -m pytest -q -p no:cacheprovider \
     benchmarks/bench_sec71_pipeline_scale.py \
     benchmarks/bench_obs_overhead.py > /dev/null
+# Wall tolerance is wider than the ±15% library default: CI boxes run
+# these benches right after two test lanes on shared hardware, so wall
+# noise is real — a genuine 2x regression still fails by a mile. RSS
+# keeps the strict ±10% default (allocation is load-independent).
 python -m repro bench compare "$BENCH_DIR"/BENCH_*.json \
-    --baseline benchmarks/baseline.json
+    --baseline benchmarks/baseline.json --wall-tolerance 0.5
 
 echo "CI OK"
