@@ -93,6 +93,7 @@ class PerfCapture:
         self.session_unix = time.time()
         self._active: str | None = None
         self._counts: dict[str, dict[str, float]] = {}
+        self._values: dict[str, dict[str, float]] = {}
 
     # -- per-benchmark bracket -----------------------------------------
     def start(self, name: str) -> tuple[MemoryProbe, float]:
@@ -115,6 +116,7 @@ class PerfCapture:
             wall_seconds=wall,
             memory=probe.stop(),
             counts=self._counts.pop(name, None),
+            values=self._values.pop(name, None),
             git_version=self.git_version,
             timestamp=self.session_unix,
         )
@@ -128,6 +130,14 @@ class PerfCapture:
             return
         bucket = self._counts.setdefault(key, {})
         for label, value in units.items():
+            bucket[label] = float(value)
+
+    def value(self, name: str | None, **gauges: float) -> None:
+        key = name or self._active
+        if key is None:
+            return
+        bucket = self._values.setdefault(key, {})
+        for label, value in gauges.items():
             bucket[label] = float(value)
 
     # -- session flush --------------------------------------------------
@@ -156,3 +166,11 @@ def perf_counts(name: str | None = None, **units: float) -> None:
     bench modules stay importable standalone."""
     if CAPTURE is not None:
         CAPTURE.count(name, **units)
+
+
+def perf_values(name: str | None = None, **gauges: float) -> None:
+    """Record self-measured scalar gauges (latency quantiles, ratios)
+    into the benchmark's trajectory record, as-is. Same no-op
+    semantics as :func:`perf_counts`."""
+    if CAPTURE is not None:
+        CAPTURE.value(name, **gauges)

@@ -1,0 +1,237 @@
+"""Serving-path benchmarks: index vs. scan, cache, and HTTP load.
+
+Two figures for the query-serving subsystem (docs/serving.md):
+
+* ``bench_query_paths`` — the same query workload answered three ways:
+  the one-shot :class:`QueryEngine` full-table scan (what ``repro ask``
+  always did), the pre-built :class:`OpinionIndex`, and the warm
+  :class:`OpinionService` LRU cache. The acceptance bar: the cached
+  path must be at least 10x faster than the scan on the demo-scale
+  world.
+* ``bench_http_serving`` — a threaded load generator against a real
+  in-process :class:`ReproServer` (keep-alive connections), reporting
+  QPS and p50/p99 request latency into the bench trajectory.
+
+Timings use min-over-rounds, the stable estimator for same-machine
+comparisons.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+from _report import emit, emit_json, perf_counts, perf_values
+
+from repro.core.query import QueryEngine
+from repro.serve import OpinionIndex, OpinionService, build_server
+
+ROUNDS = 5
+#: The serving acceptance bar: warm cache vs. full-table scan.
+CACHE_SPEEDUP_FLOOR = 10.0
+CLIENT_THREADS = 4
+REQUESTS_PER_THREAD = 150
+
+#: Demo-world workload: conjunctive and negated queries over every
+#: entity type the evaluation harness mines.
+WORKLOAD = [
+    "cute animals",
+    "big cute animals",
+    "not deadly friendly animals",
+    "calm cheap cities",
+    "big not hectic cities",
+    "multicultural cities",
+    "young cool celebrities",
+    "not quiet pretty celebrities",
+    "exciting jobs",
+    "not dangerous solid jobs",
+    "fast popular sports",
+    "addictive not boring games",
+]
+
+
+def _quantile(sorted_values, q):
+    """Nearest-rank quantile of an already-sorted list."""
+    index = min(
+        len(sorted_values) - 1,
+        max(0, round(q * (len(sorted_values) - 1))),
+    )
+    return sorted_values[index]
+
+
+def bench_query_paths(benchmark, interpreted):
+    table = interpreted["Surveyor"]
+    engine = QueryEngine(table)
+
+    def run_scan():
+        for query in WORKLOAD:
+            engine.answer(query, top=10)
+
+    def run_indexed(index):
+        for query in WORKLOAD:
+            index.answer(query, top=10)
+
+    def run_cached(service):
+        for query in WORKLOAD:
+            service.ask(query, top=10)
+
+    def measure():
+        build_started = time.perf_counter()
+        index = OpinionIndex(table)
+        build_seconds = time.perf_counter() - build_started
+        service = OpinionService(table)
+        run_cached(service)  # warm the cache
+        best = {"scan": float("inf"), "indexed": float("inf"),
+                "cached": float("inf")}
+        for _ in range(ROUNDS):
+            for label, runner, arg in (
+                ("scan", run_scan, None),
+                ("indexed", run_indexed, index),
+                ("cached", run_cached, service),
+            ):
+                started = time.perf_counter()
+                runner(arg) if arg is not None else runner()
+                best[label] = min(
+                    best[label], time.perf_counter() - started
+                )
+        return best, build_seconds, service
+
+    (best, build_seconds, service) = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    perf_counts(queries=len(WORKLOAD) * ROUNDS * 3)
+    index_speedup = best["scan"] / best["indexed"]
+    cache_speedup = best["scan"] / best["cached"]
+    perf_values(
+        index_speedup=index_speedup, cache_speedup=cache_speedup
+    )
+    per_query_us = {
+        label: seconds / len(WORKLOAD) * 1e6
+        for label, seconds in best.items()
+    }
+    stats = service.cache.stats()
+    lines = [
+        f"Query paths over the demo world ({len(table)} opinions, "
+        f"{len(WORKLOAD)} queries, min of {ROUNDS})",
+        f"full-table scan: {per_query_us['scan']:9.1f} us/query",
+        f"indexed:         {per_query_us['indexed']:9.1f} us/query "
+        f"({index_speedup:.1f}x)",
+        f"warm cache:      {per_query_us['cached']:9.1f} us/query "
+        f"({cache_speedup:.1f}x)",
+        f"index build:     {build_seconds * 1000:9.2f} ms "
+        f"(amortised over every query until the next reload)",
+        f"cache: {stats['hits']} hits / {stats['misses']} misses",
+    ]
+    emit("serving_paths", lines)
+    emit_json(
+        "serving_paths",
+        {
+            "opinions": len(table),
+            "queries": len(WORKLOAD),
+            "scan_seconds": best["scan"],
+            "indexed_seconds": best["indexed"],
+            "cached_seconds": best["cached"],
+            "index_build_seconds": build_seconds,
+            "index_speedup": index_speedup,
+            "cache_speedup": cache_speedup,
+            "speedup_floor": CACHE_SPEEDUP_FLOOR,
+        },
+    )
+    assert cache_speedup >= CACHE_SPEEDUP_FLOOR, (
+        f"cached path is only {cache_speedup:.1f}x faster than the "
+        f"full-table scan (floor {CACHE_SPEEDUP_FLOOR}x)"
+    )
+
+
+def bench_http_serving(benchmark, interpreted):
+    table = interpreted["Surveyor"]
+    service = OpinionService(table)
+    server = build_server(service)
+    thread = threading.Thread(
+        target=server.serve_forever, daemon=True
+    )
+    thread.start()
+
+    def worker(offset, latencies):
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", server.port
+        )
+        try:
+            for number in range(REQUESTS_PER_THREAD):
+                query = WORKLOAD[(offset + number) % len(WORKLOAD)]
+                started = time.perf_counter()
+                connection.request(
+                    "GET",
+                    "/query?q=" + query.replace(" ", "+"),
+                )
+                response = connection.getresponse()
+                body = response.read()
+                latencies.append(time.perf_counter() - started)
+                assert response.status == 200, (
+                    response.status,
+                    body,
+                )
+        finally:
+            connection.close()
+
+    def measure():
+        per_thread = [[] for _ in range(CLIENT_THREADS)]
+        threads = [
+            threading.Thread(
+                target=worker, args=(offset, per_thread[offset])
+            )
+            for offset in range(CLIENT_THREADS)
+        ]
+        started = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - started
+        latencies = sorted(
+            latency
+            for bucket in per_thread
+            for latency in bucket
+        )
+        return wall, latencies
+
+    try:
+        wall, latencies = benchmark.pedantic(
+            measure, rounds=1, iterations=1
+        )
+    finally:
+        server.shutdown()
+        server.server_close()
+    total = CLIENT_THREADS * REQUESTS_PER_THREAD
+    assert len(latencies) == total
+    qps = total / wall
+    p50 = _quantile(latencies, 0.50)
+    p99 = _quantile(latencies, 0.99)
+    perf_counts(requests=total)
+    perf_values(qps=qps, p50_seconds=p50, p99_seconds=p99)
+    stats = service.cache.stats()
+    lines = [
+        f"HTTP serving ({CLIENT_THREADS} client threads x "
+        f"{REQUESTS_PER_THREAD} requests, keep-alive)",
+        f"throughput: {qps:9.0f} requests/s",
+        f"latency:    p50 {p50 * 1e6:7.0f} us   "
+        f"p99 {p99 * 1e6:7.0f} us",
+        f"cache: {stats['hits']} hits / {stats['misses']} misses",
+    ]
+    emit("serving_http", lines)
+    emit_json(
+        "serving_http",
+        {
+            "client_threads": CLIENT_THREADS,
+            "requests": total,
+            "wall_seconds": wall,
+            "qps": qps,
+            "p50_seconds": p50,
+            "p99_seconds": p99,
+            "cache_hits": stats["hits"],
+            "cache_misses": stats["misses"],
+        },
+    )
+    assert p99 < 1.0, f"p99 request latency {p99:.3f}s is pathological"

@@ -40,14 +40,96 @@ echo "== bench-gate (quick subset vs committed baseline) =="
 # subset cannot fail on benches it did not run.
 BENCH_DIR="$(mktemp -d)"
 trap 'rm -rf "$OBS_DIR" "$BENCH_DIR"' EXIT
+# bench_serving carries its own hard gates (cached path >= 10x the
+# full-table scan; sane p99) on top of the baseline comparison.
 REPRO_BENCH_DIR="$BENCH_DIR" python -m pytest -q -p no:cacheprovider \
     benchmarks/bench_sec71_pipeline_scale.py \
-    benchmarks/bench_obs_overhead.py > /dev/null
+    benchmarks/bench_obs_overhead.py \
+    benchmarks/bench_serving.py > /dev/null
 # Wall tolerance is wider than the ±15% library default: CI boxes run
 # these benches right after two test lanes on shared hardware, so wall
 # noise is real — a genuine 2x regression still fails by a mile. RSS
 # keeps the strict ±10% default (allocation is load-independent).
 python -m repro bench compare "$BENCH_DIR"/BENCH_*.json \
     --baseline benchmarks/baseline.json --wall-tolerance 0.5
+
+echo "== serve lane (HTTP API smoke: boot, query, reload, shutdown) =="
+SERVE_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR" "$BENCH_DIR" "$SERVE_DIR"' EXIT
+printf '%s\n' \
+    "Kittens are cute." \
+    "I think that kittens are cute." \
+    "The kitten is a cute animal." \
+    "Tigers are not cute." \
+    "Tigers are dangerous animals." > "$SERVE_DIR/docs.txt"
+python -m repro mine "$SERVE_DIR/docs.txt" \
+    --out "$SERVE_DIR/opinions.json" --threshold 1 > /dev/null 2>&1
+python - "$SERVE_DIR/opinions.json" <<'PYEOF'
+import json, signal, subprocess, sys, time, urllib.request
+
+opinions = sys.argv[1]
+proc = subprocess.Popen(
+    [sys.executable, "-m", "repro", "serve", opinions, "--port", "0"],
+    stderr=subprocess.PIPE, text=True,
+)
+try:
+    banner = proc.stderr.readline()
+    assert "repro serve: serving" in banner, banner
+    port = int(banner.rsplit(":", 1)[1])
+    base = f"http://127.0.0.1:{port}"
+
+    def get(path):
+        with urllib.request.urlopen(base + path, timeout=10) as r:
+            return r.status, r.read()
+
+    deadline = time.monotonic() + 10
+    while True:
+        try:
+            status, body = get("/healthz")
+            break
+        except OSError:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.05)
+    assert status == 200 and json.loads(body)["generation"] == 1
+
+    status, body = get("/query?q=cute+animals")
+    assert status == 200, body
+    hits = json.loads(body)["hits"]
+    assert hits and hits[0]["entity"] == "/animal/kitten", hits
+
+    req = urllib.request.Request(
+        base + "/batch",
+        data=json.dumps({"queries": ["cute animals"]}).encode(),
+        method="POST",
+    )
+    with urllib.request.urlopen(req, timeout=10) as r:
+        assert json.loads(r.read())["results"][0]["hits"]
+
+    status, body = get("/metrics")
+    assert b"repro_serve_requests_total" in body
+
+    req = urllib.request.Request(
+        base + "/admin/reload", data=b"{}", method="POST"
+    )
+    with urllib.request.urlopen(req, timeout=10) as r:
+        assert json.loads(r.read())["generation"] == 2
+
+    proc.send_signal(signal.SIGHUP)
+    deadline = time.monotonic() + 10
+    while json.loads(get("/healthz")[1])["generation"] != 3:
+        assert time.monotonic() < deadline, "SIGHUP reload missing"
+        time.sleep(0.05)
+
+    proc.terminate()
+    stderr = proc.communicate(timeout=10)[1]
+    assert proc.returncode == 0, (proc.returncode, stderr)
+    assert "shut down cleanly" in stderr, stderr
+finally:
+    if proc.poll() is None:
+        proc.kill()
+        proc.wait(timeout=10)
+print("serve lane OK")
+PYEOF
 
 echo "CI OK"

@@ -57,6 +57,7 @@ from .extraction import EvidenceCounter, EvidenceExtractor
 from .kb import Entity, KnowledgeBase, evaluation_kb, full_kb, load_tsv
 from .nlp import Annotator
 from .pipeline import SurveyorPipeline
+from .serve import OpinionIndex, OpinionService, QueryCache
 from .storage import load, save
 
 __version__ = "1.0.0"
@@ -75,7 +76,10 @@ __all__ = [
     "ModelParameters",
     "NoiseProfile",
     "Opinion",
+    "OpinionIndex",
+    "OpinionService",
     "OpinionTable",
+    "QueryCache",
     "Polarity",
     "PropertyTypeKey",
     "QueryEngine",

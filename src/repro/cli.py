@@ -5,6 +5,7 @@ Subcommands::
     python -m repro demo                      end-to-end demo run
     python -m repro mine  ...                 mine opinions from raw text
     python -m repro query ...                 query a mined opinion table
+    python -m repro serve ...                 HTTP query API over a table
     python -m repro eval                      reproduce the Table 3 comparison
     python -m repro stats trace.jsonl         inspect a recorded trace
     python -m repro bench ...                 perf baselines + regression gate
@@ -289,6 +290,23 @@ def cmd_query(args: argparse.Namespace) -> int:
         property=SubjectiveProperty.parse(args.property),
         entity_type=args.type,
     )
+    if args.format == "json":
+        # Same index + response builder as the HTTP server, so the two
+        # surfaces emit byte-identical payloads (see docs/serving.md).
+        from .serve import OpinionIndex, listing_response
+
+        index = OpinionIndex(table)
+        polarity = (
+            Polarity.NEGATIVE if args.negative else Polarity.POSITIVE
+        )
+        opinions = index.entities_with(
+            key, polarity, min_probability=args.min_probability
+        )[: args.top]
+        payload = listing_response(
+            key, args.negative, args.min_probability, opinions, index
+        )
+        print(json.dumps(payload, sort_keys=True))
+        return 0 if payload["hits"] else 1
     polarity = Polarity.NEGATIVE if args.negative else Polarity.POSITIVE
     hits = table.entities_with(
         key, polarity, min_probability=args.min_probability
@@ -305,11 +323,24 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def cmd_ask(args: argparse.Namespace) -> int:
-    from .core.query import QueryEngine, QueryError
+    from .core.query import QueryEngine, QueryError, SubjectiveQuery
 
     table = load(args.opinions)
     if not isinstance(table, OpinionTable):
         raise SystemExit(f"{args.opinions} is not an opinions artefact")
+    if args.format == "json":
+        from .serve import OpinionIndex, ask_response
+
+        index = OpinionIndex(table)
+        try:
+            query = SubjectiveQuery.parse(args.query)
+        except QueryError as error:
+            raise SystemExit(f"cannot parse query: {error}") from None
+        payload = ask_response(
+            query, index.answer(query, top=args.top), index
+        )
+        print(json.dumps(payload, sort_keys=True))
+        return 0 if payload["hits"] else 1
     try:
         hits = QueryEngine(table).answer(args.query, top=args.top)
     except QueryError as error:
@@ -324,6 +355,49 @@ def cmd_ask(args: argparse.Namespace) -> int:
             f"{marker} {hit.entity_id:30s} score={hit.score:.3f} "
             f"[{terms}]"
         )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a mined opinion table over HTTP until SIGTERM/Ctrl-C."""
+    from .serve import (
+        OpinionService,
+        build_server,
+        install_signal_handlers,
+    )
+
+    table = load(args.opinions)
+    if not isinstance(table, OpinionTable):
+        raise SystemExit(f"{args.opinions} is not an opinions artefact")
+    registry = MetricsRegistry()
+    tracer = Tracer(enabled=True) if args.trace else None
+    service = OpinionService(
+        table,
+        source_path=args.opinions,
+        cache_size=args.cache_size,
+        max_inflight=args.max_inflight,
+        registry=registry,
+        tracer=tracer,
+    )
+    server = build_server(service, host=args.host, port=args.port)
+    install_signal_handlers(service)
+    # Parsable by scripts (and tests): the bound port is authoritative
+    # when --port 0 asked for an ephemeral one.
+    print(
+        f"repro serve: serving {len(table)} opinions "
+        f"on http://{args.host}:{server.port}",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        if tracer is not None and args.trace:
+            tracer.write_jsonl(args.trace)
+        print("repro serve: shut down cleanly", file=sys.stderr)
     return 0
 
 
@@ -544,6 +618,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="list entities NOT having the property")
     query.add_argument("--top", type=int, default=10)
     query.add_argument("--min-probability", type=float, default=0.0)
+    query.add_argument("--format", choices=("text", "json"),
+                       default="text",
+                       help="json emits the serve_query payload, "
+                            "identical to the HTTP server's")
     query.set_defaults(func=cmd_query)
 
     ask = sub.add_parser(
@@ -552,7 +630,30 @@ def build_parser() -> argparse.ArgumentParser:
     ask.add_argument("opinions", help="opinions JSON from 'mine'")
     ask.add_argument("query", help='e.g. "calm cheap cities"')
     ask.add_argument("--top", type=int, default=10)
+    ask.add_argument("--format", choices=("text", "json"),
+                     default="text",
+                     help="json emits the serve_ask payload, "
+                          "identical to the HTTP server's")
     ask.set_defaults(func=cmd_ask)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a mined opinion table over a JSON HTTP API",
+    )
+    serve.add_argument("opinions", help="opinions JSON from 'mine'")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="0 binds an ephemeral port (printed on "
+                            "stderr)")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="LRU result-cache entries (default 1024)")
+    serve.add_argument("--max-inflight", type=int, default=32,
+                       help="concurrent requests admitted before "
+                            "replying 503 (default 32)")
+    serve.add_argument("--trace", metavar="PATH",
+                       help="write serve.request spans here on "
+                            "shutdown")
+    serve.set_defaults(func=cmd_serve)
 
     evaluate = sub.add_parser("eval", help="run the Table 3 comparison")
     evaluate.add_argument("--seed", type=int, default=2015)

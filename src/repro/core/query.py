@@ -66,8 +66,26 @@ class SubjectiveQuery:
                 f"{sorted(set(lexicon.TYPE_NOUNS.values()))}"
             )
         terms: list[QueryTerm] = []
+        seen: set[str] = set()
         negate_next = False
         pending_adverbs: list[str] = []
+
+        def emit(adjective: str) -> None:
+            nonlocal negate_next, pending_adverbs
+            prop = SubjectiveProperty(
+                adjective, tuple(pending_adverbs)
+            )
+            if prop.text in seen:
+                raise QueryError(
+                    f"duplicate property {prop.text!r} in query"
+                )
+            seen.add(prop.text)
+            terms.append(
+                QueryTerm(property=prop, negated=negate_next)
+            )
+            negate_next = False
+            pending_adverbs = []
+
         for token in tokens[:-1]:
             if token == "not":
                 negate_next = True
@@ -75,19 +93,23 @@ class SubjectiveQuery:
             if token in lexicon.ADVERBS:
                 pending_adverbs.append(token)
                 continue
-            terms.append(
-                QueryTerm(
-                    property=SubjectiveProperty(
-                        token, tuple(pending_adverbs)
-                    ),
-                    negated=negate_next,
+            emit(token)
+        if pending_adverbs:
+            # A trailing intensifier with no adjective to attach to.
+            # Words like "pretty" double as adjectives ("pretty
+            # cities"); recover by reading the last one that way.
+            last = pending_adverbs[-1]
+            if last in lexicon.ADJECTIVES:
+                pending_adverbs = pending_adverbs[:-1]
+                emit(last)
+            else:
+                raise QueryError(
+                    f"adverb {last!r} attaches to no adjective "
+                    f"(before the type noun {tokens[-1]!r})"
                 )
-            )
-            negate_next = False
-            pending_adverbs = []
-        if negate_next or pending_adverbs:
+        if negate_next:
             raise QueryError(
-                "dangling 'not' or adverb without an adjective"
+                f"dangling 'not' before the type noun {tokens[-1]!r}"
             )
         if not terms:
             raise QueryError("query needs at least one property")

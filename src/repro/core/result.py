@@ -18,12 +18,25 @@ from .types import Opinion, Polarity, PropertyTypeKey
 
 
 class OpinionTable:
-    """Indexed collection of :class:`Opinion` tuples."""
+    """Indexed collection of :class:`Opinion` tuples.
 
-    def __init__(self, opinions: Iterable[Opinion] = ()) -> None:
+    Besides the tuples themselves the table remembers which
+    property-type combinations were *degraded* — their EM fit went
+    numerically degenerate and Surveyor fell back to majority vote, so
+    their opinions are hard votes rather than model posteriors. Query
+    surfaces (CLI, HTTP server) expose the flag so consumers can treat
+    those answers with suspicion.
+    """
+
+    def __init__(
+        self,
+        opinions: Iterable[Opinion] = (),
+        degraded_keys: Iterable[PropertyTypeKey] = (),
+    ) -> None:
         self._by_pair: dict[tuple[str, PropertyTypeKey], Opinion] = {}
         self._by_key: dict[PropertyTypeKey, list[Opinion]] = defaultdict(list)
         self._by_entity: dict[str, list[Opinion]] = defaultdict(list)
+        self._degraded: set[PropertyTypeKey] = set(degraded_keys)
         for opinion in opinions:
             self.add(opinion)
 
@@ -44,6 +57,10 @@ class OpinionTable:
     def update(self, opinions: Iterable[Opinion]) -> None:
         for opinion in opinions:
             self.add(opinion)
+
+    def mark_degraded(self, key: PropertyTypeKey) -> None:
+        """Flag a combination as a degraded (majority-vote) fallback."""
+        self._degraded.add(key)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -100,6 +117,14 @@ class OpinionTable:
 
     def keys(self) -> list[PropertyTypeKey]:
         return list(self._by_key)
+
+    @property
+    def degraded_keys(self) -> frozenset[PropertyTypeKey]:
+        """Combinations whose opinions are majority-vote fallbacks."""
+        return frozenset(self._degraded)
+
+    def is_degraded(self, key: PropertyTypeKey) -> bool:
+        return key in self._degraded
 
     # ------------------------------------------------------------------
     # Container protocol

@@ -134,6 +134,7 @@ class Surveyor:
                     # Degenerate fit: the learner fell back to majority
                     # vote, so emit hard votes instead of posteriors.
                     degraded.append(key)
+                    table.mark_degraded(key)
                     for entity_id, counts in self._full_evidence(
                         key, per_entity
                     ):

@@ -19,6 +19,7 @@ names, ``%.10g`` floats) so golden-file tests are byte-stable.
 from __future__ import annotations
 
 import json
+import threading
 from bisect import bisect_left
 from dataclasses import dataclass
 from pathlib import Path
@@ -133,6 +134,29 @@ CATALOG: dict[str, MetricSpec] = _catalog(
     MetricSpec("repro_evidence_negative_magnitude", "histogram",
                "C- magnitude per entity-property pair",
                MAGNITUDE_BUCKETS),
+    # query-serving subsystem (repro serve)
+    MetricSpec("repro_serve_requests_total", "counter",
+               "HTTP requests handled by the query server"),
+    MetricSpec("repro_serve_errors_total", "counter",
+               "requests that ended in a 5xx response"),
+    MetricSpec("repro_serve_rejected_total", "counter",
+               "requests shed by admission control (503)"),
+    MetricSpec("repro_serve_reloads_total", "counter",
+               "opinion-table hot reloads (SIGHUP or /admin/reload)"),
+    MetricSpec("repro_serve_cache_hits_total", "counter",
+               "query-cache hits"),
+    MetricSpec("repro_serve_cache_misses_total", "counter",
+               "query-cache misses"),
+    MetricSpec("repro_serve_cache_evictions_total", "counter",
+               "query-cache entries evicted by the LRU bound"),
+    MetricSpec("repro_serve_cache_invalidations_total", "counter",
+               "query-cache entries dropped on table swap"),
+    MetricSpec("repro_serve_request_seconds", "histogram",
+               "server-side latency per request", LATENCY_BUCKETS),
+    MetricSpec("repro_serve_index_generation", "gauge",
+               "generation of the live opinion index"),
+    MetricSpec("repro_serve_index_opinions", "gauge",
+               "opinions held by the live index"),
 )
 
 
@@ -143,16 +167,35 @@ def _format_value(value: float) -> str:
 
 
 class MetricsRegistry:
-    """Holds the run's instruments; every name checked against a catalogue."""
+    """Holds the run's instruments; every name checked against a catalogue.
+
+    Updates are guarded by a reentrant lock so the registry can be
+    shared across threads (the query server increments counters from
+    its handler pool); the pipeline's single-threaded hot path pays
+    one uncontended acquire per update.
+    """
 
     def __init__(
         self, catalog: dict[str, MetricSpec] | None = None
     ) -> None:
         self._catalog = dict(CATALOG if catalog is None else catalog)
+        self._lock = threading.RLock()
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
         # name -> (per-edge counts + overflow slot, sum, count)
         self._histograms: dict[str, dict[str, Any]] = {}
+
+    # Locks do not pickle; a registry shipped to a worker process
+    # rebuilds its own.
+    def __getstate__(self) -> dict[str, Any]:
+        with self._lock:
+            state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Instruments
@@ -174,27 +217,33 @@ class MetricsRegistry:
         self._spec(name, "counter")
         if amount < 0:
             raise MetricsError(f"{name}: counters only go up")
-        self._counters[name] = self._counters.get(name, 0) + amount
+        with self._lock:
+            self._counters[name] = (
+                self._counters.get(name, 0) + amount
+            )
 
     def set_gauge(self, name: str, value: float) -> None:
         self._spec(name, "gauge")
-        self._gauges[name] = float(value)
+        with self._lock:
+            self._gauges[name] = float(value)
 
     def observe(self, name: str, value: float) -> None:
         spec = self._spec(name, "histogram")
-        state = self._histograms.get(name)
-        if state is None:
-            state = {
-                "counts": [0] * (len(spec.buckets) + 1),
-                "sum": 0.0,
-                "count": 0,
-            }
-            self._histograms[name] = state
-        # le semantics: the first edge >= value owns the observation;
-        # beyond the last edge lands in the +Inf overflow slot.
-        state["counts"][bisect_left(spec.buckets, value)] += 1
-        state["sum"] += float(value)
-        state["count"] += 1
+        with self._lock:
+            state = self._histograms.get(name)
+            if state is None:
+                state = {
+                    "counts": [0] * (len(spec.buckets) + 1),
+                    "sum": 0.0,
+                    "count": 0,
+                }
+                self._histograms[name] = state
+            # le semantics: the first edge >= value owns the
+            # observation; beyond the last edge lands in the +Inf
+            # overflow slot.
+            state["counts"][bisect_left(spec.buckets, value)] += 1
+            state["sum"] += float(value)
+            state["count"] += 1
 
     # ------------------------------------------------------------------
     # Aggregation
@@ -202,6 +251,10 @@ class MetricsRegistry:
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry in (sums counters and histograms;
         gauges take the other side's latest value)."""
+        with self._lock:
+            self._merge_locked(other)
+
+    def _merge_locked(self, other: "MetricsRegistry") -> None:
         for name, value in other._counters.items():
             self._spec(name, "counter")
             self._counters[name] = self._counters.get(name, 0) + value
@@ -226,18 +279,24 @@ class MetricsRegistry:
 
     def names(self) -> list[str]:
         """Names with recorded data, sorted."""
-        return sorted(
-            {*self._counters, *self._gauges, *self._histograms}
-        )
+        with self._lock:
+            return sorted(
+                {*self._counters, *self._gauges, *self._histograms}
+            )
 
     def counter_value(self, name: str) -> float:
-        return self._counters.get(name, 0)
+        with self._lock:
+            return self._counters.get(name, 0)
 
     # ------------------------------------------------------------------
     # Output
     # ------------------------------------------------------------------
     def exposition(self) -> str:
         """Prometheus-style text exposition, deterministically ordered."""
+        with self._lock:
+            return self._exposition_locked()
+
+    def _exposition_locked(self) -> str:
         lines: list[str] = []
         for name in self.names():
             spec = self._catalog[name]
@@ -274,6 +333,10 @@ class MetricsRegistry:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON payload for ``--metrics-out`` (format-tagged)."""
+        with self._lock:
+            return self._to_dict_locked()
+
+    def _to_dict_locked(self) -> dict[str, Any]:
         metrics: dict[str, Any] = {}
         for name in self.names():
             spec = self._catalog[name]

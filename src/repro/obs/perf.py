@@ -160,6 +160,7 @@ def build_bench_record(
     wall_seconds: float,
     memory: MemorySample,
     counts: dict[str, float] | None = None,
+    values: dict[str, float] | None = None,
     git_version: str | None,
     timestamp: float,
 ) -> dict[str, Any]:
@@ -168,6 +169,9 @@ def build_bench_record(
     ``counts`` are the benchmark's throughput units (documents,
     statements, combinations, …); each also yields a derived
     ``<unit>_per_second`` throughput row when wall time is positive.
+    ``values`` are free-form scalar gauges the benchmark measured
+    itself — latency quantiles, ratios — recorded as-is (no
+    derivation).
     """
     counts = dict(counts or {})
     throughput = {
@@ -186,6 +190,10 @@ def build_bench_record(
         ),
         "counts": counts,
         "throughput": throughput,
+        "values": {
+            label: float(value)
+            for label, value in (values or {}).items()
+        },
         "meta": {
             "benchmark": name,
             "git_describe": git_version,
@@ -231,12 +239,30 @@ def validate_bench_record(record: Any) -> list[str]:
             "name",
             "counts",
             "throughput",
+            "values",
             "meta",
             *BENCH_METRICS,
         )
     ]
     for key in extra:
         errors.append(f"{name}: unknown metric name {key!r}")
+    # "values" is optional (records predating it have none), but when
+    # present it must be a flat map of finite numbers.
+    values = record.get("values")
+    if values is not None:
+        if not isinstance(values, dict):
+            errors.append(f"{name}: values is not an object")
+        else:
+            for label, value in values.items():
+                if (
+                    not isinstance(value, (int, float))
+                    or isinstance(value, bool)
+                    or not math.isfinite(value)
+                ):
+                    errors.append(
+                        f"{name}: values[{label!r}] is not a "
+                        "finite number"
+                    )
     meta = record.get("meta")
     if isinstance(meta, dict):
         for key in ("benchmark", "schema_version", "recorded_unix"):

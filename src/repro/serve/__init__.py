@@ -1,0 +1,38 @@
+"""Query-serving subsystem: index, cache, and concurrent HTTP API.
+
+Mine once with ``repro run``, then serve many low-latency subjective
+queries: :class:`OpinionIndex` answers conjunctive/negated top-k queries
+from pre-built posting structures (bit-identical to the one-shot
+:class:`~repro.core.query.QueryEngine`), :class:`QueryCache` absorbs
+repeated queries, and :class:`OpinionService` / :class:`ReproServer`
+put both behind a threaded JSON HTTP API with admission control and
+atomic hot-reload. See docs/serving.md.
+"""
+
+from .cache import DEFAULT_MAX_ENTRIES, QueryCache
+from .index import AGNOSTIC_PRIOR, OpinionIndex
+from .schema import SERVE_SCHEMA_VERSION, ask_response, listing_response
+from .server import (
+    DEFAULT_MAX_INFLIGHT,
+    OpinionService,
+    ReproServer,
+    ServeError,
+    build_server,
+    install_signal_handlers,
+)
+
+__all__ = [
+    "AGNOSTIC_PRIOR",
+    "DEFAULT_MAX_ENTRIES",
+    "DEFAULT_MAX_INFLIGHT",
+    "OpinionIndex",
+    "OpinionService",
+    "QueryCache",
+    "ReproServer",
+    "SERVE_SCHEMA_VERSION",
+    "ServeError",
+    "ask_response",
+    "build_server",
+    "install_signal_handlers",
+    "listing_response",
+]

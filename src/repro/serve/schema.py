@@ -1,0 +1,87 @@
+"""The machine-readable response schema shared by CLI and HTTP.
+
+``repro ask --format json`` / ``repro query --format json`` and the
+HTTP server's ``GET /query`` build their payloads through the same two
+functions, so the two surfaces cannot drift apart — one test asserts
+they are byte-identical over the same opinion table.
+
+Both payload kinds are format-tagged like every other artefact in the
+repo (``serve_ask`` / ``serve_query``, version 1) and carry the index
+generation they were answered from, plus the degraded-fallback flags
+persisted with the table (see docs/robustness.md): a term answered by
+a majority-vote fallback rather than a model posterior is marked
+``"degraded": true``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..core.query import QueryHit, SubjectiveQuery
+from ..core.types import Opinion, PropertyTypeKey
+from .index import OpinionIndex
+
+SERVE_SCHEMA_VERSION = 1
+
+
+def ask_response(
+    query: SubjectiveQuery,
+    hits: Iterable[QueryHit],
+    index: OpinionIndex,
+) -> dict[str, Any]:
+    """Response for a free-text conjunctive/negated query."""
+    return {
+        "format": "serve_ask",
+        "version": SERVE_SCHEMA_VERSION,
+        "generation": index.generation,
+        "query": query.text(),
+        "entity_type": query.entity_type,
+        "terms": [
+            {
+                "property": term.property.text,
+                "negated": term.negated,
+                "degraded": index.is_degraded(
+                    term.key(query.entity_type)
+                ),
+            }
+            for term in query.terms
+        ],
+        "hits": [
+            {
+                "entity": hit.entity_id,
+                "score": hit.score,
+                "per_term": list(hit.per_term),
+                "confident": hit.confident,
+            }
+            for hit in hits
+        ],
+    }
+
+
+def listing_response(
+    key: PropertyTypeKey,
+    negative: bool,
+    min_probability: float,
+    opinions: Iterable[Opinion],
+    index: OpinionIndex,
+) -> dict[str, Any]:
+    """Response for a single-combination listing (``repro query``)."""
+    return {
+        "format": "serve_query",
+        "version": SERVE_SCHEMA_VERSION,
+        "generation": index.generation,
+        "property": key.property.text,
+        "entity_type": key.entity_type,
+        "negative": bool(negative),
+        "min_probability": float(min_probability),
+        "degraded": index.is_degraded(key),
+        "hits": [
+            {
+                "entity": opinion.entity_id,
+                "probability": opinion.probability,
+                "positive": opinion.evidence.positive,
+                "negative": opinion.evidence.negative,
+            }
+            for opinion in opinions
+        ],
+    }

@@ -1,0 +1,626 @@
+"""Concurrent HTTP query server over a mined opinion table.
+
+The paper's motivating workload — search queries like ``safe cities``
+answered from structured data — is a *serving* workload: mine once,
+answer millions of low-latency lookups. This module is that serving
+layer, stdlib-only:
+
+* :class:`OpinionService` — the engine: an immutable
+  :class:`~repro.serve.index.OpinionIndex` snapshot, a generation-
+  scoped :class:`~repro.serve.cache.QueryCache`, bounded in-flight
+  admission control, and atomic hot-reload (build the new index off to
+  the side, swap one reference, purge stale cache entries — readers
+  always see a wholly consistent table).
+* :class:`ReproServer` — a ``ThreadingHTTPServer`` exposing
+  ``GET /query`` (free-text or property+type), ``POST /batch``,
+  ``GET /healthz``, ``GET /metrics`` (Prometheus exposition from the
+  shared :class:`~repro.obs.metrics.MetricsRegistry`), and
+  ``POST /admin/reload``.
+* :func:`install_signal_handlers` — SIGHUP triggers a reload of the
+  source artefact, SIGTERM a clean exit (used by ``repro serve``).
+
+Every handled request is counted, latency-observed, and (when a tracer
+is attached) recorded as a ``serve.request`` span adopted into the
+server's trace under a lock — the per-process tracer is not itself
+thread-safe.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from ..core.query import QueryError, SubjectiveQuery
+from ..core.result import OpinionTable
+from ..core.types import Polarity, PropertyTypeKey, SubjectiveProperty
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
+from ..storage import load
+from .cache import DEFAULT_MAX_ENTRIES, QueryCache
+from .index import OpinionIndex
+from .schema import ask_response, listing_response
+
+DEFAULT_MAX_INFLIGHT = 32
+DEFAULT_TOP = 10
+#: Upper bounds keeping one request's work predictable.
+MAX_TOP = 1000
+MAX_BATCH_QUERIES = 256
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServeError(ValueError):
+    """A client-side request problem (becomes a 4xx response)."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class OpinionService:
+    """The query engine behind the HTTP API (usable standalone).
+
+    ``ask``/``listing`` return ``(response_dict, cached)``. Queries run
+    against a single index snapshot taken at entry, so a concurrent
+    :meth:`swap` can never hand a request half of each table.
+    """
+
+    def __init__(
+        self,
+        table: OpinionTable,
+        *,
+        source_path: str | Path | None = None,
+        cache_size: int = DEFAULT_MAX_ENTRIES,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be at least 1, got {max_inflight}"
+            )
+        self.source_path = (
+            Path(source_path) if source_path is not None else None
+        )
+        self.registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self.tracer = tracer
+        self.max_inflight = int(max_inflight)
+        self.cache = QueryCache(cache_size, self.registry)
+        self._inflight = threading.Semaphore(self.max_inflight)
+        self._swap_lock = threading.Lock()
+        self._trace_lock = threading.Lock()
+        self._index = OpinionIndex(table, generation=1)
+        self._publish_gauges()
+
+    # ------------------------------------------------------------------
+    # Index lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> OpinionIndex:
+        """The live snapshot (one atomic attribute read)."""
+        return self._index
+
+    def swap(self, table: OpinionTable) -> OpinionIndex:
+        """Atomically replace the live table.
+
+        The replacement index is built *before* publication and
+        installed with a single reference assignment; requests either
+        see the old generation or the new one, never a mixture. Stale
+        cache entries are purged eagerly so memory is not held by
+        answers no one can receive anymore.
+        """
+        with self._swap_lock:
+            index = OpinionIndex(
+                table, generation=self._index.generation + 1
+            )
+            self._index = index
+            self.cache.purge_generations(index.generation)
+            self.registry.inc("repro_serve_reloads_total")
+            self._publish_gauges()
+            return index
+
+    def reload(self, path: str | Path | None = None) -> dict[str, Any]:
+        """Re-load the opinions artefact and swap it in.
+
+        Any failure (missing file, wrong artefact kind) leaves the
+        current index serving; the error propagates to the caller.
+        """
+        source = Path(path) if path is not None else self.source_path
+        if source is None:
+            raise ServeError(
+                "no opinions path configured to reload from"
+            )
+        table = load(source)
+        if not isinstance(table, OpinionTable):
+            raise ServeError(
+                f"{source} is not an opinions artefact", status=400
+            )
+        index = self.swap(table)
+        return {
+            "status": "reloaded",
+            "source": str(source),
+            "generation": index.generation,
+            "opinions": index.n_opinions,
+        }
+
+    def _publish_gauges(self) -> None:
+        self.registry.set_gauge(
+            "repro_serve_index_generation", self._index.generation
+        )
+        self.registry.set_gauge(
+            "repro_serve_index_opinions", self._index.n_opinions
+        )
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def admit(self) -> bool:
+        """Take an in-flight slot; False means shed the request."""
+        return self._inflight.acquire(blocking=False)
+
+    def release(self) -> None:
+        self._inflight.release()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def ask(
+        self,
+        text: str,
+        top: int = DEFAULT_TOP,
+        index: OpinionIndex | None = None,
+    ) -> tuple[dict[str, Any], bool]:
+        """Answer a free-text query, via the cache when possible.
+
+        The cache key uses the whitespace-normalised raw text, so a
+        hit skips even query parsing.
+        """
+        top = _check_top(top)
+        index = index if index is not None else self._index
+        normalized = " ".join(text.lower().split())
+        key = (index.generation, "ask", normalized, top)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached, True
+        try:
+            query = SubjectiveQuery.parse(text)
+        except QueryError as error:
+            raise ServeError(f"cannot parse query: {error}") from None
+        response = ask_response(
+            query, index.answer(query, top=top), index
+        )
+        self.cache.put(key, response)
+        return response, False
+
+    def listing(
+        self,
+        property_text: str,
+        entity_type: str,
+        *,
+        negative: bool = False,
+        min_probability: float = 0.0,
+        top: int = DEFAULT_TOP,
+        index: OpinionIndex | None = None,
+    ) -> tuple[dict[str, Any], bool]:
+        """Single-combination listing (the ``repro query`` semantics)."""
+        top = _check_top(top)
+        if not 0.0 <= min_probability <= 1.0:
+            raise ServeError(
+                "min_probability must be in [0, 1], "
+                f"got {min_probability}"
+            )
+        index = index if index is not None else self._index
+        try:
+            key = PropertyTypeKey(
+                property=SubjectiveProperty.parse(property_text),
+                entity_type=entity_type,
+            )
+        except ValueError as error:
+            raise ServeError(str(error)) from None
+        cache_key = (
+            index.generation,
+            "listing",
+            str(key),
+            bool(negative),
+            float(min_probability),
+            top,
+        )
+        cached = self.cache.get(cache_key)
+        if cached is not None:
+            return cached, True
+        polarity = (
+            Polarity.NEGATIVE if negative else Polarity.POSITIVE
+        )
+        opinions = index.entities_with(
+            key, polarity, min_probability=min_probability
+        )[:top]
+        response = listing_response(
+            key, negative, min_probability, opinions, index
+        )
+        self.cache.put(cache_key, response)
+        return response, False
+
+    def batch(
+        self, queries: list[str], top: int = DEFAULT_TOP
+    ) -> dict[str, Any]:
+        """Answer many free-text queries against ONE index snapshot."""
+        if len(queries) > MAX_BATCH_QUERIES:
+            raise ServeError(
+                f"batch of {len(queries)} exceeds the limit of "
+                f"{MAX_BATCH_QUERIES}"
+            )
+        index = self._index
+        results: list[dict[str, Any]] = []
+        for text in queries:
+            try:
+                response, _ = self.ask(text, top=top, index=index)
+            except ServeError as error:
+                response = {"error": str(error), "query": text}
+            results.append(response)
+        return {
+            "format": "serve_batch",
+            "version": 1,
+            "generation": index.generation,
+            "results": results,
+        }
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def observe_request(
+        self,
+        *,
+        method: str,
+        path: str,
+        status: int,
+        seconds: float,
+        cached: bool | None = None,
+    ) -> None:
+        """Account one handled request (metrics + optional span)."""
+        registry = self.registry
+        registry.inc("repro_serve_requests_total")
+        if status == 503:
+            registry.inc("repro_serve_rejected_total")
+        elif status >= 500:
+            registry.inc("repro_serve_errors_total")
+        registry.observe("repro_serve_request_seconds", seconds)
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return
+        attrs: dict[str, Any] = {
+            "method": method,
+            "path": path,
+            "http_status": status,
+        }
+        if cached is not None:
+            attrs["cached"] = cached
+        record = {
+            "span_id": 0,
+            "parent_id": None,
+            "name": "serve.request",
+            "kind": "span",
+            "start_unix": time.time() - seconds,
+            "duration": seconds,
+            "attrs": attrs,
+            # 503 is deliberate shedding, not a failure.
+            "status": (
+                "error" if status >= 500 and status != 503 else "ok"
+            ),
+        }
+        # Tracer internals are not thread-safe; adoption assigns this
+        # span a fresh id under the service's lock.
+        with self._trace_lock:
+            tracer.adopt([record])
+
+    def healthz(self) -> dict[str, Any]:
+        index = self._index
+        return {
+            "status": "ok",
+            "generation": index.generation,
+            "opinions": index.n_opinions,
+            "combinations": index.n_keys,
+            "entity_types": index.entity_types(),
+            "degraded_combinations": sorted(
+                str(key) for key in index.degraded_keys
+            ),
+            "max_inflight": self.max_inflight,
+            "cache": self.cache.stats(),
+        }
+
+
+def _check_top(top: Any) -> int:
+    try:
+        top = int(top)
+    except (TypeError, ValueError):
+        raise ServeError(f"top must be an integer, got {top!r}")
+    if not 1 <= top <= MAX_TOP:
+        raise ServeError(
+            f"top must be in [1, {MAX_TOP}], got {top}"
+        )
+    return top
+
+
+# ---------------------------------------------------------------------------
+# HTTP layer
+# ---------------------------------------------------------------------------
+
+class ReproServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`OpinionService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self, address: tuple[str, int], service: OpinionService
+    ) -> None:
+        super().__init__(address, ServeHandler)
+        self.service = service
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Routes requests into the service; JSON in, JSON out."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1"
+    # Headers and body flush as separate writes; without TCP_NODELAY
+    # Nagle + delayed ACK turns every response into a ~40 ms stall.
+    disable_nagle_algorithm = True
+
+    #: Paths that bypass admission control: health and telemetry must
+    #: stay reachable exactly when the server is saturated.
+    UNGATED = ("/healthz", "/metrics")
+
+    # -- plumbing -------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # request logging is the metrics/trace layer's job
+
+    @property
+    def service(self) -> OpinionService:
+        return self.server.service
+
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        *,
+        cached: bool | None = None,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if cached is not None:
+            self.send_header("X-Cache", "hit" if cached else "miss")
+        if status == 503:
+            self.send_header("Retry-After", "1")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            raise ServeError(
+                f"body of {length} bytes exceeds "
+                f"{MAX_BODY_BYTES}", status=413,
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ServeError(f"malformed JSON body: {error}")
+        if not isinstance(payload, dict):
+            raise ServeError("JSON body must be an object")
+        return payload
+
+    # -- request entry points ------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST")
+
+    def _handle(self, method: str) -> None:
+        started = time.perf_counter()
+        path = urlsplit(self.path).path
+        status = 500
+        cached: bool | None = None
+        gated = path not in self.UNGATED
+        if gated and not self.service.admit():
+            status = 503
+            self._send_json(
+                status,
+                {
+                    "error": "server is at its in-flight request "
+                    "limit; retry shortly"
+                },
+            )
+            self.service.observe_request(
+                method=method,
+                path=path,
+                status=status,
+                seconds=time.perf_counter() - started,
+            )
+            return
+        try:
+            status, cached = self._route(method, path)
+        except ServeError as error:
+            status = error.status
+            self._send_json(status, {"error": str(error)})
+        except BrokenPipeError:
+            status = 499  # client went away mid-response
+        except Exception as error:  # pragma: no cover - defensive
+            status = 500
+            try:
+                self._send_json(
+                    status,
+                    {"error": f"{type(error).__name__}: {error}"},
+                )
+            except OSError:
+                pass
+        finally:
+            if gated:
+                self.service.release()
+            self.service.observe_request(
+                method=method,
+                path=path,
+                status=status,
+                seconds=time.perf_counter() - started,
+                cached=cached,
+            )
+
+    # -- routing --------------------------------------------------------
+    def _route(
+        self, method: str, path: str
+    ) -> tuple[int, bool | None]:
+        if method == "GET" and path == "/query":
+            return self._get_query()
+        if method == "GET" and path == "/healthz":
+            self._send_json(200, self.service.healthz())
+            return 200, None
+        if method == "GET" and path == "/metrics":
+            self._send_text(200, self.service.registry.exposition())
+            return 200, None
+        if method == "POST" and path == "/batch":
+            return self._post_batch()
+        if method == "POST" and path == "/admin/reload":
+            return self._post_reload()
+        raise ServeError(
+            f"no route for {method} {path}", status=404
+        )
+
+    def _params(self) -> dict[str, str]:
+        query = urlsplit(self.path).query
+        return {
+            key: values[-1]
+            for key, values in parse_qs(query).items()
+        }
+
+    def _get_query(self) -> tuple[int, bool]:
+        params = self._params()
+        top = params.get("top", DEFAULT_TOP)
+        if "q" in params:
+            response, cached = self.service.ask(
+                params["q"], top=top
+            )
+        elif "property" in params and "type" in params:
+            try:
+                min_probability = float(
+                    params.get("min_probability", 0.0)
+                )
+            except ValueError:
+                raise ServeError(
+                    "min_probability must be a number"
+                )
+            response, cached = self.service.listing(
+                params["property"],
+                params["type"],
+                negative=params.get("negative", "")
+                in ("1", "true", "yes"),
+                min_probability=min_probability,
+                top=top,
+            )
+        else:
+            raise ServeError(
+                "need either ?q=<free text> or "
+                "?property=<adj>&type=<entity type>"
+            )
+        self._send_json(200, response, cached=cached)
+        return 200, cached
+
+    def _post_batch(self) -> tuple[int, None]:
+        payload = self._read_json_body()
+        queries = payload.get("queries")
+        if not isinstance(queries, list) or not all(
+            isinstance(q, str) for q in queries
+        ):
+            raise ServeError(
+                "body must be {\"queries\": [<string>, ...]}"
+            )
+        response = self.service.batch(
+            queries, top=payload.get("top", DEFAULT_TOP)
+        )
+        self._send_json(200, response)
+        return 200, None
+
+    def _post_reload(self) -> tuple[int, None]:
+        payload = self._read_json_body()
+        path = payload.get("path")
+        if path is not None and not isinstance(path, str):
+            raise ServeError("reload path must be a string")
+        try:
+            summary = self.service.reload(path)
+        except ServeError:
+            raise
+        except Exception as error:
+            # Corrupt/missing artefact: keep serving the old table.
+            raise ServeError(
+                f"reload failed, previous table still live: {error}",
+                status=500,
+            ) from None
+        self._send_json(200, summary)
+        return 200, None
+
+
+def build_server(
+    service: OpinionService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ReproServer:
+    """Bind a server (port 0 picks an ephemeral port)."""
+    return ReproServer((host, port), service)
+
+
+def install_signal_handlers(service: OpinionService) -> None:
+    """Wire SIGHUP → hot reload, SIGTERM → clean exit.
+
+    Call from the main thread of ``repro serve`` only; tests drive
+    ``server.shutdown()`` directly instead.
+    """
+    if hasattr(signal, "SIGHUP"):
+        def _reload(signum: int, frame: Any) -> None:
+            try:
+                summary = service.reload()
+                print(
+                    f"repro serve: reloaded {summary['source']} "
+                    f"(generation {summary['generation']}, "
+                    f"{summary['opinions']} opinions)",
+                    file=sys.stderr,
+                    flush=True,
+                )
+            except Exception as error:
+                print(
+                    "repro serve: reload failed, previous table "
+                    f"still live: {error}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+
+        signal.signal(signal.SIGHUP, _reload)
+
+    def _terminate(signum: int, frame: Any) -> None:
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _terminate)

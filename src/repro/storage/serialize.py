@@ -281,6 +281,11 @@ def opinions_to_dict(table: OpinionTable) -> dict[str, Any]:
         "format": "opinions",
         "version": FORMAT_VERSION,
         "opinions": rows,
+        # Combinations whose EM fit fell back to majority vote; query
+        # surfaces flag their answers as degraded.
+        "degraded": sorted(
+            _key_to_str(key) for key in table.degraded_keys
+        ),
     }
 
 
@@ -298,6 +303,9 @@ def opinions_from_dict(payload: dict[str, Any]) -> OpinionTable:
                 ),
             )
         )
+    # Files written before the flag existed simply have none.
+    for key_text in payload.get("degraded", ()):
+        table.mark_degraded(_key_from_str(key_text))
     return table
 
 

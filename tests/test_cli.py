@@ -133,6 +133,28 @@ class TestQuery:
         with pytest.raises(SystemExit):
             main(["query", str(path), "cute", "animal"])
 
+    def test_query_json_format(self, corpus_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "opinions.json"
+        main(
+            ["mine", str(corpus_file), "--out", str(out), "--threshold", "1"]
+        )
+        capsys.readouterr()
+        rc = main(
+            ["query", str(out), "cute", "animal", "--format", "json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "serve_query"
+        assert payload["version"] == 1
+        assert payload["property"] == "cute"
+        assert payload["degraded"] is False
+        assert payload["hits"][0]["entity"] == "/animal/kitten"
+        assert set(payload["hits"][0]) == {
+            "entity", "probability", "positive", "negative",
+        }
+
 
 class TestAsk:
     def test_ask_free_text_query(self, corpus_file, tmp_path, capsys):
@@ -163,6 +185,30 @@ class TestAsk:
         out = save(OpinionTable(), tmp_path / "empty.json")
         rc = main(["ask", str(out), "cute animals"])
         assert rc == 1
+
+    def test_ask_json_format(self, corpus_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "opinions.json"
+        main(
+            ["mine", str(corpus_file), "--out", str(out), "--threshold", "1"]
+        )
+        capsys.readouterr()
+        rc = main(
+            ["ask", str(out), "cute animals", "--top", "25",
+             "--format", "json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "serve_ask"
+        assert payload["generation"] == 1
+        assert payload["terms"] == [
+            {"property": "cute", "negated": False, "degraded": False}
+        ]
+        entities = [h["entity"] for h in payload["hits"]]
+        assert entities.index("/animal/kitten") < entities.index(
+            "/animal/tiger"
+        )
 
 
 class TestCalibrate:

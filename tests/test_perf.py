@@ -127,6 +127,31 @@ class TestBenchRecord:
             "must not be null" in p for p in validate_bench_record(rec)
         )
 
+    def test_values_recorded_as_is(self):
+        rec = build_bench_record(
+            name="serving",
+            wall_seconds=1.0,
+            memory=sample(1 << 20, None, None),
+            counts={"requests": 10.0},
+            values={"p99_seconds": 0.004, "qps": 2500.0},
+            git_version="v1-test",
+            timestamp=1_700_000_000.0,
+        )
+        assert rec["values"] == {"p99_seconds": 0.004, "qps": 2500.0}
+        assert validate_bench_record(rec) == []
+
+    def test_records_without_values_still_validate(self):
+        # Trajectories written before the field existed carry none.
+        rec = record()
+        del rec["values"]
+        assert validate_bench_record(rec) == []
+
+    def test_non_finite_values_rejected(self):
+        rec = record()
+        rec["values"] = {"p99_seconds": float("nan")}
+        problems = validate_bench_record(rec)
+        assert any("not a finite number" in p for p in problems)
+
 
 class TestTrajectory:
     def test_filename_sanitised(self):

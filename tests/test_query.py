@@ -77,8 +77,35 @@ class TestParse:
             SubjectiveQuery.parse("cities")
 
     def test_dangling_not_rejected(self):
-        with pytest.raises(QueryError):
+        with pytest.raises(QueryError, match="dangling 'not'"):
             SubjectiveQuery.parse("calm not cities")
+
+    def test_duplicate_property_rejected(self):
+        with pytest.raises(QueryError, match="duplicate property"):
+            SubjectiveQuery.parse("calm calm cities")
+
+    def test_duplicate_with_negation_rejected(self):
+        # The same property asked both ways is still a contradiction
+        # of intent; reject rather than silently multiply p * (1-p).
+        with pytest.raises(QueryError, match="duplicate property"):
+            SubjectiveQuery.parse("calm not calm cities")
+
+    def test_adverb_variant_is_not_a_duplicate(self):
+        query = SubjectiveQuery.parse("big very big cities")
+        assert [t.property.text for t in query.terms] == [
+            "big",
+            "very big",
+        ]
+
+    def test_trailing_adverb_adjective_recovers(self):
+        # "pretty" is an intensifier, but before a type noun it can
+        # only be the adjective ("pretty cities").
+        query = SubjectiveQuery.parse("pretty cities")
+        assert [t.property.text for t in query.terms] == ["pretty"]
+
+    def test_trailing_pure_adverb_rejected(self):
+        with pytest.raises(QueryError, match="attaches to no"):
+            SubjectiveQuery.parse("calm very cities")
 
 
 class TestAnswer:

@@ -114,6 +114,39 @@ class TestOpinionsRoundTrip:
         loaded = load(save(table, tmp_path / "op.json"))
         assert loaded.entities_with(CUTE)[0].entity_id == "/animal/kitten"
 
+    def test_degraded_flags_round_trip(self, tmp_path):
+        table = OpinionTable(
+            [
+                Opinion(
+                    "/animal/kitten", CUTE, 0.97, EvidenceCounts(9, 1)
+                ),
+                Opinion(
+                    "/city/tokyo", VERY_BIG, 0.88, EvidenceCounts(4, 0)
+                ),
+            ]
+        )
+        table.mark_degraded(VERY_BIG)
+        loaded = load(save(table, tmp_path / "op.json"))
+        assert loaded.is_degraded(VERY_BIG)
+        assert not loaded.is_degraded(CUTE)
+        assert loaded.degraded_keys == frozenset({VERY_BIG})
+
+    def test_files_without_degraded_key_still_load(self, tmp_path):
+        # Artefacts written before the flag existed carry no
+        # "degraded" entry; they must load as fully-trusted tables.
+        path = save(
+            OpinionTable(
+                [Opinion("/animal/kitten", CUTE, 0.97,
+                         EvidenceCounts(9, 1))]
+            ),
+            tmp_path / "op.json",
+        )
+        payload = json.loads(path.read_text())
+        del payload["degraded"]
+        path.write_text(json.dumps(payload))
+        loaded = load(path)
+        assert loaded.degraded_keys == frozenset()
+
 
 class TestErrors:
     def test_unknown_object_rejected(self, tmp_path):
