@@ -13,10 +13,39 @@ fitting every combination.
 
 from __future__ import annotations
 
-from _report import emit, perf_counts
+import os
+import resource
 
-from repro.corpus import CorpusGenerator, NoiseProfile
+from _report import emit, perf_counts, perf_values
+
+from repro.corpus import CorpusGenerator, NoiseProfile, WebCorpus
 from repro.pipeline import SurveyorPipeline
+
+#: Extraction-throughput regression gates for the fast path (see
+#: docs/performance.md). The primary gate is *relative* and measured
+#: in process CPU seconds: the reference path runs on a slice of the
+#: same corpus in the same process, and CPU time (unlike wall time)
+#: does not inflate when other tenants load the CI box — wall-clock
+#: ratios proved bimodal on shared single-core hardware. The
+#: committed speedup is ~3x (22.7k vs 7.0k docs/s on the baseline
+#: hardware); observed CPU-second ratios range 2.1–3.1x on shared
+#: hardware (frequency scaling moves even CPU time), so the floor
+#: sits at 1.8x — low enough not to flap, high enough to catch a
+#: disabled or broken fast path (~1.0x) outright, with the recorded
+#: `extraction_speedup_vs_reference` trajectory value carrying the
+#: finer-grained trend. An *absolute* wall-clock docs/s floor can
+#: additionally be pinned via env on hardware with a known baseline.
+SPEEDUP_FLOOR_ENV = "REPRO_BENCH_EXTRACTION_SPEEDUP_FLOOR"
+DEFAULT_SPEEDUP_FLOOR = 1.8
+EXTRACTION_FLOOR_ENV = "REPRO_BENCH_EXTRACTION_FLOOR_DOCS_PER_SEC"
+#: Documents in the reference-path comparison slice.
+REFERENCE_SLICE = 4000
+
+
+def _cpu_seconds() -> float:
+    """User+system CPU consumed by this process so far."""
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    return usage.ru_utime + usage.ru_stime
 
 
 def bench_sec71_full_pipeline(benchmark, harness):
@@ -28,9 +57,15 @@ def bench_sec71_full_pipeline(benchmark, harness):
         kb=harness.kb, occurrence_threshold=100, n_workers=8
     )
 
-    report = benchmark.pedantic(
-        lambda: pipeline.run(corpus), rounds=1, iterations=1
-    )
+    cpu: dict[str, float] = {}
+
+    def run_pipeline():
+        start = _cpu_seconds()
+        result = pipeline.run(corpus)
+        cpu["fast"] = _cpu_seconds() - start
+        return result
+
+    report = benchmark.pedantic(run_pipeline, rounds=1, iterations=1)
 
     perf_counts(
         documents=len(corpus),
@@ -43,6 +78,33 @@ def bench_sec71_full_pipeline(benchmark, harness):
         + metrics.stage("reduce").wall_seconds
     )
     em_seconds = metrics.stage("em").wall_seconds
+    docs_per_second = len(corpus) / max(extraction_seconds, 1e-9)
+    health = report.health
+    memo_lookups = health.memo_hits + health.memo_misses
+    memo_hit_rate = (
+        health.memo_hits / memo_lookups if memo_lookups else 0.0
+    )
+
+    # Reference-path comparison run (outside the timed region): same
+    # corpus prefix, fast path off, measured in CPU seconds.
+    ref_start = _cpu_seconds()
+    SurveyorPipeline(
+        kb=harness.kb,
+        occurrence_threshold=100,
+        n_workers=8,
+        fast_path=False,
+    ).run(WebCorpus(documents=corpus.documents[:REFERENCE_SLICE]))
+    cpu["reference"] = _cpu_seconds() - ref_start
+    ref_docs_per_cpu = REFERENCE_SLICE / max(cpu["reference"], 1e-9)
+    fast_docs_per_cpu = len(corpus) / max(cpu["fast"], 1e-9)
+    speedup = fast_docs_per_cpu / ref_docs_per_cpu
+
+    perf_values(
+        extraction_docs_per_second=round(docs_per_second, 1),
+        extraction_speedup_vs_reference=round(speedup, 3),
+        prefilter_skip_rate=round(health.prefilter_skip_rate, 4),
+        annotation_memo_hit_rate=round(memo_hit_rate, 4),
+    )
     lines = [
         "Section 7.1 — pipeline scale run (downscaled)",
         f"corpus: {len(corpus)} documents, {corpus.size_bytes()} bytes",
@@ -50,8 +112,12 @@ def bench_sec71_full_pipeline(benchmark, harness):
         f"extraction share of wall time: "
         f"{extraction_seconds / metrics.total_seconds:.1%}",
         f"EM share of wall time: {em_seconds / metrics.total_seconds:.1%}",
-        f"throughput: {len(corpus) / max(extraction_seconds, 1e-9):.0f} "
-        f"documents/second",
+        f"throughput: {docs_per_second:.0f} documents/second",
+        f"fast path speedup vs reference: {speedup:.2f}x "
+        f"({fast_docs_per_cpu:.0f} vs {ref_docs_per_cpu:.0f} "
+        f"documents/CPU-second)",
+        f"prefilter skip rate: {health.prefilter_skip_rate:.1%}",
+        f"annotation memo hit rate: {memo_hit_rate:.1%}",
     ]
     emit("sec71_pipeline_scale", lines)
 
@@ -60,6 +126,21 @@ def bench_sec71_full_pipeline(benchmark, harness):
     assert report.evidence.n_statements > 1000
     assert len(report.result.fits) > 0
     assert len(report.opinions) > 0
+    # The fast path must hold its committed speedup over the reference
+    # path, measured in load-insensitive CPU seconds.
+    speedup_floor = float(
+        os.environ.get(SPEEDUP_FLOOR_ENV, DEFAULT_SPEEDUP_FLOOR)
+    )
+    assert speedup >= speedup_floor, (
+        f"fast-path speedup regressed: {speedup:.2f}x < floor "
+        f"{speedup_floor:.2f}x (override {SPEEDUP_FLOOR_ENV})"
+    )
+    absolute_floor = os.environ.get(EXTRACTION_FLOOR_ENV)
+    if absolute_floor is not None:
+        assert docs_per_second >= float(absolute_floor), (
+            f"extraction throughput regressed: {docs_per_second:.0f} "
+            f"docs/s < pinned floor {float(absolute_floor):.0f} docs/s"
+        )
 
 
 def bench_sec71_em_stage_alone(benchmark, harness, evidence):

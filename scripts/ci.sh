@@ -53,9 +53,26 @@ REPRO_BENCH_DIR="$BENCH_DIR" python -m pytest -q -p no:cacheprovider \
 python -m repro bench compare "$BENCH_DIR"/BENCH_*.json \
     --baseline benchmarks/baseline.json --wall-tolerance 0.5
 
+echo "== strict-parity smoke (fast path vs reference, bit-identical) =="
+# Runs the mining pipeline with the extraction fast path verifying
+# every document and shard against the reference path; any divergence
+# raises ParityError and fails the run (see docs/performance.md).
+PARITY_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR" "$BENCH_DIR" "$PARITY_DIR"' EXIT
+printf '%s\n' \
+    "Kittens are cute. They are fluffy animals." \
+    "I think that kittens are cute." \
+    "The kitten is a cute animal. It is small." \
+    "Tigers are not cute. The weather was nice." \
+    "Tigers are dangerous animals. Nothing to see here." > \
+    "$PARITY_DIR/docs.txt"
+python -m repro mine "$PARITY_DIR/docs.txt" \
+    --out "$PARITY_DIR/opinions.json" --threshold 1 \
+    --strict --strict-parity > /dev/null
+
 echo "== serve lane (HTTP API smoke: boot, query, reload, shutdown) =="
 SERVE_DIR="$(mktemp -d)"
-trap 'rm -rf "$OBS_DIR" "$BENCH_DIR" "$SERVE_DIR"' EXIT
+trap 'rm -rf "$OBS_DIR" "$BENCH_DIR" "$PARITY_DIR" "$SERVE_DIR"' EXIT
 printf '%s\n' \
     "Kittens are cute." \
     "I think that kittens are cute." \

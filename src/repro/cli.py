@@ -232,6 +232,8 @@ def cmd_mine(args: argparse.Namespace) -> int:
         shard_timeout=args.shard_timeout,
         tracer=tracer,
         registry=registry,
+        fast_path=False if args.no_fast_path else None,
+        strict_parity=True if args.strict_parity else None,
     )
     report = pipeline.run(corpus)
     _finish_obs(args, tracer, registry, report.convergence)
@@ -252,6 +254,8 @@ def cmd_mine(args: argparse.Namespace) -> int:
             "checkpoint_dir": args.checkpoint_dir,
             "retries": args.retries,
             "shard_timeout": args.shard_timeout,
+            "fast_path": not args.no_fast_path,
+            "strict_parity": args.strict_parity,
         },
         started_unix=started_unix,
         duration_seconds=time.perf_counter() - started,
@@ -607,6 +611,15 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--executor", choices=EXECUTORS,
                       default="serial",
                       help="shard executor (default serial)")
+    mine.add_argument("--no-fast-path", action="store_true",
+                      help="run the reference extraction path instead "
+                           "of the prefilter+memo fast path "
+                           "(REPRO_FAST_PATH also controls this)")
+    mine.add_argument("--strict-parity", action="store_true",
+                      help="run BOTH extraction paths and fail on any "
+                           "output divergence (roughly doubles map "
+                           "cost; REPRO_STRICT_PARITY also controls "
+                           "this)")
     _add_obs_flags(mine)
     mine.set_defaults(func=cmd_mine)
 

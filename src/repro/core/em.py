@@ -17,6 +17,16 @@ authors process 380,000 property-type pairs in ten minutes.
 The implementation is vectorized with numpy: the per-entity state is
 three aligned arrays (positive counts, negative counts,
 responsibilities).
+
+By default the E/M iterations run over *unique* ``<C+, C->`` rows with
+multiplicity weights rather than one row per entity — most entities of
+a combination have the all-zero tuple, so this collapses the per-
+iteration cost from O(entities) to O(distinct tuples). The result is
+bit-identical to the dense path: the E-step is elementwise (equal rows
+get equal posteriors), and every M-step statistic is an exactly-rounded
+sum (``math.fsum``) — on the weighted path each ``weight x term``
+product enters the sum as an exact two-float expansion (Dekker's
+two-product), so both paths round the same exact rational value once.
 """
 
 from __future__ import annotations
@@ -27,6 +37,7 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
+from scipy.special import gammaln
 
 from .errors import ModelFitError
 from .model import UserBehaviorModel
@@ -38,6 +49,9 @@ from .params import (
 from .types import EvidenceCounts
 
 _RATE_FLOOR = 1e-9
+
+#: Veltkamp splitting constant for binary64: 2**27 + 1.
+_SPLIT = 134217729.0
 
 
 class _NullSpan:
@@ -119,6 +133,11 @@ class EMLearner:
         Keep the per-iteration parameter vectors on the trace —
         required for the ``pA``/``np+S``/``np−S`` trajectories in
         convergence telemetry.
+    unique_counts:
+        Iterate over unique ``<C+, C->`` tuples with multiplicity
+        weights instead of one row per entity (default on). Posteriors
+        and the full convergence path are bit-identical either way;
+        see the module docstring for why.
     tracer:
         Optional span tracer (anything with a ``span(name, **attrs)``
         context manager). When set, each EM iteration opens an
@@ -131,6 +150,7 @@ class EMLearner:
     tolerance: float = 1e-7
     initial_parameters: ModelParameters = DEFAULT_INITIAL_PARAMETERS
     record_path: bool = False
+    unique_counts: bool = True
     tracer: object | None = field(default=None, repr=False)
     _grid: np.ndarray = field(init=False, repr=False)
 
@@ -160,6 +180,26 @@ class EMLearner:
                 "evidence must contain at least one entity"
             )
 
+        # Collapse duplicate <C+, C-> tuples into weighted unique rows;
+        # ``inverse`` expands per-row posteriors back to per-entity
+        # order on return.
+        weights: np.ndarray | None = None
+        inverse: np.ndarray | None = None
+        if self.unique_counts and pos.size > 1:
+            stacked = np.stack((pos, neg), axis=1)
+            unique, inverse, multiplicity = np.unique(
+                stacked,
+                axis=0,
+                return_inverse=True,
+                return_counts=True,
+            )
+            if unique.shape[0] < pos.shape[0]:
+                pos = np.ascontiguousarray(unique[:, 0])
+                neg = np.ascontiguousarray(unique[:, 1])
+                weights = multiplicity.astype(float)
+            else:
+                inverse = None
+
         theta = self.initial_parameters
         log_likelihoods: list[float] = []
         path: list[ModelParameters] = [theta] if self.record_path else []
@@ -173,7 +213,7 @@ class EMLearner:
                 with self._iteration_span(iterations) as span:
                     responsibilities = self._e_step(pos, neg, theta)
                     theta, expected_ll = self._m_step(
-                        pos, neg, responsibilities
+                        pos, neg, responsibilities, weights
                     )
                     span.set("log_likelihood", expected_ll)
                     span.set("agreement", theta.agreement)
@@ -202,6 +242,8 @@ class EMLearner:
         if degraded:
             theta, responsibilities = self._majority_fallback(pos, neg)
             converged = False
+        if inverse is not None:
+            responsibilities = responsibilities[inverse]
         trace = EMTrace(
             iterations=iterations,
             converged=converged,
@@ -257,20 +299,30 @@ class EMLearner:
     # M-step
     # ------------------------------------------------------------------
     def _m_step(
-        self, pos: np.ndarray, neg: np.ndarray, resp: np.ndarray
+        self,
+        pos: np.ndarray,
+        neg: np.ndarray,
+        resp: np.ndarray,
+        weights: np.ndarray | None = None,
     ) -> tuple[ModelParameters, float]:
         """Closed-form maximization of Q' over the agreement grid.
 
         Returns the best parameter vector together with its Q' value
         (used as the convergence signal; Q' differs from the true
         expected log-likelihood only by theta-independent constants).
+
+        Every g statistic is the exactly-rounded sum of its per-row
+        terms, so collapsing equal rows into one weighted row (the
+        ``weights`` path) yields bit-identical values: the exact sum
+        of ``w`` equal terms equals the exact ``w x term`` product.
         """
-        g_pp = float(np.dot(pos, resp))  # positive statements, D=+
-        g_np = float(np.dot(neg, resp))  # negative statements, D=+
-        g_pn = float(np.dot(pos, 1.0 - resp))  # positive statements, D=-
-        g_nn = float(np.dot(neg, 1.0 - resp))  # negative statements, D=-
-        g_pos = float(np.sum(resp))
-        g_neg = float(np.sum(1.0 - resp))
+        anti = 1.0 - resp
+        g_pp = _weighted_total(pos * resp, weights)
+        g_np = _weighted_total(neg * resp, weights)
+        g_pn = _weighted_total(pos * anti, weights)
+        g_nn = _weighted_total(neg * anti, weights)
+        g_pos = _weighted_total(resp, weights)
+        g_neg = _weighted_total(anti, weights)
 
         best: tuple[float, ModelParameters] | None = None
         for p_a in self._grid:
@@ -353,14 +405,68 @@ def _fit_is_degenerate(
     return False
 
 
+def _two_product(a: float, b: float) -> tuple[float, float]:
+    """Dekker's exact product: ``a*b == p + err`` with no rounding.
+
+    The split halves each operand at 26 bits so the partial products
+    are exact; used because ``math.fma`` is not available on every
+    supported interpreter.
+    """
+    p = a * b
+    a_hi = a * _SPLIT
+    a_hi = a_hi - (a_hi - a)
+    a_lo = a - a_hi
+    b_hi = b * _SPLIT
+    b_hi = b_hi - (b_hi - b)
+    b_lo = b - b_hi
+    err = (
+        ((a_hi * b_hi - p) + a_hi * b_lo + a_lo * b_hi) + a_lo * b_lo
+    )
+    return p, err
+
+
+def _weighted_total(
+    terms: np.ndarray, weights: np.ndarray | None
+) -> float:
+    """Exactly-rounded (optionally weighted) sum of ``terms``.
+
+    Unweighted, this is ``fsum`` — the correctly-rounded sum of the
+    terms. Weighted, each ``w x t`` product joins the summation as an
+    exact two-float expansion, so the result is the correctly-rounded
+    value of ``sum(w_u * t_u)`` — bit-identical to ``fsum`` over the
+    expanded multiset where each ``t_u`` appears ``w_u`` times.
+    """
+    if weights is None:
+        return math.fsum(terms.tolist())
+    parts: list[float] = []
+    append = parts.append
+    for w, t in zip(weights.tolist(), terms.tolist()):
+        p, err = _two_product(w, t)
+        append(p)
+        append(err)
+    return math.fsum(parts)
+
+
 def _counts_to_arrays(
     evidence: Iterable[EvidenceCounts],
 ) -> tuple[np.ndarray, np.ndarray]:
-    pairs = [(e.positive, e.negative) for e in evidence]
-    if not pairs:
-        return np.empty(0), np.empty(0)
-    array = np.asarray(pairs, dtype=float)
-    return array[:, 0], array[:, 1]
+    """Evidence tuples to aligned (positive, negative) float arrays.
+
+    Fills one pre-allocated array per column instead of materializing
+    an intermediate list of pairs plus a 2-D array.
+    """
+    items = (
+        evidence
+        if isinstance(evidence, Sequence)
+        else list(evidence)
+    )
+    n = len(items)
+    pos = np.empty(n, dtype=float)
+    neg = np.empty(n, dtype=float)
+    for i, counts in enumerate(items):
+        pos[i] = counts.positive
+        neg[i] = counts.negative
+    return pos, neg
 
 
 def _poisson_log_pmf_vec(counts: np.ndarray, rate: float) -> np.ndarray:
@@ -368,6 +474,4 @@ def _poisson_log_pmf_vec(counts: np.ndarray, rate: float) -> np.ndarray:
     if rate <= 0.0:
         out = np.where(counts == 0, 0.0, -np.inf)
         return out
-    from scipy.special import gammaln
-
     return counts * np.log(rate) - rate - gammaln(counts + 1.0)

@@ -24,6 +24,16 @@ class ExtractionError(ReproError):
     """
 
 
+class ParityError(ExtractionError):
+    """The extraction fast path diverged from the reference path.
+
+    Raised only in ``strict_parity`` runs, where every shard is mapped
+    by both paths and their evidence counters and statistics are
+    compared. A raise here means a fast-path soundness invariant was
+    violated — a bug, never an expected operational failure.
+    """
+
+
 class ModelFitError(ReproError, ValueError):
     """Model fitting received invalid input or produced no usable fit.
 

@@ -8,7 +8,7 @@ computes statement polarity, and accumulates evidence counts — the
 from __future__ import annotations
 
 from collections.abc import Iterable
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..core.errors import ExtractionError
 from ..nlp.annotate import AnnotatedDocument, AnnotatedSentence, Annotator
@@ -50,9 +50,30 @@ class EvidenceExtractor:
         Pattern-matching failures are re-raised as
         :class:`ExtractionError` with document/sentence context so the
         pipeline can quarantine the document.
+
+        When the annotator attached an ``extraction_cache`` (the
+        sentence's matches are a pure function of its text and link
+        context), the pattern matching and polarity work runs once per
+        cache line and later documents only re-stamp ``doc_id``.
         """
+        cache = annotated.extraction_cache
+        if cache is not None:
+            protos = cache.get(self.config)
+            if protos is None:
+                protos = tuple(self._match_sentence(annotated, doc_id))
+                cache[self.config] = protos
+            return [
+                s if s.doc_id == doc_id else replace(s, doc_id=doc_id)
+                for s in protos
+            ]
+        return self._match_sentence(annotated, doc_id)
+
+    def _match_sentence(
+        self, annotated: AnnotatedSentence, doc_id: str
+    ) -> list[EvidenceStatement]:
         statements = []
         try:
+            text = annotated.text()
             for match in find_matches(annotated, self.config):
                 statements.append(
                     EvidenceStatement(
@@ -62,7 +83,7 @@ class EvidenceExtractor:
                         polarity=statement_polarity(match.property_node),
                         pattern=match.pattern,
                         doc_id=doc_id,
-                        sentence=annotated.text(),
+                        sentence=text,
                     )
                 )
         except ExtractionError:

@@ -106,7 +106,7 @@ def find_matches(
 ) -> list[PatternMatch]:
     """All pattern instances in one annotated sentence."""
     sentence = annotated.sentence
-    if not sentence.mentions:
+    if not sentence.mentions or annotated.tree is None:
         return []
     matches: list[PatternMatch] = []
     for node in annotated.tree.all_nodes():

@@ -77,6 +77,15 @@ class EvidenceCounter:
         for statement in statements:
             self.add(statement)
 
+    def __eq__(self, other: object) -> bool:
+        """Exact count equality — the strict-parity assertion."""
+        if not isinstance(other, EvidenceCounter):
+            return NotImplemented
+        return (
+            self._n_statements == other._n_statements
+            and self._counts == other._counts
+        )
+
     def merge(self, other: "EvidenceCounter") -> None:
         """Fold another counter in (the reduce side of the pipeline)."""
         for key, per_entity in other._counts.items():

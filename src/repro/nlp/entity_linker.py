@@ -21,6 +21,7 @@ Disambiguation strategy, in order:
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
 from ..kb.entity import Entity
@@ -58,18 +59,58 @@ class EntityLinker:
         ``document_context`` is a counter of type-indicator hits for
         the whole document, used as a fallback disambiguation signal.
         """
-        context = self._sentence_context(sentence)
-        mentions: list[EntityMention] = []
+        mentions, linked, dropped = self.resolve(
+            sentence, self.scan(sentence), document_context
+        )
+        sentence.mentions = mentions
+        self.stats.linked += linked
+        self.stats.ambiguous_dropped += dropped
+        return sentence
+
+    def scan(
+        self, sentence: Sentence
+    ) -> list[tuple[Span, tuple[Entity, ...]]]:
+        """The matching pass: greedy left-to-right longest matches.
+
+        Pure function of the sentence's token texts (disambiguation
+        never moves the scan cursor), which is what lets the fast path
+        cache scan results per unique sentence text.
+        """
+        matches: list[tuple[Span, tuple[Entity, ...]]] = []
+        lowered = [token.text.lower() for token in sentence.tokens]
         index = 0
-        n_tokens = len(sentence.tokens)
+        n_tokens = len(lowered)
         while index < n_tokens:
-            match = self._longest_match(sentence, index)
+            match = self._longest_match(lowered, index)
             if match is None:
                 index += 1
                 continue
             span, candidates = match
+            matches.append((span, tuple(candidates)))
+            index = span.end
+        return matches
+
+    def resolve(
+        self,
+        sentence: Sentence,
+        matches: Iterable[tuple[Span, tuple[Entity, ...]]],
+        document_context: Counter | None = None,
+        sentence_context: Counter | None = None,
+    ) -> tuple[list[EntityMention], int, int]:
+        """The disambiguation pass over scanned matches.
+
+        Returns ``(mentions, linked, dropped)`` without touching the
+        sentence or ``self.stats`` — the caller (or the fast path's
+        memo, replaying cached results) applies them.
+        """
+        if sentence_context is None:
+            sentence_context = self._sentence_context(sentence)
+        mentions: list[EntityMention] = []
+        linked = 0
+        dropped = 0
+        for span, candidates in matches:
             entity = self._disambiguate(
-                candidates, context, document_context
+                candidates, sentence_context, document_context
             )
             if entity is not None:
                 mentions.append(
@@ -83,25 +124,25 @@ class EntityLinker:
                         ),
                     )
                 )
-                self.stats.linked += 1
+                linked += 1
             else:
-                self.stats.ambiguous_dropped += 1
-            index = span.end
-        sentence.mentions = mentions
-        return sentence
+                dropped += 1
+        return mentions, linked, dropped
 
     # ------------------------------------------------------------------
     # Matching
     # ------------------------------------------------------------------
     def _longest_match(
-        self, sentence: Sentence, start: int
+        self, lowered: list[str], start: int
     ) -> tuple[Span, list[Entity]] | None:
-        """Longest alias match beginning at token ``start``."""
-        max_end = min(start + _MAX_MENTION_TOKENS, len(sentence.tokens))
+        """Longest alias match beginning at token ``start``.
+
+        ``lowered`` is the sentence's token texts, lower-cased once by
+        the caller (:meth:`scan`) instead of per candidate span.
+        """
+        max_end = min(start + _MAX_MENTION_TOKENS, len(lowered))
         for end in range(max_end, start, -1):
-            surface = " ".join(
-                sentence.tokens[i].text for i in range(start, end)
-            ).lower()
+            surface = " ".join(lowered[start:end])
             candidates = self.kb.candidates(surface)
             if candidates:
                 return Span(start, end), candidates
@@ -117,7 +158,7 @@ class EntityLinker:
     # ------------------------------------------------------------------
     def _disambiguate(
         self,
-        candidates: list[Entity],
+        candidates: Sequence[Entity],
         sentence_context: Counter,
         document_context: Counter | None,
     ) -> Entity | None:

@@ -93,6 +93,17 @@ CATALOG: dict[str, MetricSpec] = _catalog(
                "negative-polarity statements"),
     MetricSpec("repro_quarantined_documents_total", "counter",
                "documents quarantined as dead letters"),
+    # extraction fast-path counters (see repro.nlp.prefilter)
+    MetricSpec("repro_prefilter_sentences_total", "counter",
+               "sentences screened by the extraction fast path"),
+    MetricSpec("repro_prefilter_skipped_total", "counter",
+               "sentences that skipped the full NLP stack"),
+    MetricSpec("repro_annotation_memo_hits_total", "counter",
+               "annotation memo hits (sentence seen before)"),
+    MetricSpec("repro_annotation_memo_misses_total", "counter",
+               "annotation memo misses (full annotation ran)"),
+    MetricSpec("repro_annotation_memo_evictions_total", "counter",
+               "annotation memo LRU evictions"),
     # executor counters
     MetricSpec("repro_shards_total", "counter",
                "non-empty shards mapped"),

@@ -149,6 +149,40 @@ def render_trace(
             )
         )
 
+    prefilter_totals: Counter[str] = Counter()
+    for span in shards:
+        counters = span.get("attrs", {}).get("prefilter")
+        if isinstance(counters, dict):
+            for key in (
+                "sentences",
+                "skipped",
+                "memo_hits",
+                "memo_misses",
+                "memo_evictions",
+            ):
+                value = counters.get(key)
+                if isinstance(value, (int, float)):
+                    prefilter_totals[key] += int(value)
+    if prefilter_totals.get("sentences"):
+        sentences = prefilter_totals["sentences"]
+        skipped = prefilter_totals["skipped"]
+        lookups = (
+            prefilter_totals["memo_hits"] + prefilter_totals["memo_misses"]
+        )
+        hit_rate = prefilter_totals["memo_hits"] / lookups if lookups else 0.0
+        lines.append("")
+        lines.append("extraction fast path:")
+        lines.append(
+            f"  sentences={sentences}  skipped={skipped}"
+            f" ({skipped / sentences:.1%})"
+        )
+        lines.append(
+            f"  annotation memo: hits={prefilter_totals['memo_hits']}"
+            f"  misses={prefilter_totals['memo_misses']}"
+            f"  hit rate={hit_rate:.1%}"
+            f"  evictions={prefilter_totals['memo_evictions']}"
+        )
+
     documents = grouped.get("document", [])
     if documents:
         slowest = sorted(

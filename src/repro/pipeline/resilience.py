@@ -194,12 +194,16 @@ class WorkerTelemetry:
     * ``observations`` — ``(histogram_name, value)`` pairs replayed
       into the parent's metrics registry;
     * ``spans`` — exported tracer spans, re-parented under the parent's
-      ``map`` stage span by ``Tracer.adopt``.
+      ``map`` stage span by ``Tracer.adopt``;
+    * ``prefilter`` — the worker annotator's fast-path accounting
+      (sentences seen/skipped, memo hits/misses/evictions), folded into
+      the health ledger and the prefilter metric counters.
     """
 
     counters: dict[str, int] = field(default_factory=dict)
     observations: tuple[tuple[str, float], ...] = ()
     spans: tuple[dict, ...] = ()
+    prefilter: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass(frozen=True, slots=True)
@@ -238,6 +242,11 @@ class PipelineHealth:
     checkpointed_shards: int = 0
     corrupt_checkpoints: int = 0
     degraded_combinations: list[str] = field(default_factory=list)
+    prefilter_sentences: int = 0
+    prefilter_skipped: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    memo_evictions: int = 0
 
     @property
     def healthy(self) -> bool:
@@ -251,6 +260,20 @@ class PipelineHealth:
 
     def record_quarantine(self, letters) -> None:
         self.quarantined.extend(letters)
+
+    def record_prefilter(self, counters: dict[str, int]) -> None:
+        """Fold one worker's fast-path accounting into the ledger."""
+        self.prefilter_sentences += counters.get("sentences", 0)
+        self.prefilter_skipped += counters.get("skipped", 0)
+        self.memo_hits += counters.get("memo_hits", 0)
+        self.memo_misses += counters.get("memo_misses", 0)
+        self.memo_evictions += counters.get("memo_evictions", 0)
+
+    @property
+    def prefilter_skip_rate(self) -> float:
+        if not self.prefilter_sentences:
+            return 0.0
+        return self.prefilter_skipped / self.prefilter_sentences
 
     def report(self) -> str:
         """The health section of ``PipelineReport.summary()``."""
@@ -266,6 +289,15 @@ class PipelineHealth:
                 f"  checkpoints: resumed={self.resumed_shards}"
                 f" written={self.checkpointed_shards}"
                 f" corrupt={self.corrupt_checkpoints}"
+            )
+        if self.prefilter_sentences:
+            lines.append(
+                f"  fast path: sentences={self.prefilter_sentences}"
+                f" skipped={self.prefilter_skipped}"
+                f" ({self.prefilter_skip_rate:.1%})"
+                f" memo_hits={self.memo_hits}"
+                f" memo_misses={self.memo_misses}"
+                f" evictions={self.memo_evictions}"
             )
         for failure in self.failed_shards:
             lines.append(

@@ -38,7 +38,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from ..core.em import EMLearner
-from ..core.errors import CheckpointError
+from ..core.errors import CheckpointError, ParityError
 from ..core.surveyor import (
     DEFAULT_OCCURRENCE_THRESHOLD,
     Surveyor,
@@ -50,6 +50,12 @@ from ..extraction.patterns import DEFAULT_PATTERNS, PatternConfig
 from ..extraction.statement import EvidenceCounter
 from ..kb.knowledge_base import KnowledgeBase
 from ..nlp.annotate import Annotator
+from ..nlp.prefilter import (
+    DEFAULT_MEMO_SIZE,
+    SentencePrefilter,
+    fast_path_default,
+    strict_parity_default,
+)
 from ..obs.convergence import (
     CONVERGENCE_BASENAME,
     ConvergenceRecord,
@@ -129,6 +135,27 @@ class SurveyorPipeline:
         Deterministic failure source for resilience testing; see
         :mod:`repro.pipeline.faults`.
 
+    Fast-path knobs
+    ---------------
+    fast_path:
+        Run extraction through the prefilter+memo fast path
+        (:mod:`repro.nlp.prefilter`). ``None`` defers to
+        ``REPRO_FAST_PATH`` (default on); output is bit-identical to
+        the reference path either way. The prefilter automaton is
+        compiled once in the parent and shipped to workers with the
+        pickled pipeline — once per shard, never per document.
+    strict_parity:
+        Map every shard through *both* paths and raise
+        :class:`~repro.core.errors.ParityError` on any divergence in
+        statements, evidence counts, or linker/extraction statistics.
+        ``None`` defers to ``REPRO_STRICT_PARITY`` (default off). Used
+        by CI and the differential tests; roughly doubles map cost.
+        Parity runs are fail-fast at the shard level (no retries, no
+        shard skipping): a divergence is deterministic, so resilience
+        machinery would only bury it.
+    annotation_memo_size:
+        Bound on memoized sentences per shard worker.
+
     Observability knobs
     -------------------
     tracer:
@@ -155,6 +182,24 @@ class SurveyorPipeline:
     fault_injector: FaultInjector | None = None
     tracer: Tracer | None = None
     registry: MetricsRegistry | None = None
+    fast_path: bool | None = None
+    strict_parity: bool | None = None
+    annotation_memo_size: int = DEFAULT_MEMO_SIZE
+    _prefilter: SentencePrefilter | None = field(
+        init=False, default=None, repr=False
+    )
+
+    @property
+    def _fast(self) -> bool:
+        if self.fast_path is None:
+            return fast_path_default()
+        return self.fast_path
+
+    @property
+    def _parity(self) -> bool:
+        if self.strict_parity is None:
+            return strict_parity_default()
+        return self.strict_parity
 
     @property
     def _tracing(self) -> bool:
@@ -283,6 +328,10 @@ class SurveyorPipeline:
     ) -> EvidenceCounter:
         health = metrics.health
         registry = self.registry
+        if self._fast and self._prefilter is None:
+            # Compiled once here in the parent; workers receive it with
+            # the pickled pipeline — per shard, never per document.
+            self._prefilter = SentencePrefilter.from_kb(self.kb)
         shards = corpus.shards(self.n_workers)
         run_dir = (
             Path(self.checkpoint_dir)
@@ -322,10 +371,17 @@ class SurveyorPipeline:
                 n_workers=self.n_workers,
                 executor=self.executor,
                 parallel=self.parallel,
+                # Parity runs are fail-fast like strict ones: a
+                # ParityError is deterministic, so retrying the shard
+                # or skipping it would bury a soundness violation.
                 retry_policy=self.retry_policy
-                or (NO_RETRY if self.strict else DEFAULT_RETRY_POLICY),
+                or (
+                    NO_RETRY
+                    if self.strict or self._parity
+                    else DEFAULT_RETRY_POLICY
+                ),
                 shard_timeout=self.shard_timeout,
-                skip_failed_shards=not self.strict,
+                skip_failed_shards=not (self.strict or self._parity),
                 shard_observer=observe_shard,
             )
             fresh = job.run(pending, metrics)
@@ -344,6 +400,8 @@ class SurveyorPipeline:
         ):
             evidence.merge(part.counter)
             health.record_quarantine(part.dead_letters)
+            if part.telemetry is not None and part.telemetry.prefilter:
+                health.record_prefilter(part.telemetry.prefilter)
             self._merge_telemetry(
                 part.telemetry, map_stage, map_span_id
             )
@@ -377,6 +435,25 @@ class SurveyorPipeline:
             registry.inc(
                 "repro_quarantined_documents_total",
                 len(health.quarantined),
+            )
+            registry.inc(
+                "repro_prefilter_sentences_total",
+                health.prefilter_sentences,
+            )
+            registry.inc(
+                "repro_prefilter_skipped_total",
+                health.prefilter_skipped,
+            )
+            registry.inc(
+                "repro_annotation_memo_hits_total", health.memo_hits
+            )
+            registry.inc(
+                "repro_annotation_memo_misses_total",
+                health.memo_misses,
+            )
+            registry.inc(
+                "repro_annotation_memo_evictions_total",
+                health.memo_evictions,
             )
         return evidence
 
@@ -423,8 +500,21 @@ class SurveyorPipeline:
         injector = self.fault_injector
         if injector is not None:
             injector.on_shard_start(shard.shard_id)
-        annotator = Annotator(self.kb)
+        fast = self._fast
+        annotator = Annotator(
+            self.kb,
+            fast_path=fast,
+            prefilter=self._prefilter if fast else None,
+            memo_size=self.annotation_memo_size,
+        )
         extractor = EvidenceExtractor(config=self.pattern_config)
+        parity = self._parity
+        if parity:
+            ref_annotator = Annotator(self.kb, fast_path=False)
+            ref_extractor = EvidenceExtractor(
+                config=self.pattern_config
+            )
+            ref_counter = EvidenceCounter()
         # Workers profile memory iff the parent does: spans shipped
         # back then carry rss/tracemalloc attrs like local ones.
         worker_tracer = Tracer(
@@ -478,6 +568,20 @@ class SurveyorPipeline:
                         time.perf_counter() - doc_started,
                     ))
                     continue
+                if parity:
+                    ref_statements = ref_extractor.extract_document(
+                        ref_annotator.annotate(
+                            document.doc_id, document.text
+                        )
+                    )
+                    if ref_statements != statements:
+                        raise ParityError(
+                            "fast path diverged from reference on "
+                            f"document {document.doc_id!r}: "
+                            f"{len(statements)} vs "
+                            f"{len(ref_statements)} statements"
+                        )
+                    ref_counter.add_all(ref_statements)
                 counter.add_all(statements)
                 observations.append((
                     "repro_document_seconds",
@@ -493,6 +597,33 @@ class SurveyorPipeline:
                 ))
             shard_span.set("documents", extractor.stats.documents)
             shard_span.set("quarantined", len(dead))
+            fastpath = annotator.fastpath_stats
+            if fastpath is not None:
+                shard_span.set(
+                    "prefilter",
+                    {
+                        **fastpath.as_counters(),
+                        "skip_rate": round(fastpath.skip_rate, 4),
+                    },
+                )
+        if parity:
+            if ref_counter != counter:
+                raise ParityError(
+                    f"shard {shard.shard_id}: evidence counters "
+                    "diverged between fast and reference paths"
+                )
+            if not dead:
+                if ref_annotator.linker_stats != annotator.linker_stats:
+                    raise ParityError(
+                        f"shard {shard.shard_id}: linker statistics "
+                        "diverged between fast and reference paths"
+                    )
+                if ref_extractor.stats != extractor.stats:
+                    raise ParityError(
+                        f"shard {shard.shard_id}: extraction "
+                        "statistics diverged between fast and "
+                        "reference paths"
+                    )
         telemetry = WorkerTelemetry(
             counters={
                 "documents": extractor.stats.documents,
@@ -504,6 +635,11 @@ class SurveyorPipeline:
             },
             observations=tuple(observations),
             spans=tuple(worker_tracer.export_spans()),
+            prefilter=(
+                annotator.fastpath_stats.as_counters()
+                if annotator.fastpath_stats is not None
+                else {}
+            ),
         )
         result = ShardEvidence(
             shard_id=shard.shard_id,

@@ -360,6 +360,37 @@ class TestRendering:
         assert "rss=" in text
         assert "heap+=" in text
 
+    def test_render_fast_path_panel(self):
+        tracer = Tracer()
+        with tracer.span("run", kind="run"):
+            for shard_id in (0, 1):
+                with tracer.span(
+                    "shard",
+                    kind="shard",
+                    shard_id=shard_id,
+                ) as span:
+                    span.set(
+                        "prefilter",
+                        {
+                            "sentences": 100,
+                            "skipped": 40,
+                            "memo_hits": 30,
+                            "memo_misses": 70,
+                            "memo_evictions": 1,
+                            "skip_rate": 0.4,
+                        },
+                    )
+        text = render_trace(tracer.export_spans())
+        assert "extraction fast path:" in text
+        assert "sentences=200" in text
+        assert "skipped=80 (40.0%)" in text
+        assert "hits=60" in text
+        assert "hit rate=30.0%" in text
+
+    def test_no_fast_path_panel_without_prefilter_attrs(self):
+        text = render_trace(self.trace_spans())
+        assert "extraction fast path" not in text
+
     def test_render_metrics(self):
         registry = MetricsRegistry()
         registry.inc("repro_opinions_total", 3)

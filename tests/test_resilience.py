@@ -522,8 +522,8 @@ class TestCheckpointing:
 class ExplodingLearner(EMLearner):
     """Learner whose M-step reports a NaN likelihood (divergence)."""
 
-    def _m_step(self, pos, neg, resp):
-        theta, _ = super()._m_step(pos, neg, resp)
+    def _m_step(self, pos, neg, resp, weights=None):
+        theta, _ = super()._m_step(pos, neg, resp, weights)
         return theta, float("nan")
 
 
