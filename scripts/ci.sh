@@ -42,10 +42,14 @@ BENCH_DIR="$(mktemp -d)"
 trap 'rm -rf "$OBS_DIR" "$BENCH_DIR"' EXIT
 # bench_serving carries its own hard gates (cached path >= 10x the
 # full-table scan; sane p99) on top of the baseline comparison.
+# Order matters: ru_maxrss is a process-global high-watermark, so the
+# serving benches must run before bench_obs_overhead (whose tracing
+# bench peaks ~2x higher) or their recorded peak RSS is its, not
+# theirs.
 REPRO_BENCH_DIR="$BENCH_DIR" python -m pytest -q -p no:cacheprovider \
     benchmarks/bench_sec71_pipeline_scale.py \
-    benchmarks/bench_obs_overhead.py \
-    benchmarks/bench_serving.py > /dev/null
+    benchmarks/bench_serving.py \
+    benchmarks/bench_obs_overhead.py > /dev/null
 # Wall tolerance is wider than the ±15% library default: CI boxes run
 # these benches right after two test lanes on shared hardware, so wall
 # noise is real — a genuine 2x regression still fails by a mile. RSS
@@ -148,5 +152,89 @@ finally:
         proc.wait(timeout=10)
 print("serve lane OK")
 PYEOF
+
+echo "== chaos lane (fault injection: corrupt reload -> degraded -> rollback -> healthy) =="
+# Boots the server with a fault injector that corrupts every reload,
+# then walks the incident lifecycle end to end: the bad artefact is
+# quarantined, queries keep answering from the last good snapshot with
+# degraded_mode stamped, and one rollback returns the service to
+# healthy. See docs/robustness.md, "Serving resilience".
+python - "$SERVE_DIR/opinions.json" <<'PYEOF'
+import json, subprocess, sys, time, urllib.error, urllib.request
+
+opinions = sys.argv[1]
+proc = subprocess.Popen(
+    [sys.executable, "-m", "repro", "serve", opinions, "--port", "0",
+     "--fault-inject", "corrupt_every=1,corrupt_mode=corrupt,seed=0"],
+    stderr=subprocess.PIPE, text=True,
+)
+try:
+    banner = proc.stderr.readline()
+    assert "repro serve: serving" in banner, banner
+    port = int(banner.rsplit(":", 1)[1])
+    base = f"http://127.0.0.1:{port}"
+
+    def call(path, method="GET", data=None):
+        req = urllib.request.Request(
+            base + path, data=data, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=10) as r:
+                return r.status, json.loads(r.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    deadline = time.monotonic() + 10
+    while True:
+        try:
+            status, health = call("/healthz")
+            break
+        except OSError:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.05)
+    assert health["status"] == "healthy", health
+
+    # Every reload is corrupted: the swap must be refused with a
+    # structured error envelope and the artefact quarantined.
+    status, body = call("/admin/reload", method="POST", data=b"{}")
+    assert status == 500 and body["code"] == "reload_failed", body
+    status, health = call("/healthz")
+    assert health["status"] == "degraded", health
+    assert health["quarantine"], health
+
+    # Degraded serving: still correct answers, visibly stamped.
+    status, body = call("/query?q=cute+animals")
+    assert status == 200 and body["degraded_mode"] is True, body
+    assert body["hits"][0]["entity"] == "/animal/kitten", body
+
+    # One rollback clears the incident.
+    status, body = call("/admin/rollback", method="POST", data=b"{}")
+    assert status == 200, body
+    status, health = call("/healthz")
+    assert health["status"] == "healthy", health
+    status, body = call("/query?q=cute+animals")
+    assert status == 200 and body["degraded_mode"] is False, body
+
+    proc.terminate()
+    stderr = proc.communicate(timeout=10)[1]
+    assert proc.returncode == 0, (proc.returncode, stderr)
+    assert "serve.reload_failed" in stderr, stderr
+finally:
+    if proc.poll() is None:
+        proc.kill()
+        proc.wait(timeout=10)
+print("chaos lane OK")
+PYEOF
+
+# Goodput under injected faults, gated against the committed baseline
+# like the other benches (bench_serve_chaos carries its own hard
+# gates: goodput >= 80%, recovery to healthy after rollback).
+CHAOS_BENCH_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR" "$BENCH_DIR" "$PARITY_DIR" "$SERVE_DIR" "$CHAOS_BENCH_DIR"' EXIT
+REPRO_BENCH_DIR="$CHAOS_BENCH_DIR" python -m pytest -q -p no:cacheprovider \
+    benchmarks/bench_serve_chaos.py > /dev/null
+python -m repro bench compare "$CHAOS_BENCH_DIR"/BENCH_*.json \
+    --baseline benchmarks/baseline.json --wall-tolerance 0.5
 
 echo "CI OK"

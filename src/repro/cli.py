@@ -290,10 +290,25 @@ def cmd_query(args: argparse.Namespace) -> int:
     table = load(args.opinions)
     if not isinstance(table, OpinionTable):
         raise SystemExit(f"{args.opinions} is not an opinions artefact")
-    key = PropertyTypeKey(
-        property=SubjectiveProperty.parse(args.property),
-        entity_type=args.type,
-    )
+    try:
+        key = PropertyTypeKey(
+            property=SubjectiveProperty.parse(args.property),
+            entity_type=args.type,
+        )
+    except ValueError as error:
+        if args.format == "json":
+            from .serve import error_response
+
+            # Same envelope bytes as the HTTP server's 400 for this
+            # property (see cmd_ask).
+            print(
+                json.dumps(
+                    error_response("bad_request", str(error)),
+                    sort_keys=True,
+                )
+            )
+            return EXIT_USAGE
+        raise
     if args.format == "json":
         # Same index + response builder as the HTTP server, so the two
         # surfaces emit byte-identical payloads (see docs/serving.md).
@@ -333,13 +348,24 @@ def cmd_ask(args: argparse.Namespace) -> int:
     if not isinstance(table, OpinionTable):
         raise SystemExit(f"{args.opinions} is not an opinions artefact")
     if args.format == "json":
-        from .serve import OpinionIndex, ask_response
+        from .serve import OpinionIndex, ask_response, error_response
 
         index = OpinionIndex(table)
         try:
             query = SubjectiveQuery.parse(args.query)
         except QueryError as error:
-            raise SystemExit(f"cannot parse query: {error}") from None
+            # Same envelope bytes the HTTP server sends for a 400, so
+            # scripted consumers parse one shape (golden-file tested).
+            print(
+                json.dumps(
+                    error_response(
+                        "bad_request",
+                        f"cannot parse query: {error}",
+                    ),
+                    sort_keys=True,
+                )
+            )
+            return EXIT_USAGE
         payload = ask_response(
             query, index.answer(query, top=args.top), index
         )
@@ -373,6 +399,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     table = load(args.opinions)
     if not isinstance(table, OpinionTable):
         raise SystemExit(f"{args.opinions} is not an opinions artefact")
+    fault_injector = None
+    if args.fault_inject:
+        from .serve import ServeFaultInjector
+
+        try:
+            fault_injector = ServeFaultInjector.parse(
+                args.fault_inject
+            )
+        except ValueError as error:
+            raise _fail(str(error))
     registry = MetricsRegistry()
     tracer = Tracer(enabled=True) if args.trace else None
     service = OpinionService(
@@ -382,9 +418,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight,
         registry=registry,
         tracer=tracer,
+        request_deadline=args.request_deadline_ms / 1000.0,
+        queue_depth=args.queue_depth,
+        client_rate=args.client_rate,
+        client_burst=args.client_burst,
+        fault_injector=fault_injector,
     )
     server = build_server(service, host=args.host, port=args.port)
-    install_signal_handlers(service)
+    install_signal_handlers(service, server)
     # Parsable by scripts (and tests): the bound port is authoritative
     # when --port 0 asked for an ephemeral one.
     print(
@@ -395,6 +436,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     try:
         server.serve_forever(poll_interval=0.1)
+        # SIGTERM stopped the accept loop via a graceful drain: give
+        # in-flight requests until --drain-timeout to finish.
+        if service.admission.draining:
+            if not service.wait_idle(args.drain_timeout):
+                print(
+                    "repro serve: drain timeout reached with "
+                    f"{service.admission.inflight} request(s) still "
+                    "in flight",
+                    file=sys.stderr,
+                    flush=True,
+                )
     except KeyboardInterrupt:
         pass
     finally:
@@ -662,7 +714,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="LRU result-cache entries (default 1024)")
     serve.add_argument("--max-inflight", type=int, default=32,
                        help="concurrent requests admitted before "
-                            "replying 503 (default 32)")
+                            "queueing/shedding (default 32)")
+    serve.add_argument("--request-deadline-ms", type=float,
+                       default=250.0,
+                       help="per-request wall-clock budget; past it "
+                            "the request is shed with 503 "
+                            "deadline_exceeded (default 250)")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       help="requests allowed to wait briefly for an "
+                            "in-flight slot before 503 (default 16)")
+    serve.add_argument("--client-rate", type=float, default=0.0,
+                       help="per-client sustained requests/second; "
+                            "over it replies 429 (default 0 = "
+                            "disabled)")
+    serve.add_argument("--client-burst", type=float, default=20.0,
+                       help="per-client token-bucket burst "
+                            "(default 20)")
+    serve.add_argument("--drain-timeout", type=float, default=5.0,
+                       help="seconds to wait for in-flight requests "
+                            "after SIGTERM (default 5)")
+    serve.add_argument("--fault-inject", metavar="SPEC",
+                       help="chaos testing: e.g. 'slow_every=5,"
+                            "slow_ms=300,corrupt_every=2,"
+                            "corrupt_mode=truncate,"
+                            "disconnect_every=50,seed=7'")
     serve.add_argument("--trace", metavar="PATH",
                        help="write serve.request spans here on "
                             "shutdown")

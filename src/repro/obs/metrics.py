@@ -168,6 +168,22 @@ CATALOG: dict[str, MetricSpec] = _catalog(
                "generation of the live opinion index"),
     MetricSpec("repro_serve_index_opinions", "gauge",
                "opinions held by the live index"),
+    MetricSpec("repro_serve_rate_limited_total", "counter",
+               "requests rejected by per-client rate limiting (429)"),
+    MetricSpec("repro_serve_deadline_exceeded_total", "counter",
+               "requests abandoned at a deadline checkpoint (503)"),
+    MetricSpec("repro_serve_reload_failures_total", "counter",
+               "hot reloads rejected by artefact validation"),
+    MetricSpec("repro_serve_quarantined_artefacts_total", "counter",
+               "candidate artefacts quarantined after failing "
+               "validation"),
+    MetricSpec("repro_serve_rollbacks_total", "counter",
+               "one-step rollbacks to the previous table generation"),
+    MetricSpec("repro_serve_faults_injected_total", "counter",
+               "faults fired by the serve-side chaos injector"),
+    MetricSpec("repro_serve_health_state", "gauge",
+               "serving health state (0 healthy, 1 degraded, "
+               "2 draining)"),
 )
 
 

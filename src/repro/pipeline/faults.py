@@ -15,9 +15,13 @@ deterministically:
 * **flaky-then-succeed** — a shard that fails its first attempt(s) and
   then succeeds, exercising the retry path end to end.
 
-The flaky mode keeps per-shard attempt counters in memory, so it works
-on the ``serial`` and ``thread`` executors; the ``process`` executor
-does not share the counter across workers.
+The flaky decision is a pure function of the *attempt number* the
+runner threads through the task (``on_shard_start(shard_id,
+attempt=n)``), so all three executors — including ``process``, whose
+workers hold pickled copies of this injector and share no memory —
+behave identically. When a legacy caller omits the attempt, an
+in-memory per-shard counter supplies it (correct for ``serial`` and
+``thread`` only).
 """
 
 from __future__ import annotations
@@ -82,19 +86,30 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Hooks called by the pipeline mapper
     # ------------------------------------------------------------------
-    def on_shard_start(self, shard_id: int) -> None:
-        """Shard-level faults; called once per shard attempt."""
+    def on_shard_start(
+        self, shard_id: int, attempt: int | None = None
+    ) -> None:
+        """Shard-level faults; called once per shard attempt.
+
+        ``attempt`` is the 1-based attempt number the runner threads
+        through the task; with it the flaky decision is stateless
+        (``attempt <= flaky_failures`` fails), so it holds across
+        process boundaries. Without it (legacy callers) an in-memory
+        counter stands in — correct only when every attempt sees this
+        same injector object.
+        """
         if shard_id in self.slow_shards and self.slow_seconds > 0:
             time.sleep(self.slow_seconds)
         if shard_id in self.poison_shards:
             raise InjectedFault(f"poisoned shard {shard_id}")
         if shard_id in self.flaky_shards:
-            with self._lock:
-                seen = self._attempts.get(shard_id, 0) + 1
-                self._attempts[shard_id] = seen
-            if seen <= self.flaky_failures:
+            if attempt is None:
+                with self._lock:
+                    attempt = self._attempts.get(shard_id, 0) + 1
+                    self._attempts[shard_id] = attempt
+            if attempt <= self.flaky_failures:
                 raise InjectedFault(
-                    f"flaky shard {shard_id}, attempt {seen}"
+                    f"flaky shard {shard_id}, attempt {attempt}"
                 )
 
     def on_document(self, doc_id: str) -> None:

@@ -94,6 +94,13 @@ class MapReduceJob(Generic[Item, Partial, Result]):
         metrics registry's per-shard latency histogram; it lives here
         because only the executor can see the full chain — a worker
         timing itself would miss queueing, retries, and timeouts.
+    pass_attempt:
+        When true, the mapper is called as ``mapper(shard, attempt)``
+        with the 1-based attempt number instead of ``mapper(shard)``.
+        Only the executor knows the attempt count, and on the
+        ``process`` executor the workers share no memory with the
+        coordinator — anything attempt-dependent (e.g. flaky fault
+        injection) must receive the number through the task itself.
 
     Empty shards are never dispatched to the mapper: they contribute
     nothing to the reduction and, on a pooled executor, would only pay
@@ -109,6 +116,7 @@ class MapReduceJob(Generic[Item, Partial, Result]):
     shard_timeout: float | None = None
     skip_failed_shards: bool = False
     shard_observer: Callable[[int, float, int], None] | None = None
+    pass_attempt: bool = False
 
     def __post_init__(self) -> None:
         if self.parallel and self.executor == "serial":
@@ -183,6 +191,8 @@ class MapReduceJob(Generic[Item, Partial, Result]):
             def attempt(shard=shard):
                 nonlocal attempts
                 attempts += 1
+                if self.pass_attempt:
+                    return self.mapper(shard, attempts)
                 return self.mapper(shard)
 
             def count_retry(_attempt, _error):
@@ -230,7 +240,10 @@ class MapReduceJob(Generic[Item, Partial, Result]):
 
             def submit(index, shard, attempt):
                 chain_started.setdefault(index, time.perf_counter())
-                future = pool.submit(self.mapper, shard)
+                if self.pass_attempt:
+                    future = pool.submit(self.mapper, shard, attempt)
+                else:
+                    future = pool.submit(self.mapper, shard)
                 pending[future] = (index, shard, attempt)
                 if self.shard_timeout is not None:
                     deadlines[future] = (

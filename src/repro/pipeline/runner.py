@@ -383,6 +383,7 @@ class SurveyorPipeline:
                 shard_timeout=self.shard_timeout,
                 skip_failed_shards=not (self.strict or self._parity),
                 shard_observer=observe_shard,
+                pass_attempt=True,
             )
             fresh = job.run(pending, metrics)
             if run_dir is not None:
@@ -481,7 +482,9 @@ class SurveyorPipeline:
                 list(telemetry.spans), parent_id=map_span_id
             )
 
-    def _map_shard(self, shard: CorpusShard) -> ShardEvidence:
+    def _map_shard(
+        self, shard: CorpusShard, attempt: int = 1
+    ) -> ShardEvidence:
         """One worker: annotate and extract a shard of documents.
 
         Each worker builds its own annotator/extractor (workers share
@@ -492,6 +495,11 @@ class SurveyorPipeline:
         executor's retry loop. On success the shard checkpoints its
         own output, so a later resume skips it.
 
+        ``attempt`` is the executor's 1-based attempt number
+        (``pass_attempt=True`` on the job); the fault injector needs
+        it to make flaky-then-succeed decisions that survive the
+        ``process`` executor's memory isolation.
+
         The worker also traces itself (shard and document spans) and
         counts its work; both ride back on the returned
         :class:`ShardEvidence` as :class:`WorkerTelemetry`, because a
@@ -499,7 +507,7 @@ class SurveyorPipeline:
         """
         injector = self.fault_injector
         if injector is not None:
-            injector.on_shard_start(shard.shard_id)
+            injector.on_shard_start(shard.shard_id, attempt)
         fast = self._fast
         annotator = Annotator(
             self.kb,

@@ -5,15 +5,38 @@ queries: :class:`OpinionIndex` answers conjunctive/negated top-k queries
 from pre-built posting structures (bit-identical to the one-shot
 :class:`~repro.core.query.QueryEngine`), :class:`QueryCache` absorbs
 repeated queries, and :class:`OpinionService` / :class:`ReproServer`
-put both behind a threaded JSON HTTP API with admission control and
-atomic hot-reload. See docs/serving.md.
+put both behind a threaded JSON HTTP API with admission control
+(per-client token buckets + bounded queue), per-request deadlines,
+safe hot-reload with one-step rollback, and a seeded chaos injector.
+See docs/serving.md and docs/robustness.md ("Serving resilience").
 """
 
+from .admission import (
+    DEFAULT_REQUEST_DEADLINE,
+    AdmissionController,
+    AdmissionDecision,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    TokenBucket,
+)
 from .cache import DEFAULT_MAX_ENTRIES, QueryCache
+from .faults import (
+    InjectedDisconnect,
+    InjectedServeFault,
+    ServeFaultInjector,
+)
 from .index import AGNOSTIC_PRIOR, OpinionIndex
-from .schema import SERVE_SCHEMA_VERSION, ask_response, listing_response
+from .schema import (
+    SERVE_SCHEMA_VERSION,
+    ask_response,
+    batch_response,
+    error_response,
+    listing_response,
+)
 from .server import (
     DEFAULT_MAX_INFLIGHT,
+    HEALTH_STATES,
     OpinionService,
     ReproServer,
     ServeError,
@@ -23,16 +46,29 @@ from .server import (
 
 __all__ = [
     "AGNOSTIC_PRIOR",
+    "AdmissionController",
+    "AdmissionDecision",
+    "CircuitBreaker",
     "DEFAULT_MAX_ENTRIES",
     "DEFAULT_MAX_INFLIGHT",
+    "DEFAULT_REQUEST_DEADLINE",
+    "Deadline",
+    "DeadlineExceeded",
+    "HEALTH_STATES",
+    "InjectedDisconnect",
+    "InjectedServeFault",
     "OpinionIndex",
     "OpinionService",
     "QueryCache",
     "ReproServer",
     "SERVE_SCHEMA_VERSION",
     "ServeError",
+    "ServeFaultInjector",
+    "TokenBucket",
     "ask_response",
+    "batch_response",
     "build_server",
+    "error_response",
     "install_signal_handlers",
     "listing_response",
 ]

@@ -46,6 +46,7 @@ class QueryCache:
         self._registry = registry
         self._lock = threading.Lock()
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._live_generation: int | None = None
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -75,11 +76,27 @@ class QueryCache:
         return value
 
     def put(self, key: Hashable, value: Any) -> None:
-        """Insert (or refresh) an entry, evicting LRU past the bound."""
+        """Insert (or refresh) an entry, evicting LRU past the bound.
+
+        A put whose generation-tagged key predates the last purge is
+        silently dropped: a request that raced a hot swap (answered
+        from the old index, stored after the purge) must not leak a
+        stale entry back into a cache that was just invalidated.
+        """
         if value is None:
             raise ValueError("cache values must not be None")
         evicted = 0
         with self._lock:
+            if (
+                self._live_generation is not None
+                and isinstance(key, tuple)
+                and key
+                and isinstance(key[0], int)
+                and key[0] < self._live_generation
+            ):
+                self.invalidations += 1
+                self._inc("repro_serve_cache_invalidations_total")
+                return
             self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
@@ -92,9 +109,13 @@ class QueryCache:
         """Drop every entry computed against an older generation.
 
         Keys are ``(generation, ...)`` tuples (the service's
-        convention); anything else is dropped too, defensively.
+        convention); anything else is dropped too, defensively. Also
+        records ``live_generation`` so a racing :meth:`put` from a
+        request answered against the old index is rejected (see
+        :meth:`put`).
         """
         with self._lock:
+            self._live_generation = live_generation
             stale = [
                 key
                 for key in self._entries

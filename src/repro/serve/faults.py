@@ -1,0 +1,164 @@
+"""Deterministic fault injection for the serving layer.
+
+The chaos suite and ``bench_serve_chaos.py`` need serving failures on
+demand, reproducibly. :class:`ServeFaultInjector` mirrors
+:class:`~repro.pipeline.faults.FaultInjector` for the read path: every
+fault kind fires on an exact, seeded period over its own ordinal
+counter, so a test that configures ``corrupt_every_nth=2`` gets a
+strict good/corrupt alternation of reloads regardless of timing.
+
+Fault kinds (each independently enabled by its ``*_every_nth`` knob,
+0 = off):
+
+* **slow query** — sleeps ``slow_seconds`` before evaluating a
+  cache-missing query, exercising request deadlines;
+* **corrupt / truncated artefact / failed swap** — sabotages a reload
+  attempt, exercising validation, quarantine, degraded mode, and
+  rollback (``corrupt_mode`` picks which stage breaks);
+* **mid-request disconnect** — raises
+  :class:`InjectedDisconnect` just before the response is written,
+  exercising the client-gone path (499) and goodput accounting.
+
+Firing rule: the k-th call of a hook fires iff
+``k % every_nth == seed % every_nth`` — exact periods with a seeded
+phase, not a probabilistic hash, because the chaos invariants (e.g.
+"degraded iff the *last* reload failed") need a predictable sequence.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..core.errors import ReproError
+
+#: Reload sabotage stages understood by ``corrupt_mode``.
+CORRUPT_MODES = ("corrupt", "truncate", "fail_swap")
+
+
+class InjectedServeFault(ReproError):
+    """Raised by the serve fault injector in place of an organic error."""
+
+
+class InjectedDisconnect(ConnectionResetError):
+    """Simulates the client vanishing mid-response."""
+
+
+@dataclass
+class ServeFaultInjector:
+    """Seeded, deterministic failure source for the serving layer."""
+
+    seed: int = 0
+    slow_every_nth: int = 0
+    slow_seconds: float = 0.3
+    corrupt_every_nth: int = 0
+    corrupt_mode: str = "corrupt"
+    disconnect_every_nth: int = 0
+    _ordinals: dict[str, int] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _fired: dict[str, int] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False,
+        compare=False,
+    )
+
+    def __post_init__(self) -> None:
+        if self.corrupt_mode not in CORRUPT_MODES:
+            raise ValueError(
+                f"corrupt_mode must be one of {CORRUPT_MODES}, "
+                f"got {self.corrupt_mode!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Firing rule
+    # ------------------------------------------------------------------
+    def _fires(self, kind: str, every_nth: int) -> bool:
+        if every_nth <= 0:
+            return False
+        with self._lock:
+            ordinal = self._ordinals.get(kind, 0)
+            self._ordinals[kind] = ordinal + 1
+            fired = ordinal % every_nth == self.seed % every_nth
+            if fired:
+                self._fired[kind] = self._fired.get(kind, 0) + 1
+        return fired
+
+    def fired_counts(self) -> dict[str, int]:
+        """How many faults of each kind have fired so far."""
+        with self._lock:
+            return dict(self._fired)
+
+    # ------------------------------------------------------------------
+    # Hooks called by the serving layer
+    # ------------------------------------------------------------------
+    def on_query(self, text: str) -> bool:
+        """Called on every cache-missing query evaluation; returns
+        whether a slow-query fault fired."""
+        if self._fires("slow", self.slow_every_nth):
+            time.sleep(self.slow_seconds)
+            return True
+        return False
+
+    def reload_fault(self) -> str | None:
+        """Called once per reload attempt; returns the sabotage stage
+        (one of :data:`CORRUPT_MODES`) or None for a clean reload."""
+        if self._fires("corrupt", self.corrupt_every_nth):
+            return self.corrupt_mode
+        return None
+
+    def on_response(self, path: str) -> None:
+        """Called just before a successful response body is written."""
+        if self._fires("disconnect", self.disconnect_every_nth):
+            raise InjectedDisconnect(
+                f"injected disconnect before response to {path}"
+            )
+
+    # ------------------------------------------------------------------
+    # CLI spec parsing
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "ServeFaultInjector":
+        """Build an injector from a ``--fault-inject`` spec string.
+
+        Example: ``slow_every=5,slow_ms=300,corrupt_every=2,``
+        ``corrupt_mode=truncate,disconnect_every=50,seed=7``.
+        """
+        kwargs: dict[str, object] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"bad --fault-inject entry {part!r}: expected "
+                    "key=value"
+                )
+            key, _, raw = part.partition("=")
+            key = key.strip()
+            raw = raw.strip()
+            try:
+                if key == "seed":
+                    kwargs["seed"] = int(raw)
+                elif key == "slow_every":
+                    kwargs["slow_every_nth"] = int(raw)
+                elif key == "slow_ms":
+                    kwargs["slow_seconds"] = int(raw) / 1000.0
+                elif key == "corrupt_every":
+                    kwargs["corrupt_every_nth"] = int(raw)
+                elif key == "corrupt_mode":
+                    kwargs["corrupt_mode"] = raw
+                elif key == "disconnect_every":
+                    kwargs["disconnect_every_nth"] = int(raw)
+                else:
+                    raise ValueError(
+                        f"unknown --fault-inject key {key!r}"
+                    )
+            except ValueError as error:
+                raise ValueError(
+                    f"bad --fault-inject entry {part!r}: {error}"
+                ) from None
+        return cls(**kwargs)  # type: ignore[arg-type]

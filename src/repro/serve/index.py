@@ -38,6 +38,10 @@ from ..core.types import Opinion, Polarity, PropertyTypeKey
 #: nothing about: missing knowledge neither qualifies nor disqualifies.
 AGNOSTIC_PRIOR = 0.5
 
+#: Candidates scored between request-deadline checkpoints — frequent
+#: enough to bound overshoot, cheap enough to vanish in the loop cost.
+DEADLINE_CHECK_EVERY = 256
+
 
 class OpinionIndex:
     """Read-only query index over one opinion-table snapshot."""
@@ -123,7 +127,11 @@ class OpinionIndex:
     # Free-text queries (the `repro ask` / GET /query?q= semantics)
     # ------------------------------------------------------------------
     def answer(
-        self, query: SubjectiveQuery | str, top: int = 10
+        self,
+        query: SubjectiveQuery | str,
+        top: int = 10,
+        *,
+        deadline=None,
     ) -> list[QueryHit]:
         """Top-k entities by joint posterior, ``QueryEngine``-identical.
 
@@ -132,6 +140,11 @@ class OpinionIndex:
         shares the agnostic default score and is merged in lazily (a
         generator over the sorted id list), so the work is
         O(candidates x terms + top), not O(type universe).
+
+        ``deadline`` (a :class:`~repro.serve.admission.Deadline`) is
+        checked every :data:`DEADLINE_CHECK_EVERY` candidates so an
+        over-budget request is abandoned mid-scoring instead of
+        completing late.
         """
         if isinstance(query, str):
             query = SubjectiveQuery.parse(query)
@@ -147,8 +160,15 @@ class OpinionIndex:
         for posting in postings:
             if posting:
                 candidates.update(posting)
+        if deadline is not None:
+            deadline.checkpoint("candidate collection")
         scored: list[QueryHit] = []
-        for entity_id in candidates:
+        for ordinal, entity_id in enumerate(candidates):
+            if (
+                deadline is not None
+                and ordinal % DEADLINE_CHECK_EVERY == 0
+            ):
+                deadline.checkpoint("candidate scoring")
             per_term = []
             for term, posting in zip(terms, postings):
                 probability = (
@@ -170,6 +190,8 @@ class OpinionIndex:
                 )
             )
         rank = lambda hit: (-hit.score, hit.entity_id)  # noqa: E731
+        if deadline is not None:
+            deadline.checkpoint("ranking")
         scored.sort(key=rank)
 
         # Everything outside the candidate union scores identically.

@@ -1,16 +1,27 @@
 """The machine-readable response schema shared by CLI and HTTP.
 
 ``repro ask --format json`` / ``repro query --format json`` and the
-HTTP server's ``GET /query`` build their payloads through the same two
+HTTP server's ``GET /query`` build their payloads through the same
 functions, so the two surfaces cannot drift apart — one test asserts
-they are byte-identical over the same opinion table.
+they are byte-identical over the same opinion table. The same holds
+for failures: every 4xx/5xx body (and the CLI's JSON-mode error
+output) goes through :func:`error_response`, pinned by a golden-file
+test.
 
-Both payload kinds are format-tagged like every other artefact in the
-repo (``serve_ask`` / ``serve_query``, version 1) and carry the index
-generation they were answered from, plus the degraded-fallback flags
-persisted with the table (see docs/robustness.md): a term answered by
-a majority-vote fallback rather than a model posterior is marked
-``"degraded": true``.
+All payload kinds are format-tagged like every other artefact in the
+repo (``serve_ask`` / ``serve_query`` / ``serve_batch`` /
+``serve_error``, version 2) and carry the index generation they were
+answered from. Two distinct "degraded" notions coexist and must not be
+conflated:
+
+* ``"degraded"`` on a term or listing — the *combination* was answered
+  by a majority-vote fallback rather than a model posterior, a
+  property of the mined table (see docs/robustness.md).
+* ``"degraded_mode"`` at the top level — the *server* is answering
+  from its last good snapshot because a reload failed or the storage
+  breaker is open (version 2 addition; see "Serving resilience" in
+  docs/robustness.md). Builders always emit ``false``; the server
+  stamps ``true`` post-cache so cached entries stay state-free.
 """
 
 from __future__ import annotations
@@ -21,7 +32,7 @@ from ..core.query import QueryHit, SubjectiveQuery
 from ..core.types import Opinion, PropertyTypeKey
 from .index import OpinionIndex
 
-SERVE_SCHEMA_VERSION = 1
+SERVE_SCHEMA_VERSION = 2
 
 
 def ask_response(
@@ -34,6 +45,7 @@ def ask_response(
         "format": "serve_ask",
         "version": SERVE_SCHEMA_VERSION,
         "generation": index.generation,
+        "degraded_mode": False,
         "query": query.text(),
         "entity_type": query.entity_type,
         "terms": [
@@ -70,6 +82,7 @@ def listing_response(
         "format": "serve_query",
         "version": SERVE_SCHEMA_VERSION,
         "generation": index.generation,
+        "degraded_mode": False,
         "property": key.property.text,
         "entity_type": key.entity_type,
         "negative": bool(negative),
@@ -84,4 +97,45 @@ def listing_response(
             }
             for opinion in opinions
         ],
+    }
+
+
+def batch_response(
+    results: list[dict[str, Any]], generation: int
+) -> dict[str, Any]:
+    """Envelope for ``POST /batch``: one entry per submitted query."""
+    return {
+        "format": "serve_batch",
+        "version": SERVE_SCHEMA_VERSION,
+        "generation": generation,
+        "degraded_mode": False,
+        "results": results,
+    }
+
+
+def error_response(
+    code: str,
+    message: str,
+    *,
+    retry_after: float | None = None,
+    degraded: bool = False,
+) -> dict[str, Any]:
+    """The one error envelope for every 4xx/5xx body, HTTP and CLI.
+
+    ``code`` is the stable machine-readable discriminator
+    (``bad_request``, ``not_found``, ``rate_limited``, ``overloaded``,
+    ``deadline_exceeded``, ``draining``, ``reload_failed``,
+    ``breaker_open``, ``rollback_unavailable``, ...); ``error`` keeps
+    the human-readable message under the key earlier clients already
+    parse. ``retry_after`` mirrors the HTTP ``Retry-After`` header in
+    seconds (null when retrying is not the remedy), and ``degraded``
+    reports whether the server is in degraded mode at rejection time.
+    """
+    return {
+        "format": "serve_error",
+        "version": SERVE_SCHEMA_VERSION,
+        "code": code,
+        "error": message,
+        "retry_after": retry_after,
+        "degraded": bool(degraded),
     }

@@ -7,17 +7,28 @@ layer, stdlib-only:
 
 * :class:`OpinionService` — the engine: an immutable
   :class:`~repro.serve.index.OpinionIndex` snapshot, a generation-
-  scoped :class:`~repro.serve.cache.QueryCache`, bounded in-flight
-  admission control, and atomic hot-reload (build the new index off to
-  the side, swap one reference, purge stale cache entries — readers
-  always see a wholly consistent table).
+  scoped :class:`~repro.serve.cache.QueryCache`, admission control
+  (per-client token buckets + a bounded queue, see
+  :mod:`~repro.serve.admission`), per-request deadlines, and safe
+  hot-reload: candidate artefacts are validated off to the side
+  (load, schema check, smoke query), swapped in with one reference
+  assignment only on success, and the previous generation is kept for
+  one-step rollback. A failed reload quarantines the artefact, flips
+  the service *degraded* (still answering, from the last good
+  snapshot, with ``degraded_mode`` stamped into responses), and feeds
+  a circuit breaker that fails further reloads fast.
 * :class:`ReproServer` — a ``ThreadingHTTPServer`` exposing
   ``GET /query`` (free-text or property+type), ``POST /batch``,
-  ``GET /healthz``, ``GET /metrics`` (Prometheus exposition from the
-  shared :class:`~repro.obs.metrics.MetricsRegistry`), and
-  ``POST /admin/reload``.
+  ``GET /healthz`` (health state machine: ``healthy`` / ``degraded``
+  / ``draining``), ``GET /metrics`` (Prometheus exposition from the
+  shared :class:`~repro.obs.metrics.MetricsRegistry`),
+  ``POST /admin/reload``, and ``POST /admin/rollback``. Every
+  4xx/5xx body is the one :func:`~repro.serve.schema.error_response`
+  envelope.
 * :func:`install_signal_handlers` — SIGHUP triggers a reload of the
-  source artefact, SIGTERM a clean exit (used by ``repro serve``).
+  source artefact; SIGTERM begins a graceful drain (stop accepting,
+  finish in-flight, exit 0) when a server is supplied, else a clean
+  exit (used by ``repro serve``).
 
 Every handled request is counted, latency-observed, and (when a tracer
 is attached) recorded as a ``serve.request`` span adopted into the
@@ -28,6 +39,7 @@ thread-safe.
 from __future__ import annotations
 
 import json
+import math
 import signal
 import sys
 import threading
@@ -43,9 +55,26 @@ from ..core.types import Polarity, PropertyTypeKey, SubjectiveProperty
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Tracer
 from ..storage import load
+from .admission import (
+    DEFAULT_CLIENT_BURST,
+    DEFAULT_QUEUE_DEPTH,
+    DEFAULT_QUEUE_TIMEOUT,
+    DEFAULT_REQUEST_DEADLINE,
+    AdmissionController,
+    AdmissionDecision,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+)
 from .cache import DEFAULT_MAX_ENTRIES, QueryCache
+from .faults import InjectedDisconnect, ServeFaultInjector
 from .index import OpinionIndex
-from .schema import ask_response, listing_response
+from .schema import (
+    ask_response,
+    batch_response,
+    error_response,
+    listing_response,
+)
 
 DEFAULT_MAX_INFLIGHT = 32
 DEFAULT_TOP = 10
@@ -54,13 +83,34 @@ MAX_TOP = 1000
 MAX_BATCH_QUERIES = 256
 MAX_BODY_BYTES = 1 << 20
 
+#: Health state machine, exposed in /healthz and as a gauge.
+HEALTH_STATES = {"healthy": 0, "degraded": 1, "draining": 2}
+#: Failed-artefact records kept for /healthz (newest last).
+MAX_QUARANTINE_RECORDS = 16
+
 
 class ServeError(ValueError):
-    """A client-side request problem (becomes a 4xx response)."""
+    """A request problem (becomes a 4xx/5xx error envelope).
 
-    def __init__(self, message: str, status: int = 400) -> None:
+    ``code`` is the stable machine-readable discriminator carried in
+    the response body; ``retry_after`` mirrors the ``Retry-After``
+    header when retrying is the remedy.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 400,
+        *,
+        code: str | None = None,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        if code is None:
+            code = "bad_request" if status < 500 else "internal"
+        self.code = code
+        self.retry_after = retry_after
 
 
 class OpinionService:
@@ -80,10 +130,22 @@ class OpinionService:
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        request_deadline: float = DEFAULT_REQUEST_DEADLINE,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        queue_timeout: float = DEFAULT_QUEUE_TIMEOUT,
+        client_rate: float = 0.0,
+        client_burst: float = DEFAULT_CLIENT_BURST,
+        fault_injector: ServeFaultInjector | None = None,
+        reload_breaker: CircuitBreaker | None = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(
                 f"max_inflight must be at least 1, got {max_inflight}"
+            )
+        if request_deadline <= 0:
+            raise ValueError(
+                "request_deadline must be positive, "
+                f"got {request_deadline}"
             )
         self.source_path = (
             Path(source_path) if source_path is not None else None
@@ -93,12 +155,46 @@ class OpinionService:
         )
         self.tracer = tracer
         self.max_inflight = int(max_inflight)
+        self.request_deadline = float(request_deadline)
         self.cache = QueryCache(cache_size, self.registry)
-        self._inflight = threading.Semaphore(self.max_inflight)
+        self.admission = AdmissionController(
+            self.max_inflight,
+            queue_depth=queue_depth,
+            queue_timeout=queue_timeout,
+            client_rate=client_rate,
+            client_burst=client_burst,
+        )
+        self.faults = fault_injector
+        self.reload_breaker = (
+            reload_breaker
+            if reload_breaker is not None
+            else CircuitBreaker()
+        )
         self._swap_lock = threading.Lock()
         self._trace_lock = threading.Lock()
         self._index = OpinionIndex(table, generation=1)
+        self._current_table = table
+        self._current_source = self.source_path
+        self._previous: tuple[OpinionTable, Path | None] | None = None
+        self._degraded_reason: str | None = None
+        self._quarantine: list[dict[str, Any]] = []
         self._publish_gauges()
+
+    # ------------------------------------------------------------------
+    # Health state machine
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Whether responses come from a last-good snapshot."""
+        return self._degraded_reason is not None
+
+    def health_state(self) -> str:
+        """``healthy`` / ``degraded`` / ``draining`` (draining wins)."""
+        if self.admission.draining:
+            return "draining"
+        if self.degraded:
+            return "degraded"
+        return "healthy"
 
     # ------------------------------------------------------------------
     # Index lifecycle
@@ -108,48 +204,224 @@ class OpinionService:
         """The live snapshot (one atomic attribute read)."""
         return self._index
 
-    def swap(self, table: OpinionTable) -> OpinionIndex:
-        """Atomically replace the live table.
+    def swap(
+        self,
+        table: OpinionTable,
+        source: str | Path | None = None,
+    ) -> OpinionIndex:
+        """Atomically replace the live table (trusted caller path).
 
         The replacement index is built *before* publication and
         installed with a single reference assignment; requests either
         see the old generation or the new one, never a mixture. Stale
         cache entries are purged eagerly so memory is not held by
-        answers no one can receive anymore.
+        answers no one can receive anymore. The outgoing generation is
+        retained for one-step :meth:`rollback`.
         """
         with self._swap_lock:
             index = OpinionIndex(
                 table, generation=self._index.generation + 1
             )
-            self._index = index
-            self.cache.purge_generations(index.generation)
-            self.registry.inc("repro_serve_reloads_total")
-            self._publish_gauges()
+            self._publish(table, source, index)
             return index
 
-    def reload(self, path: str | Path | None = None) -> dict[str, Any]:
-        """Re-load the opinions artefact and swap it in.
+    def _publish(
+        self,
+        table: OpinionTable,
+        source: str | Path | None,
+        index: OpinionIndex,
+    ) -> None:
+        """Install a validated (table, index) pair; callers hold
+        ``_swap_lock``."""
+        self._previous = (self._current_table, self._current_source)
+        self._current_table = table
+        self._current_source = (
+            Path(source) if source is not None else None
+        )
+        self._index = index
+        self.cache.purge_generations(index.generation)
+        self.registry.inc("repro_serve_reloads_total")
+        self._degraded_reason = None
+        self.reload_breaker.record_success()
+        self._publish_gauges()
 
-        Any failure (missing file, wrong artefact kind) leaves the
-        current index serving; the error propagates to the caller.
+    def _validate_candidate(
+        self, table: Any, source: Path
+    ) -> OpinionIndex:
+        """Vet a candidate artefact before it can touch live traffic.
+
+        Checks the artefact kind, rejects empty tables (a truncated
+        file decodes to nothing), scans every posterior for NaN/Inf
+        leaks, then builds the replacement index off to the side and
+        smoke-queries it. Raises ``ValueError`` with a reason on any
+        failure; nothing observable changes until the caller publishes
+        the returned index.
+        """
+        if not isinstance(table, OpinionTable):
+            raise ValueError(
+                f"{source} is not an opinions artefact"
+            )
+        if len(table) == 0:
+            raise ValueError(
+                f"{source} holds no opinions (truncated artefact?)"
+            )
+        for opinion in table:
+            if not (
+                math.isfinite(opinion.probability)
+                and 0.0 <= opinion.probability <= 1.0
+            ):
+                raise ValueError(
+                    f"{source} has a posterior outside [0, 1] for "
+                    f"entity {opinion.entity_id!r}"
+                )
+        index = OpinionIndex(
+            table, generation=self._index.generation + 1
+        )
+        smoke_key = table.keys()[0]
+        if not (
+            index.entities_with(smoke_key, Polarity.POSITIVE)
+            or index.entities_with(smoke_key, Polarity.NEGATIVE)
+        ):
+            raise ValueError(
+                f"smoke query over {smoke_key} returned nothing"
+            )
+        return index
+
+    def _note_reload_failure(
+        self, source: Path, error: Exception
+    ) -> None:
+        """Quarantine a bad artefact: counters, bounded record, one
+        structured log line, degraded mode, breaker feedback."""
+        reason = f"{type(error).__name__}: {error}"
+        self.registry.inc("repro_serve_reload_failures_total")
+        self.registry.inc("repro_serve_quarantined_artefacts_total")
+        self._quarantine.append(
+            {"source": str(source), "reason": reason}
+        )
+        del self._quarantine[:-MAX_QUARANTINE_RECORDS]
+        self._degraded_reason = f"reload of {source} failed: {reason}"
+        self.reload_breaker.record_failure()
+        self._publish_gauges()
+        print(
+            json.dumps(
+                {
+                    "event": "serve.reload_failed",
+                    "source": str(source),
+                    "reason": reason,
+                    "live_generation": self._index.generation,
+                    "breaker": self.reload_breaker.state,
+                },
+                sort_keys=True,
+            ),
+            file=sys.stderr,
+            flush=True,
+        )
+
+    def reload(self, path: str | Path | None = None) -> dict[str, Any]:
+        """Validate the opinions artefact off to the side, then swap.
+
+        Any failure (missing file, wrong artefact kind, empty or
+        corrupt table, failed smoke query) leaves the current index
+        serving, quarantines the artefact, marks the service degraded,
+        and counts against the reload circuit breaker; once the
+        breaker opens, further reloads fail fast with 503 until the
+        cooldown elapses.
         """
         source = Path(path) if path is not None else self.source_path
         if source is None:
             raise ServeError(
                 "no opinions path configured to reload from"
             )
-        table = load(source)
-        if not isinstance(table, OpinionTable):
+        if not self.reload_breaker.allow():
+            retry_after = self.reload_breaker.retry_after()
             raise ServeError(
-                f"{source} is not an opinions artefact", status=400
+                "reload breaker is open after repeated failures; "
+                f"retry in {retry_after:.1f}s",
+                status=503,
+                code="breaker_open",
+                retry_after=retry_after,
             )
-        index = self.swap(table)
+        with self._swap_lock:
+            try:
+                fault = (
+                    self.faults.reload_fault()
+                    if self.faults is not None
+                    else None
+                )
+                if fault is not None:
+                    self.registry.inc(
+                        "repro_serve_faults_injected_total"
+                    )
+                if fault == "corrupt":
+                    raise ValueError(
+                        "injected fault: artefact unreadable"
+                    )
+                table = load(source)
+                if fault == "truncate":
+                    table = OpinionTable()
+                index = self._validate_candidate(table, source)
+                if fault == "fail_swap":
+                    raise ValueError("injected fault: swap failed")
+            except Exception as error:
+                self._note_reload_failure(source, error)
+                raise ServeError(
+                    "reload failed, previous table still live: "
+                    f"{error}",
+                    status=500,
+                    code="reload_failed",
+                ) from None
+            self._publish(table, source, index)
         return {
             "status": "reloaded",
             "source": str(source),
             "generation": index.generation,
             "opinions": index.n_opinions,
         }
+
+    def rollback(self) -> dict[str, Any]:
+        """Return to the previous generation (one step), or clear a
+        degraded flag when there is nothing to return to."""
+        with self._swap_lock:
+            if self._previous is not None:
+                table, source = self._previous
+                index = OpinionIndex(
+                    table, generation=self._index.generation + 1
+                )
+                self._previous = None
+                self._current_table = table
+                self._current_source = source
+                self._index = index
+                self.cache.purge_generations(index.generation)
+                self._degraded_reason = None
+                self.reload_breaker.reset()
+                self.registry.inc("repro_serve_rollbacks_total")
+                self._publish_gauges()
+                return {
+                    "status": "rolled_back",
+                    "source": (
+                        str(source) if source is not None else None
+                    ),
+                    "generation": index.generation,
+                    "opinions": index.n_opinions,
+                }
+            if self._degraded_reason is not None:
+                # Degraded but never successfully swapped: generation 1
+                # is still live, so "rolling back" is clearing the flag
+                # and giving reloads another chance.
+                self._degraded_reason = None
+                self.reload_breaker.reset()
+                self.registry.inc("repro_serve_rollbacks_total")
+                self._publish_gauges()
+                return {
+                    "status": "cleared",
+                    "generation": self._index.generation,
+                    "opinions": self._index.n_opinions,
+                }
+        raise ServeError(
+            "no previous generation to roll back to",
+            status=409,
+            code="rollback_unavailable",
+        )
 
     def _publish_gauges(self) -> None:
         self.registry.set_gauge(
@@ -158,25 +430,51 @@ class OpinionService:
         self.registry.set_gauge(
             "repro_serve_index_opinions", self._index.n_opinions
         )
+        self.registry.set_gauge(
+            "repro_serve_health_state",
+            HEALTH_STATES[self.health_state()],
+        )
 
     # ------------------------------------------------------------------
-    # Admission control
+    # Admission control and drain
     # ------------------------------------------------------------------
-    def admit(self) -> bool:
-        """Take an in-flight slot; False means shed the request."""
-        return self._inflight.acquire(blocking=False)
+    def admit(self, client_id: str | None = None) -> AdmissionDecision:
+        """One admission attempt (truthy = admitted); pair every
+        success with :meth:`release`."""
+        return self.admission.admit(client_id)
 
     def release(self) -> None:
-        self._inflight.release()
+        self.admission.release()
+
+    def begin_drain(self) -> None:
+        """Stop admitting work; ``/healthz`` flips to ``draining``."""
+        self.admission.begin_drain()
+        self._publish_gauges()
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until in-flight requests finish; False on timeout."""
+        return self.admission.wait_idle(timeout)
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def _stamp(self, response: dict[str, Any]) -> dict[str, Any]:
+        """Mark a response as degraded-mode when serving from a
+        last-good snapshot. Cached entries stay state-free (always
+        ``degraded_mode: false``); the healthy path returns the dict
+        untouched, the degraded path a shallow copy."""
+        if self._degraded_reason is None:
+            return response
+        stamped = dict(response)
+        stamped["degraded_mode"] = True
+        return stamped
+
     def ask(
         self,
         text: str,
         top: int = DEFAULT_TOP,
         index: OpinionIndex | None = None,
+        deadline: Deadline | None = None,
     ) -> tuple[dict[str, Any], bool]:
         """Answer a free-text query, via the cache when possible.
 
@@ -189,16 +487,22 @@ class OpinionService:
         key = (index.generation, "ask", normalized, top)
         cached = self.cache.get(key)
         if cached is not None:
-            return cached, True
+            return self._stamp(cached), True
+        if self.faults is not None and self.faults.on_query(
+            normalized
+        ):
+            self.registry.inc("repro_serve_faults_injected_total")
         try:
             query = SubjectiveQuery.parse(text)
         except QueryError as error:
             raise ServeError(f"cannot parse query: {error}") from None
         response = ask_response(
-            query, index.answer(query, top=top), index
+            query,
+            index.answer(query, top=top, deadline=deadline),
+            index,
         )
         self.cache.put(key, response)
-        return response, False
+        return self._stamp(response), False
 
     def listing(
         self,
@@ -209,6 +513,7 @@ class OpinionService:
         min_probability: float = 0.0,
         top: int = DEFAULT_TOP,
         index: OpinionIndex | None = None,
+        deadline: Deadline | None = None,
     ) -> tuple[dict[str, Any], bool]:
         """Single-combination listing (the ``repro query`` semantics)."""
         top = _check_top(top)
@@ -235,7 +540,9 @@ class OpinionService:
         )
         cached = self.cache.get(cache_key)
         if cached is not None:
-            return cached, True
+            return self._stamp(cached), True
+        if deadline is not None:
+            deadline.checkpoint("listing")
         polarity = (
             Polarity.NEGATIVE if negative else Polarity.POSITIVE
         )
@@ -246,10 +553,13 @@ class OpinionService:
             key, negative, min_probability, opinions, index
         )
         self.cache.put(cache_key, response)
-        return response, False
+        return self._stamp(response), False
 
     def batch(
-        self, queries: list[str], top: int = DEFAULT_TOP
+        self,
+        queries: list[str],
+        top: int = DEFAULT_TOP,
+        deadline: Deadline | None = None,
     ) -> dict[str, Any]:
         """Answer many free-text queries against ONE index snapshot."""
         if len(queries) > MAX_BATCH_QUERIES:
@@ -260,17 +570,26 @@ class OpinionService:
         index = self._index
         results: list[dict[str, Any]] = []
         for text in queries:
+            if deadline is not None:
+                deadline.checkpoint("batch")
             try:
-                response, _ = self.ask(text, top=top, index=index)
+                response, _ = self.ask(
+                    text, top=top, index=index, deadline=deadline
+                )
             except ServeError as error:
                 response = {"error": str(error), "query": text}
             results.append(response)
-        return {
-            "format": "serve_batch",
-            "version": 1,
-            "generation": index.generation,
-            "results": results,
-        }
+        return self._stamp(batch_response(results, index.generation))
+
+    def fault_response(self, path: str) -> None:
+        """Chaos hook: maybe sever the connection pre-response."""
+        if self.faults is None:
+            return
+        try:
+            self.faults.on_response(path)
+        except InjectedDisconnect:
+            self.registry.inc("repro_serve_faults_injected_total")
+            raise
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -310,7 +629,7 @@ class OpinionService:
             "start_unix": time.time() - seconds,
             "duration": seconds,
             "attrs": attrs,
-            # 503 is deliberate shedding, not a failure.
+            # 503/429 is deliberate shedding, not a failure.
             "status": (
                 "error" if status >= 500 and status != 503 else "ok"
             ),
@@ -323,7 +642,7 @@ class OpinionService:
     def healthz(self) -> dict[str, Any]:
         index = self._index
         return {
-            "status": "ok",
+            "status": self.health_state(),
             "generation": index.generation,
             "opinions": index.n_opinions,
             "combinations": index.n_keys,
@@ -331,7 +650,12 @@ class OpinionService:
             "degraded_combinations": sorted(
                 str(key) for key in index.degraded_keys
             ),
+            "degraded_reason": self._degraded_reason,
+            "breaker": self.reload_breaker.state,
+            "rollback_available": self._previous is not None,
+            "quarantine": list(self._quarantine),
             "max_inflight": self.max_inflight,
+            "admission": self.admission.stats(),
             "cache": self.cache.stats(),
         }
 
@@ -372,14 +696,18 @@ class ServeHandler(BaseHTTPRequestHandler):
     """Routes requests into the service; JSON in, JSON out."""
 
     protocol_version = "HTTP/1.1"
-    server_version = "repro-serve/1"
+    server_version = "repro-serve/2"
     # Headers and body flush as separate writes; without TCP_NODELAY
     # Nagle + delayed ACK turns every response into a ~40 ms stall.
     disable_nagle_algorithm = True
 
     #: Paths that bypass admission control: health and telemetry must
-    #: stay reachable exactly when the server is saturated.
-    UNGATED = ("/healthz", "/metrics")
+    #: stay reachable exactly when the server is saturated, and the
+    #: admin endpoints are the operator's way *out* of an incident —
+    #: gating a rollback behind the overload it is meant to fix would
+    #: be self-defeating.
+    UNGATED = ("/healthz", "/metrics", "/admin/reload",
+               "/admin/rollback")
 
     # -- plumbing -------------------------------------------------------
     def log_message(self, format: str, *args: Any) -> None:
@@ -395,6 +723,7 @@ class ServeHandler(BaseHTTPRequestHandler):
         payload: dict[str, Any],
         *,
         cached: bool | None = None,
+        retry_after: float | None = None,
     ) -> None:
         body = json.dumps(payload, sort_keys=True).encode()
         self.send_response(status)
@@ -402,10 +731,34 @@ class ServeHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if cached is not None:
             self.send_header("X-Cache", "hit" if cached else "miss")
-        if status == 503:
-            self.send_header("Retry-After", "1")
+        if retry_after is None and status in (429, 503):
+            retry_after = 1.0
+        if retry_after is not None:
+            self.send_header(
+                "Retry-After",
+                str(max(1, math.ceil(retry_after))),
+            )
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_error(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        retry_after: float | None = None,
+    ) -> None:
+        self._send_json(
+            status,
+            error_response(
+                code,
+                message,
+                retry_after=retry_after,
+                degraded=self.service.degraded,
+            ),
+            retry_after=retry_after,
+        )
 
     def _send_text(self, status: int, text: str) -> None:
         body = text.encode()
@@ -442,48 +795,78 @@ class ServeHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802
         self._handle("POST")
 
+    def _client_id(self) -> str:
+        """Rate-limit key: explicit header, else the peer address."""
+        return (
+            self.headers.get("X-Client-Id")
+            or self.client_address[0]
+        )
+
     def _handle(self, method: str) -> None:
         started = time.perf_counter()
         path = urlsplit(self.path).path
         status = 500
         cached: bool | None = None
+        service = self.service
         gated = path not in self.UNGATED
-        if gated and not self.service.admit():
-            status = 503
-            self._send_json(
-                status,
-                {
-                    "error": "server is at its in-flight request "
-                    "limit; retry shortly"
-                },
-            )
-            self.service.observe_request(
-                method=method,
-                path=path,
-                status=status,
-                seconds=time.perf_counter() - started,
-            )
-            return
+        if gated:
+            decision = service.admit(self._client_id())
+            if not decision:
+                status = decision.status
+                if status == 429:
+                    service.registry.inc(
+                        "repro_serve_rate_limited_total"
+                    )
+                self._send_error(
+                    decision.status,
+                    decision.code,
+                    decision.message,
+                    retry_after=decision.retry_after,
+                )
+                service.observe_request(
+                    method=method,
+                    path=path,
+                    status=status,
+                    seconds=time.perf_counter() - started,
+                )
+                return
+        deadline = (
+            Deadline(service.request_deadline) if gated else None
+        )
         try:
-            status, cached = self._route(method, path)
+            status, cached = self._route(method, path, deadline)
+        except DeadlineExceeded as error:
+            status = 503
+            service.registry.inc(
+                "repro_serve_deadline_exceeded_total"
+            )
+            self._send_error(
+                status, "deadline_exceeded", str(error),
+                retry_after=1.0,
+            )
         except ServeError as error:
             status = error.status
-            self._send_json(status, {"error": str(error)})
-        except BrokenPipeError:
+            self._send_error(
+                status, error.code, str(error),
+                retry_after=error.retry_after,
+            )
+        except (BrokenPipeError, ConnectionResetError):
             status = 499  # client went away mid-response
+            self.close_connection = True
         except Exception as error:  # pragma: no cover - defensive
             status = 500
             try:
-                self._send_json(
+                self._send_error(
                     status,
-                    {"error": f"{type(error).__name__}: {error}"},
+                    "internal",
+                    f"{type(error).__name__}: {error}",
                 )
             except OSError:
                 pass
         finally:
             if gated:
-                self.service.release()
-            self.service.observe_request(
+                service.release()
+            service.observe_request(
                 method=method,
                 path=path,
                 status=status,
@@ -493,10 +876,10 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     # -- routing --------------------------------------------------------
     def _route(
-        self, method: str, path: str
+        self, method: str, path: str, deadline: Deadline | None
     ) -> tuple[int, bool | None]:
         if method == "GET" and path == "/query":
-            return self._get_query()
+            return self._get_query(deadline)
         if method == "GET" and path == "/healthz":
             self._send_json(200, self.service.healthz())
             return 200, None
@@ -504,11 +887,15 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._send_text(200, self.service.registry.exposition())
             return 200, None
         if method == "POST" and path == "/batch":
-            return self._post_batch()
+            return self._post_batch(deadline)
         if method == "POST" and path == "/admin/reload":
             return self._post_reload()
+        if method == "POST" and path == "/admin/rollback":
+            self._send_json(200, self.service.rollback())
+            return 200, None
         raise ServeError(
-            f"no route for {method} {path}", status=404
+            f"no route for {method} {path}", status=404,
+            code="not_found",
         )
 
     def _params(self) -> dict[str, str]:
@@ -518,12 +905,14 @@ class ServeHandler(BaseHTTPRequestHandler):
             for key, values in parse_qs(query).items()
         }
 
-    def _get_query(self) -> tuple[int, bool]:
+    def _get_query(
+        self, deadline: Deadline | None
+    ) -> tuple[int, bool]:
         params = self._params()
         top = params.get("top", DEFAULT_TOP)
         if "q" in params:
             response, cached = self.service.ask(
-                params["q"], top=top
+                params["q"], top=top, deadline=deadline
             )
         elif "property" in params and "type" in params:
             try:
@@ -541,16 +930,20 @@ class ServeHandler(BaseHTTPRequestHandler):
                 in ("1", "true", "yes"),
                 min_probability=min_probability,
                 top=top,
+                deadline=deadline,
             )
         else:
             raise ServeError(
                 "need either ?q=<free text> or "
                 "?property=<adj>&type=<entity type>"
             )
+        self.service.fault_response("/query")
         self._send_json(200, response, cached=cached)
         return 200, cached
 
-    def _post_batch(self) -> tuple[int, None]:
+    def _post_batch(
+        self, deadline: Deadline | None
+    ) -> tuple[int, None]:
         payload = self._read_json_body()
         queries = payload.get("queries")
         if not isinstance(queries, list) or not all(
@@ -560,8 +953,11 @@ class ServeHandler(BaseHTTPRequestHandler):
                 "body must be {\"queries\": [<string>, ...]}"
             )
         response = self.service.batch(
-            queries, top=payload.get("top", DEFAULT_TOP)
+            queries,
+            top=payload.get("top", DEFAULT_TOP),
+            deadline=deadline,
         )
+        self.service.fault_response("/batch")
         self._send_json(200, response)
         return 200, None
 
@@ -574,11 +970,11 @@ class ServeHandler(BaseHTTPRequestHandler):
             summary = self.service.reload(path)
         except ServeError:
             raise
-        except Exception as error:
-            # Corrupt/missing artefact: keep serving the old table.
+        except Exception as error:  # pragma: no cover - defensive
             raise ServeError(
                 f"reload failed, previous table still live: {error}",
                 status=500,
+                code="reload_failed",
             ) from None
         self._send_json(200, summary)
         return 200, None
@@ -593,8 +989,20 @@ def build_server(
     return ReproServer((host, port), service)
 
 
-def install_signal_handlers(service: OpinionService) -> None:
-    """Wire SIGHUP → hot reload, SIGTERM → clean exit.
+def install_signal_handlers(
+    service: OpinionService,
+    server: ReproServer | None = None,
+) -> None:
+    """Wire SIGHUP → hot reload, SIGTERM → graceful drain.
+
+    With a ``server``, SIGTERM flips the service to ``draining``
+    (new work is rejected with 503, ``/healthz`` reports it) and asks
+    the accept loop to stop from a helper thread — calling
+    ``server.shutdown()`` inline would deadlock against the
+    ``serve_forever`` loop running on this same main thread. The CLI
+    then waits for in-flight requests (``--drain-timeout``) before
+    exiting 0. Without a server (legacy callers), SIGTERM raises
+    ``SystemExit(0)`` as before.
 
     Call from the main thread of ``repro serve`` only; tests drive
     ``server.shutdown()`` directly instead.
@@ -621,6 +1029,14 @@ def install_signal_handlers(service: OpinionService) -> None:
         signal.signal(signal.SIGHUP, _reload)
 
     def _terminate(signum: int, frame: Any) -> None:
-        raise SystemExit(0)
+        if server is None:
+            raise SystemExit(0)
+        service.begin_drain()
+        print(
+            "repro serve: draining (finishing in-flight requests)",
+            file=sys.stderr,
+            flush=True,
+        )
+        threading.Thread(target=server.shutdown, daemon=True).start()
 
     signal.signal(signal.SIGTERM, _terminate)

@@ -147,7 +147,7 @@ class TestQuery:
         assert rc == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["format"] == "serve_query"
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["property"] == "cute"
         assert payload["degraded"] is False
         assert payload["hits"][0]["entity"] == "/animal/kitten"

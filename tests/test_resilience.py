@@ -273,6 +273,19 @@ class TestFaultInjector:
             injector.on_shard_start(0)
         injector.on_shard_start(0)  # third attempt succeeds
 
+    def test_flaky_decision_is_stateless_with_explicit_attempt(self):
+        """With the attempt number threaded through, flakiness is a
+        pure function — a fresh injector copy per attempt (what the
+        process executor's workers effectively are) still converges."""
+        for attempt in (1, 2):
+            fresh = FaultInjector(
+                flaky_shards=(0,), flaky_failures=2
+            )
+            with pytest.raises(InjectedFault):
+                fresh.on_shard_start(0, attempt)
+        fresh = FaultInjector(flaky_shards=(0,), flaky_failures=2)
+        fresh.on_shard_start(0, 3)  # no shared state needed
+
     def test_injected_fault_is_extraction_error(self):
         assert issubclass(InjectedFault, ExtractionError)
         assert issubclass(InjectedFault, ReproError)
@@ -362,6 +375,44 @@ class TestPipelineFaultInjection:
         )
         report = pipeline.run(corpus)
         assert report.health.retries >= 1
+        assert not report.health.failed_shards
+        baseline = SurveyorPipeline(
+            kb=small_kb, occurrence_threshold=10
+        ).run(corpus)
+        assert (
+            report.evidence.n_statements
+            == baseline.evidence.n_statements
+        )
+
+    @pytest.mark.parametrize(
+        "executor",
+        [
+            "serial",
+            "thread",
+            pytest.param("process", marks=pytest.mark.slow),
+        ],
+    )
+    def test_flaky_recovery_identical_across_executors(
+        self, small_kb, corpus, executor
+    ):
+        """Regression for the documented process-executor gap: flaky
+        shards now recover on retry on ALL executors, because the
+        attempt number travels with the task instead of living in
+        coordinator memory that pickled workers cannot see."""
+        pipeline = SurveyorPipeline(
+            kb=small_kb,
+            occurrence_threshold=10,
+            executor=executor,
+            n_workers=4,
+            retry_policy=RetryPolicy(
+                max_attempts=3, base_delay=0.0, jitter=0.0
+            ),
+            fault_injector=FaultInjector(
+                flaky_shards=(0, 2), flaky_failures=2
+            ),
+        )
+        report = pipeline.run(corpus)
+        assert report.health.retries >= 2
         assert not report.health.failed_shards
         baseline = SurveyorPipeline(
             kb=small_kb, occurrence_threshold=10

@@ -337,10 +337,13 @@ class TestOpinionService:
     def test_healthz_shape(self):
         service = OpinionService(demo_table())
         health = service.healthz()
-        assert health["status"] == "ok"
+        assert health["status"] == "healthy"
         assert health["generation"] == 1
         assert health["degraded_combinations"] == ["big animal"]
         assert health["cache"]["entries"] == 0
+        assert health["breaker"] == "closed"
+        assert health["rollback_available"] is False
+        assert health["admission"]["inflight"] == 0
 
 
 class TestHotReloadAtomicity:
