@@ -17,20 +17,28 @@ from the last good snapshot), 429/503 is shed (the server protected
 itself), anything else — including mid-flight disconnects — is bad.
 The acceptance bar is goodput >= 80% with all faults firing, and the
 service must recover to ``healthy`` after one rollback at most.
+
+The run also audits the observability trail: every fault-hit response
+the clients saw (by ``X-Request-Id``) must appear in the JSONL access
+log with the same status and error code — chaos is exactly when the
+log has to be trustworthy.
 """
 
 from __future__ import annotations
 
 import http.client
+import json
 import threading
 import time
 
 from _report import emit, emit_json, perf_counts, perf_values
 
 from repro.serve import (
+    AccessLog,
     OpinionService,
     ServeFaultInjector,
     build_server,
+    read_access_log,
 )
 from repro.serve.server import ServeError
 from repro.storage import save
@@ -79,11 +87,16 @@ def bench_serve_chaos(benchmark, interpreted, tmp_path_factory):
         corrupt_mode="truncate",
         disconnect_every_nth=50,
     )
+    access_path = (
+        tmp_path_factory.mktemp("chaos-log") / "access.jsonl"
+    )
+    access_log = AccessLog(access_path)
     service = OpinionService(
         table,
         source_path=artefact,
         request_deadline=REQUEST_DEADLINE,
         fault_injector=injector,
+        access_log=access_log,
     )
     server = build_server(service)
     server_thread = threading.Thread(
@@ -105,7 +118,7 @@ def bench_serve_chaos(benchmark, interpreted, tmp_path_factory):
             except ServeError:
                 reload_outcomes["rejected"] += 1
 
-    def worker(offset, tallies, latencies):
+    def worker(offset, tallies, latencies, faulted):
         connection = http.client.HTTPConnection(
             "127.0.0.1", server.port
         )
@@ -119,7 +132,7 @@ def bench_serve_chaos(benchmark, interpreted, tmp_path_factory):
                         "/query?q=" + query.replace(" ", "+"),
                     )
                     response = connection.getresponse()
-                    response.read()
+                    body = response.read()
                     status = response.status
                 except (
                     http.client.HTTPException,
@@ -140,12 +153,23 @@ def bench_serve_chaos(benchmark, interpreted, tmp_path_factory):
                     tallies["shed"] += 1
                 else:
                     tallies["bad"] += 1
+                if status != 200:
+                    # Remember what the client saw so the access-log
+                    # audit can cross-check it afterwards.
+                    envelope = json.loads(body)
+                    faulted.append(
+                        (
+                            response.headers["X-Request-Id"],
+                            status,
+                            envelope["code"],
+                        )
+                    )
         finally:
             connection.close()
 
     def measure():
         per_thread = [
-            ({"ok": 0, "shed": 0, "bad": 0}, [])
+            ({"ok": 0, "shed": 0, "bad": 0}, [], [])
             for _ in range(CLIENT_THREADS)
         ]
         reload_thread = threading.Thread(target=reloader)
@@ -166,18 +190,23 @@ def bench_serve_chaos(benchmark, interpreted, tmp_path_factory):
         stop_reloads.set()
         reload_thread.join()
         tallies = {"ok": 0, "shed": 0, "bad": 0}
-        for bucket, _ in per_thread:
+        for bucket, _, _ in per_thread:
             for key in tallies:
                 tallies[key] += bucket[key]
         latencies = sorted(
             latency
-            for _, bucket in per_thread
+            for _, bucket, _ in per_thread
             for latency in bucket
         )
-        return wall, tallies, latencies
+        faulted = [
+            entry
+            for _, _, bucket in per_thread
+            for entry in bucket
+        ]
+        return wall, tallies, latencies, faulted
 
     try:
-        wall, tallies, latencies = benchmark.pedantic(
+        wall, tallies, latencies, faulted = benchmark.pedantic(
             measure, rounds=1, iterations=1
         )
         # Recovery: one rollback at most clears any lingering
@@ -188,6 +217,34 @@ def bench_serve_chaos(benchmark, interpreted, tmp_path_factory):
     finally:
         server.shutdown()
         server.server_close()
+
+    # Observability audit: every fault the clients saw must have an
+    # access-log line with the same request id, status, and code.
+    # Handler threads write their log line after flushing the
+    # response to the client, so give stragglers a moment to land.
+    wanted = {entry[0] for entry in faulted}
+    logged = {}
+    for _ in range(100):
+        access_log.flush()
+        logged = {
+            record["request_id"]: record
+            for record in read_access_log(access_path)
+        }
+        if wanted <= logged.keys():
+            break
+        time.sleep(0.02)
+    access_log.close()
+    missing = [
+        entry
+        for entry in faulted
+        if entry[0] not in logged
+        or logged[entry[0]]["status"] != entry[1]
+        or logged[entry[0]]["code"] != entry[2]
+    ]
+    assert faulted and not missing, (
+        f"{len(missing)} of {len(faulted)} fault-hit requests "
+        f"missing or mismatched in the access log: {missing[:5]}"
+    )
 
     total = CLIENT_THREADS * REQUESTS_PER_THREAD
     assert sum(tallies.values()) == total
@@ -212,6 +269,8 @@ def bench_serve_chaos(benchmark, interpreted, tmp_path_factory):
         f"faults:     {fired}",
         f"reloads:    {reload_outcomes['ok']} swapped / "
         f"{reload_outcomes['rejected']} rejected",
+        f"audit:      {len(faulted)} fault responses matched in "
+        f"the access log ({len(logged)} lines)",
         f"health after rollback: {recovered}",
     ]
     emit("serve_chaos", lines)
@@ -232,6 +291,8 @@ def bench_serve_chaos(benchmark, interpreted, tmp_path_factory):
             "reloads_ok": reload_outcomes["ok"],
             "reloads_rejected": reload_outcomes["rejected"],
             "goodput_floor": GOODPUT_FLOOR,
+            "faults_audited": len(faulted),
+            "access_log_lines": len(logged),
         },
     )
     assert recovered == "healthy", (

@@ -74,7 +74,7 @@ python -m repro mine "$PARITY_DIR/docs.txt" \
     --out "$PARITY_DIR/opinions.json" --threshold 1 \
     --strict --strict-parity > /dev/null
 
-echo "== serve lane (HTTP API smoke: boot, query, reload, shutdown) =="
+echo "== serve lane (HTTP API smoke: boot, query, observability, reload, shutdown) =="
 SERVE_DIR="$(mktemp -d)"
 trap 'rm -rf "$OBS_DIR" "$BENCH_DIR" "$PARITY_DIR" "$SERVE_DIR"' EXIT
 printf '%s\n' \
@@ -89,8 +89,10 @@ python - "$SERVE_DIR/opinions.json" <<'PYEOF'
 import json, signal, subprocess, sys, time, urllib.request
 
 opinions = sys.argv[1]
+access_log = opinions + ".access.jsonl"
 proc = subprocess.Popen(
-    [sys.executable, "-m", "repro", "serve", opinions, "--port", "0"],
+    [sys.executable, "-m", "repro", "serve", opinions, "--port", "0",
+     "--access-log", access_log],
     stderr=subprocess.PIPE, text=True,
 )
 try:
@@ -130,6 +132,25 @@ try:
     status, body = get("/metrics")
     assert b"repro_serve_requests_total" in body
 
+    # Golden-schema check of the whole observability surface:
+    # histogram exposition with exemplars on /metrics, SLO burn
+    # rates and the latency window on /healthz.
+    from repro.obs import validate_serve_observability
+
+    health = json.loads(get("/healthz")[1])
+    problems = validate_serve_observability(health, body.decode())
+    assert not problems, problems
+
+    # The live console renders a one-shot frame against the server.
+    top = subprocess.run(
+        [sys.executable, "-m", "repro", "top", "--url", base,
+         "--once"],
+        capture_output=True, text=True, timeout=30,
+    )
+    assert top.returncode == 0, top.stderr
+    for needle in ("repro top", "qps", "p99", "burn"):
+        assert needle in top.stdout, (needle, top.stdout)
+
     req = urllib.request.Request(
         base + "/admin/reload", data=b"{}", method="POST"
     )
@@ -146,6 +167,15 @@ try:
     stderr = proc.communicate(timeout=10)[1]
     assert proc.returncode == 0, (proc.returncode, stderr)
     assert "shut down cleanly" in stderr, stderr
+
+    # The drain closed the access log: every line parses and the
+    # request ids echoed to clients all have a matching record.
+    from repro.serve import read_access_log
+
+    records = list(read_access_log(access_log))
+    assert records, "access log is empty after the serve lane"
+    assert any(r["path"] == "/query" and r["status"] == 200
+               for r in records), records
 finally:
     if proc.poll() is None:
         proc.kill()

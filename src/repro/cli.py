@@ -6,6 +6,7 @@ Subcommands::
     python -m repro mine  ...                 mine opinions from raw text
     python -m repro query ...                 query a mined opinion table
     python -m repro serve ...                 HTTP query API over a table
+    python -m repro top   ...                 live console over a server
     python -m repro eval                      reproduce the Table 3 comparison
     python -m repro stats trace.jsonl         inspect a recorded trace
     python -m repro bench ...                 perf baselines + regression gate
@@ -410,7 +411,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
         except ValueError as error:
             raise _fail(str(error))
     registry = MetricsRegistry()
-    tracer = Tracer(enabled=True) if args.trace else None
+    # A server adopts one span per sampled request indefinitely, so
+    # cap retention to the most recent spans (batch runs stay
+    # uncapped — they want the full tree).
+    tracer = (
+        Tracer(enabled=True, max_spans=10_000)
+        if args.trace
+        else None
+    )
+    access_log = None
+    if args.access_log:
+        from .serve import AccessLog
+
+        access_log = AccessLog(args.access_log)
     service = OpinionService(
         table,
         source_path=args.opinions,
@@ -423,6 +436,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         client_rate=args.client_rate,
         client_burst=args.client_burst,
         fault_injector=fault_injector,
+        access_log=access_log,
+        trace_sample=args.trace_sample,
+        trace_slow_seconds=args.trace_slow_ms / 1000.0,
     )
     server = build_server(service, host=args.host, port=args.port)
     install_signal_handlers(service, server)
@@ -453,8 +469,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
         server.server_close()
         if tracer is not None and args.trace:
             tracer.write_jsonl(args.trace)
+        if access_log is not None:
+            # After the drain: every in-flight request has logged its
+            # line, so closing here flushes a complete record.
+            access_log.close()
         print("repro serve: shut down cleanly", file=sys.stderr)
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard over a running ``repro serve``."""
+    from .obs.live import run_top
+
+    if args.interval <= 0:
+        raise _fail(
+            f"--interval must be positive, got {args.interval}"
+        )
+    try:
+        return run_top(
+            args.url, interval=args.interval, once=args.once
+        )
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_eval(args: argparse.Namespace) -> int:
@@ -487,6 +523,12 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 
 def cmd_stats(args: argparse.Namespace) -> int:
     """Render (and optionally validate) recorded telemetry artefacts."""
+    trace_path = Path(args.trace)
+    # A run that recorded nothing is an answer, not an error: say so
+    # in one line and exit 0. Corrupt traces still exit 2.
+    if not trace_path.exists() or trace_path.stat().st_size == 0:
+        print(f"repro stats: no data in {trace_path}")
+        return 0
     spans = read_trace(args.trace)
     if args.validate:
         problems = validate_spans(spans)
@@ -577,8 +619,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if args.trajectory
         else discover_trajectories(args.dir)
     )
+    # Graceful on nothing-yet: a fresh checkout has no trajectory
+    # files and an aborted bench run can leave empty ones — neither
+    # deserves a traceback or a bare table.
+    paths = [
+        path
+        for path in paths
+        if path.exists() and path.stat().st_size > 0
+    ]
     if not paths:
-        raise _fail(f"no BENCH_*.json files under {args.dir}")
+        print(
+            f"repro bench trend: no data "
+            f"(no usable BENCH_*.json under {args.dir})"
+        )
+        return 0
     print(trend(paths))
     return 0
 
@@ -741,7 +795,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace", metavar="PATH",
                        help="write serve.request spans here on "
                             "shutdown")
+    serve.add_argument("--access-log", metavar="PATH",
+                       help="append one JSONL line per request here "
+                            "(flushed on drain)")
+    serve.add_argument("--trace-sample", type=int, default=1,
+                       help="head-sample spans: keep every Nth "
+                            "request (default 1 = all; slow and "
+                            "failed requests are always kept)")
+    serve.add_argument("--trace-slow-ms", type=float, default=500.0,
+                       help="requests at least this slow always keep "
+                            "their span (default 500)")
     serve.set_defaults(func=cmd_serve)
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running repro serve "
+             "(/metrics + /healthz)",
+    )
+    top.add_argument("--url", default="http://127.0.0.1:8080",
+                     help="base URL of the server "
+                          "(default http://127.0.0.1:8080)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes (default 2)")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit (two "
+                          "samples ~0.5s apart for rates)")
+    top.set_defaults(func=cmd_top)
 
     evaluate = sub.add_parser("eval", help="run the Table 3 comparison")
     evaluate.add_argument("--seed", type=int, default=2015)

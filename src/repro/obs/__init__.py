@@ -6,14 +6,17 @@ Three pillars, all deterministic and dependency-free:
   the process-pool boundary (worker spans are exported, shipped back
   with shard results, and re-parented);
 * :mod:`repro.obs.metrics` — a declared-name registry of counters,
-  gauges, and fixed-bucket histograms with Prometheus-style exposition
-  and JSON export;
+  gauges, fixed-bucket histograms, and log-bucketed streaming
+  histograms (:mod:`repro.obs.histogram`, exemplar-bearing) with
+  Prometheus-style exposition and JSON export;
 * :mod:`repro.obs.convergence` — per-combination EM fit trajectories
   (log-likelihood, ``pA``/``np+S``/``np−S``) with verdicts.
 
 :mod:`repro.obs.manifest` stamps each run (config, git describe, wall
 clock, health) and :mod:`repro.obs.stats` renders recorded traces for
-``repro stats`` and ``--profile``.
+``repro stats`` and ``--profile``. The serving side adds
+:mod:`repro.obs.slo` (availability/latency SLOs with multi-window
+burn rates) and :mod:`repro.obs.live` (the ``repro top`` console).
 """
 
 from .baseline import (
@@ -35,6 +38,13 @@ from .convergence import (
     records_from_result,
     records_to_payload,
     save_convergence,
+)
+from .histogram import StreamingHistogram, WindowedHistogram
+from .live import (
+    parse_exposition,
+    render_frame,
+    run_top,
+    validate_serve_observability,
 )
 from .manifest import (
     build_manifest,
@@ -66,6 +76,7 @@ from .perf import (
     validate_bench_record,
     validate_trajectory,
 )
+from .slo import SLO_STATES, SloSpec, SloTracker
 from .stats import render_convergence, render_metrics, render_trace
 from .trace import (
     NULL_SPAN,
@@ -92,9 +103,14 @@ __all__ = [
     "MetricsError",
     "MetricsRegistry",
     "NULL_SPAN",
+    "SLO_STATES",
+    "SloSpec",
+    "SloTracker",
+    "StreamingHistogram",
     "TRACE_SCHEMA_VERSION",
     "TraceError",
     "Tracer",
+    "WindowedHistogram",
     "build_bench_record",
     "build_manifest",
     "build_trajectory",
@@ -108,6 +124,7 @@ __all__ = [
     "load_trajectory",
     "manifest_path_for",
     "merge_into_trajectory",
+    "parse_exposition",
     "read_trace",
     "record_baseline",
     "rss_peak_bytes",
@@ -117,12 +134,15 @@ __all__ = [
     "records_from_result",
     "records_to_payload",
     "render_convergence",
+    "render_frame",
     "render_metrics",
     "render_trace",
+    "run_top",
     "save_convergence",
     "validate_baseline",
     "validate_bench_record",
     "validate_metrics_payload",
+    "validate_serve_observability",
     "validate_spans",
     "validate_trace",
     "validate_trajectory",

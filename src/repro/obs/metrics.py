@@ -1,13 +1,19 @@
 """Named metrics with a declared catalogue and deterministic exposition.
 
-Three instrument kinds, mirroring the Prometheus data model at the
+Four instrument kinds, mirroring the Prometheus data model at the
 scale this reproduction needs:
 
 * **counter** — monotonically increasing totals (documents processed,
   statements extracted, shard retries);
 * **gauge** — last-written values (run wall seconds, KB entity count);
 * **histogram** — fixed-bucket distributions (statements per document,
-  per-shard latency, C+/C− evidence magnitudes).
+  per-shard latency, C+/C− evidence magnitudes);
+* **streamhist** — log-bucketed streaming histograms
+  (:mod:`repro.obs.histogram`) for serving latency: no pre-declared
+  edges, bounded-error quantiles, and per-bucket *exemplar* trace ids
+  rendered in the OpenMetrics ``# {trace_id="..."} value`` form.
+  Exposed as ``# TYPE ... histogram`` — scrapers cannot tell the
+  difference, which is the point.
 
 Every metric name must be *declared* in :data:`CATALOG` before use —
 an undeclared name raises :class:`MetricsError` at the call site, and
@@ -26,6 +32,7 @@ from pathlib import Path
 from typing import Any
 
 from ..core.errors import ReproError
+from .histogram import StreamingHistogram
 
 METRICS_FORMAT = "metrics"
 METRICS_VERSION = 1
@@ -40,12 +47,14 @@ class MetricSpec:
     """One declared metric: its kind, help line, and histogram edges."""
 
     name: str
-    kind: str  # counter | gauge | histogram
+    kind: str  # counter | gauge | histogram | streamhist
     help: str
     buckets: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
-        if self.kind not in ("counter", "gauge", "histogram"):
+        if self.kind not in (
+            "counter", "gauge", "histogram", "streamhist"
+        ):
             raise ValueError(f"unknown metric kind {self.kind!r}")
         if self.kind == "histogram" and not self.buckets:
             raise ValueError(f"histogram {self.name} needs buckets")
@@ -162,8 +171,9 @@ CATALOG: dict[str, MetricSpec] = _catalog(
                "query-cache entries evicted by the LRU bound"),
     MetricSpec("repro_serve_cache_invalidations_total", "counter",
                "query-cache entries dropped on table swap"),
-    MetricSpec("repro_serve_request_seconds", "histogram",
-               "server-side latency per request", LATENCY_BUCKETS),
+    MetricSpec("repro_serve_request_seconds", "streamhist",
+               "server-side latency per request (log-bucketed, "
+               "with trace exemplars)"),
     MetricSpec("repro_serve_index_generation", "gauge",
                "generation of the live opinion index"),
     MetricSpec("repro_serve_index_opinions", "gauge",
@@ -184,6 +194,18 @@ CATALOG: dict[str, MetricSpec] = _catalog(
     MetricSpec("repro_serve_health_state", "gauge",
                "serving health state (0 healthy, 1 degraded, "
                "2 draining)"),
+    # SLO burn rates (see repro.obs.slo; published before each
+    # /metrics render)
+    MetricSpec("repro_serve_availability_burn_fast", "gauge",
+               "availability error-budget burn rate, fast window"),
+    MetricSpec("repro_serve_availability_burn_slow", "gauge",
+               "availability error-budget burn rate, slow window"),
+    MetricSpec("repro_serve_latency_burn_fast", "gauge",
+               "latency error-budget burn rate, fast window"),
+    MetricSpec("repro_serve_latency_burn_slow", "gauge",
+               "latency error-budget burn rate, slow window"),
+    MetricSpec("repro_serve_slo_state", "gauge",
+               "worst SLO state (0 ok, 1 warn, 2 page)"),
 )
 
 
@@ -211,6 +233,8 @@ class MetricsRegistry:
         self._gauges: dict[str, float] = {}
         # name -> (per-edge counts + overflow slot, sum, count)
         self._histograms: dict[str, dict[str, Any]] = {}
+        # name -> StreamingHistogram (log-bucketed, exemplar-bearing)
+        self._streams: dict[str, StreamingHistogram] = {}
 
     # Locks do not pickle; a registry shipped to a worker process
     # rebuilds its own.
@@ -254,8 +278,24 @@ class MetricsRegistry:
         with self._lock:
             self._gauges[name] = float(value)
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(
+        self, name: str, value: float, exemplar: str | None = None
+    ) -> None:
+        spec = self._catalog.get(name)
+        if spec is not None and spec.kind == "streamhist":
+            with self._lock:
+                stream = self._streams.get(name)
+                if stream is None:
+                    stream = StreamingHistogram()
+                    self._streams[name] = stream
+                stream.observe(value, exemplar)
+            return
         spec = self._spec(name, "histogram")
+        if exemplar is not None:
+            raise MetricsError(
+                f"{name}: exemplars need a streamhist, "
+                "not a fixed-bucket histogram"
+            )
         with self._lock:
             state = self._histograms.get(name)
             if state is None:
@@ -303,17 +343,38 @@ class MetricsRegistry:
             ]
             state["sum"] += theirs["sum"]
             state["count"] += theirs["count"]
+        for name, theirs_stream in other._streams.items():
+            self._spec(name, "streamhist")
+            stream = self._streams.get(name)
+            if stream is None:
+                self._streams[name] = theirs_stream.copy()
+            else:
+                stream.merge(theirs_stream)
 
     def names(self) -> list[str]:
         """Names with recorded data, sorted."""
         with self._lock:
             return sorted(
-                {*self._counters, *self._gauges, *self._histograms}
+                {
+                    *self._counters,
+                    *self._gauges,
+                    *self._histograms,
+                    *self._streams,
+                }
             )
 
     def counter_value(self, name: str) -> float:
         with self._lock:
             return self._counters.get(name, 0)
+
+    def stream_snapshot(self, name: str) -> StreamingHistogram:
+        """A point-in-time copy of a streamhist (empty if unused)."""
+        self._spec(name, "streamhist")
+        with self._lock:
+            stream = self._streams.get(name)
+            if stream is None:
+                return StreamingHistogram()
+            return stream.copy()
 
     # ------------------------------------------------------------------
     # Output
@@ -328,7 +389,11 @@ class MetricsRegistry:
         for name in self.names():
             spec = self._catalog[name]
             lines.append(f"# HELP {name} {spec.help}")
-            lines.append(f"# TYPE {name} {spec.kind}")
+            # streamhist is histogram-shaped on the wire.
+            exposed_kind = (
+                "histogram" if spec.kind == "streamhist" else spec.kind
+            )
+            lines.append(f"# TYPE {name} {exposed_kind}")
             if spec.kind == "counter":
                 lines.append(
                     f"{name} {_format_value(self._counters[name])}"
@@ -337,6 +402,30 @@ class MetricsRegistry:
                 lines.append(
                     f"{name} {_format_value(self._gauges[name])}"
                 )
+            elif spec.kind == "streamhist":
+                stream = self._streams[name]
+                cumulative = 0
+                for edge, cumulative, exemplar in (
+                    stream.cumulative_buckets()
+                ):
+                    line = (
+                        f'{name}_bucket{{le="{_format_value(edge)}"}}'
+                        f" {cumulative}"
+                    )
+                    if exemplar is not None:
+                        trace_id, observed = exemplar
+                        line += (
+                            f' # {{trace_id="{trace_id}"}}'
+                            f" {_format_value(observed)}"
+                        )
+                    lines.append(line)
+                lines.append(
+                    f'{name}_bucket{{le="+Inf"}} {stream.count}'
+                )
+                lines.append(
+                    f"{name}_sum {_format_value(stream.sum)}"
+                )
+                lines.append(f"{name}_count {stream.count}")
             else:
                 state = self._histograms[name]
                 cumulative = 0
@@ -376,6 +465,11 @@ class MetricsRegistry:
                 metrics[name] = {
                     "type": "gauge",
                     "value": self._gauges[name],
+                }
+            elif spec.kind == "streamhist":
+                metrics[name] = {
+                    "type": "streamhist",
+                    **self._streams[name].to_dict(),
                 }
             else:
                 state = self._histograms[name]

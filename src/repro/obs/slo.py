@@ -1,0 +1,245 @@
+"""Serving SLOs with multi-window burn-rate tracking.
+
+Two service-level objectives guard the query path (the paper's
+Surveyor is a production service; an SLO is how a production service
+states "working"):
+
+* **availability** — the fraction of requests answered without a 5xx
+  (deliberate shedding included: a 503 is budget spent protecting the
+  service, and the user still got no answer);
+* **latency** — the fraction of requests answered under a threshold
+  (default 250 ms, matching the request deadline's order of
+  magnitude).
+
+Each SLO burns an *error budget* of ``1 - objective``. The burn rate
+over a window is ``bad_fraction / (1 - objective)`` — 1.0 means the
+budget is being spent exactly as fast as it accrues, 14.4 means a
+30-day budget is gone in ~2 days. Following the classic multi-window
+rule, an alert needs BOTH the fast (5 min) and slow (1 h) windows
+over threshold: the fast window makes the alert responsive, the slow
+window stops a single bad second from paging.
+
+Windows are slot rings (same arithmetic as
+:class:`~repro.obs.histogram.WindowedHistogram`): no background
+threads, stale slots age out on touch, and everything is deterministic
+under an injected clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+#: Default objectives — modest on purpose: a single-machine demo
+#: service should page rarely, not model Google's four nines.
+DEFAULT_AVAILABILITY_OBJECTIVE = 0.999
+DEFAULT_LATENCY_OBJECTIVE = 0.99
+DEFAULT_LATENCY_THRESHOLD = 0.25
+
+#: Multi-window burn thresholds (Google SRE workbook shape): both
+#: windows past PAGE pages, both past WARN opens a ticket.
+BURN_PAGE = 14.4
+BURN_WARN = 6.0
+
+#: The two burn windows: responsive and sustained.
+FAST_WINDOW_SECONDS = 300.0
+SLOW_WINDOW_SECONDS = 3600.0
+
+#: SLO states ordered by severity (also exposed as a gauge).
+SLO_STATES = ("ok", "warn", "page")
+
+
+class _RollingCounts:
+    """Good/bad tallies over a rolling window (slot-ring, lock-free
+    reads are NOT safe — callers hold the tracker's lock)."""
+
+    __slots__ = ("window_seconds", "slots", "slot_seconds", "_ring")
+
+    def __init__(self, window_seconds: float, slots: int) -> None:
+        self.window_seconds = float(window_seconds)
+        self.slots = int(slots)
+        self.slot_seconds = self.window_seconds / self.slots
+        # slot position -> [epoch, good, bad]
+        self._ring = [[-1, 0, 0] for _ in range(self.slots)]
+
+    def add(self, now: float, good: int, bad: int) -> None:
+        epoch = int(now // self.slot_seconds)
+        cell = self._ring[epoch % self.slots]
+        if cell[0] != epoch:
+            cell[0], cell[1], cell[2] = epoch, 0, 0
+        cell[1] += good
+        cell[2] += bad
+
+    def totals(self, now: float) -> tuple[int, int]:
+        now_epoch = int(now // self.slot_seconds)
+        good = bad = 0
+        for epoch, g, b in self._ring:
+            if epoch >= 0 and now_epoch - epoch < self.slots:
+                good += g
+                bad += b
+        return good, bad
+
+
+@dataclass(frozen=True, slots=True)
+class SloSpec:
+    """One objective: name, target fraction, and what counts as bad."""
+
+    name: str
+    objective: float
+    description: str
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"{self.name}: objective must be in (0, 1), "
+                f"got {self.objective}"
+            )
+
+    @property
+    def budget(self) -> float:
+        return 1.0 - self.objective
+
+
+class SloTracker:
+    """Record request outcomes; answer burn rates per SLO per window.
+
+    Thread-safe: the serving handler pool calls :meth:`record`
+    concurrently; ``/healthz`` and ``/metrics`` read via
+    :meth:`burn_rates` / :meth:`report`.
+    """
+
+    def __init__(
+        self,
+        *,
+        availability_objective: float = DEFAULT_AVAILABILITY_OBJECTIVE,
+        latency_objective: float = DEFAULT_LATENCY_OBJECTIVE,
+        latency_threshold: float = DEFAULT_LATENCY_THRESHOLD,
+        fast_window: float = FAST_WINDOW_SECONDS,
+        slow_window: float = SLOW_WINDOW_SECONDS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if latency_threshold <= 0:
+            raise ValueError(
+                "latency_threshold must be positive, "
+                f"got {latency_threshold}"
+            )
+        if not fast_window < slow_window:
+            raise ValueError(
+                f"fast window ({fast_window}s) must be shorter than "
+                f"the slow window ({slow_window}s)"
+            )
+        self.availability = SloSpec(
+            "availability",
+            availability_objective,
+            "requests answered without a 5xx",
+        )
+        self.latency = SloSpec(
+            "latency",
+            latency_objective,
+            f"requests answered within "
+            f"{latency_threshold * 1000:g} ms",
+        )
+        self.latency_threshold = float(latency_threshold)
+        self.windows: dict[str, float] = {
+            "fast": float(fast_window),
+            "slow": float(slow_window),
+        }
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._counts: dict[tuple[str, str], _RollingCounts] = {
+            (slo, window): _RollingCounts(seconds, 30)
+            for slo in ("availability", "latency")
+            for window, seconds in self.windows.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, status: int, seconds: float) -> None:
+        """Account one finished request against both SLOs."""
+        available = status < 500
+        fast_enough = (
+            available and seconds <= self.latency_threshold
+        )
+        with self._lock:
+            now = self._clock()
+            for window in self.windows:
+                self._counts[("availability", window)].add(
+                    now, int(available), int(not available)
+                )
+                self._counts[("latency", window)].add(
+                    now, int(fast_enough), int(not fast_enough)
+                )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _spec(self, slo: str) -> SloSpec:
+        return (
+            self.availability
+            if slo == "availability"
+            else self.latency
+        )
+
+    def burn_rates(self) -> dict[str, dict[str, float]]:
+        """``{slo: {window: burn_rate}}`` — 0.0 for empty windows."""
+        with self._lock:
+            now = self._clock()
+            rates: dict[str, dict[str, float]] = {}
+            for slo in ("availability", "latency"):
+                budget = self._spec(slo).budget
+                rates[slo] = {}
+                for window in self.windows:
+                    good, bad = self._counts[(slo, window)].totals(
+                        now
+                    )
+                    total = good + bad
+                    bad_fraction = bad / total if total else 0.0
+                    rates[slo][window] = bad_fraction / budget
+            return rates
+
+    @staticmethod
+    def _state_for(rates: dict[str, float]) -> str:
+        """Multi-window rule: both windows must agree to escalate."""
+        if all(rate >= BURN_PAGE for rate in rates.values()):
+            return "page"
+        if all(rate >= BURN_WARN for rate in rates.values()):
+            return "warn"
+        return "ok"
+
+    def state(self) -> str:
+        """The worst state across SLOs (``ok`` / ``warn`` / ``page``)."""
+        rates = self.burn_rates()
+        worst = "ok"
+        for slo_rates in rates.values():
+            candidate = self._state_for(slo_rates)
+            if SLO_STATES.index(candidate) > SLO_STATES.index(worst):
+                worst = candidate
+        return worst
+
+    def report(self) -> dict[str, Any]:
+        """The ``/healthz`` SLO block (JSON-safe)."""
+        rates = self.burn_rates()
+        report: dict[str, Any] = {
+            "windows_seconds": dict(self.windows),
+            "thresholds": {"warn": BURN_WARN, "page": BURN_PAGE},
+        }
+        worst = "ok"
+        for slo in ("availability", "latency"):
+            spec = self._spec(slo)
+            state = self._state_for(rates[slo])
+            if SLO_STATES.index(state) > SLO_STATES.index(worst):
+                worst = state
+            entry: dict[str, Any] = {
+                "objective": spec.objective,
+                "description": spec.description,
+                "burn_rates": rates[slo],
+                "state": state,
+            }
+            if slo == "latency":
+                entry["threshold_seconds"] = self.latency_threshold
+            report[slo] = entry
+        report["state"] = worst
+        return report

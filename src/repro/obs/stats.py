@@ -244,13 +244,21 @@ def render_metrics(payload: dict[str, Any]) -> str:
                 f"  ({kind})"
             )
     for name, row in metrics.items():
-        if row.get("type") != "histogram" or not row.get("count"):
+        kind = row.get("type")
+        if kind not in ("histogram", "streamhist") or not row.get(
+            "count"
+        ):
             continue
         lines.append("")
         lines.append(
             f"  {name}  count={row['count']}  sum={row['sum']:g}"
         )
-        panel = histogram_panel(row["buckets"], row["counts"])
+        counts = list(row["counts"])
+        if kind == "streamhist":
+            # Log-bucketed histograms serialize only occupied buckets
+            # (no overflow slot); the panel wants one per edge + +Inf.
+            counts.append(0)
+        panel = histogram_panel(row["buckets"], counts)
         lines.extend("    " + line for line in panel.splitlines())
     return "\n".join(lines)
 

@@ -106,7 +106,10 @@ class Tracer:
     """
 
     def __init__(
-        self, enabled: bool = True, profile_memory: bool = False
+        self,
+        enabled: bool = True,
+        profile_memory: bool = False,
+        max_spans: int | None = None,
     ) -> None:
         self.enabled = enabled
         #: With ``profile_memory`` every span additionally carries
@@ -117,9 +120,26 @@ class Tracer:
         self.profile_memory = profile_memory and enabled
         if self.profile_memory:
             start_tracemalloc()
+        #: Retention cap for long-running processes (the serving
+        #: path adopts one span per sampled request forever): when
+        #: set, only the most recent ``max_spans`` closed spans are
+        #: kept. ``None`` (the default) keeps everything — batch
+        #: pipeline runs want the complete tree.
+        if max_spans is not None and max_spans < 1:
+            raise ValueError(
+                f"max_spans must be >= 1, got {max_spans}"
+            )
+        self.max_spans = max_spans
         self._spans: list[dict[str, Any]] = []
         self._stack: list[int] = []
         self._next_id = 0
+
+    def _enforce_cap(self) -> None:
+        # Trim in blocks (10% hysteresis) so a full buffer does not
+        # pay an O(n) front-delete on every append.
+        cap = self.max_spans
+        if cap is not None and len(self._spans) > cap * 1.1:
+            del self._spans[: len(self._spans) - cap]
 
     def __len__(self) -> int:
         return len(self._spans)
@@ -175,6 +195,7 @@ class Tracer:
                     )
             self._stack.pop()
             self._spans.append(record)
+            self._enforce_cap()
 
     # ------------------------------------------------------------------
     # Cross-process plumbing
@@ -208,6 +229,7 @@ class Tracer:
             old_parent = record.get("parent_id")
             adopted["parent_id"] = mapping.get(old_parent, parent_id)
             self._spans.append(adopted)
+        self._enforce_cap()
 
     def last_span_id(
         self, name: str, kind: str | None = None

@@ -8,9 +8,18 @@ repeated queries, and :class:`OpinionService` / :class:`ReproServer`
 put both behind a threaded JSON HTTP API with admission control
 (per-client token buckets + bounded queue), per-request deadlines,
 safe hot-reload with one-step rollback, and a seeded chaos injector.
-See docs/serving.md and docs/robustness.md ("Serving resilience").
+Every request carries an ``X-Request-Id`` joining its access-log line
+(:class:`AccessLog`), histogram exemplar, and trace span; SLO burn
+rates surface in ``/healthz`` and ``/metrics``. See docs/serving.md,
+docs/observability.md ("Serving observability"), and
+docs/robustness.md ("Serving resilience").
 """
 
+from .access_log import (
+    ACCESS_LOG_FIELDS,
+    AccessLog,
+    read_access_log,
+)
 from .admission import (
     DEFAULT_REQUEST_DEADLINE,
     AdmissionController,
@@ -42,10 +51,13 @@ from .server import (
     ServeError,
     build_server,
     install_signal_handlers,
+    new_request_id,
 )
 
 __all__ = [
+    "ACCESS_LOG_FIELDS",
     "AGNOSTIC_PRIOR",
+    "AccessLog",
     "AdmissionController",
     "AdmissionDecision",
     "CircuitBreaker",
@@ -71,4 +83,6 @@ __all__ = [
     "error_response",
     "install_signal_handlers",
     "listing_response",
+    "new_request_id",
+    "read_access_log",
 ]

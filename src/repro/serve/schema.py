@@ -119,6 +119,7 @@ def error_response(
     *,
     retry_after: float | None = None,
     degraded: bool = False,
+    request_id: str | None = None,
 ) -> dict[str, Any]:
     """The one error envelope for every 4xx/5xx body, HTTP and CLI.
 
@@ -130,6 +131,12 @@ def error_response(
     parse. ``retry_after`` mirrors the HTTP ``Retry-After`` header in
     seconds (null when retrying is not the remedy), and ``degraded``
     reports whether the server is in degraded mode at rejection time.
+    ``request_id`` joins the error to its access-log line and trace
+    span; the HTTP server always supplies the id it echoed in
+    ``X-Request-Id``, while the CLI path has no request and emits
+    null. Still schema version 2: adding a key clients never parsed
+    breaks nobody, and the CLI/HTTP byte-parity test pins both sides
+    moving together.
     """
     return {
         "format": "serve_error",
@@ -138,4 +145,5 @@ def error_response(
         "error": message,
         "retry_after": retry_after,
         "degraded": bool(degraded),
+        "request_id": request_id,
     }

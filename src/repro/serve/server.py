@@ -30,16 +30,26 @@ layer, stdlib-only:
   finish in-flight, exit 0) when a server is supplied, else a clean
   exit (used by ``repro serve``).
 
-Every handled request is counted, latency-observed, and (when a tracer
-is attached) recorded as a ``serve.request`` span adopted into the
-server's trace under a lock — the per-process tracer is not itself
-thread-safe.
+Every handled request is counted, latency-observed into a streaming
+histogram (with the request id attached as an exemplar), accounted
+against the availability and latency SLOs (:mod:`repro.obs.slo`),
+appended to the JSONL access log when one is configured, and — when a
+tracer is attached — head-sampled into a ``serve.request`` span with
+an always-keep rule for slow or failed requests. Spans are adopted
+into the server's trace under a lock — the per-process tracer is not
+itself thread-safe. Each request carries an ``X-Request-Id``
+(client-supplied or generated) echoed on every response and stamped
+into error envelopes, access-log lines, and kept spans, so one id
+joins all three records.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import math
+import re
+import secrets
 import signal
 import sys
 import threading
@@ -52,9 +62,12 @@ from urllib.parse import parse_qs, urlsplit
 from ..core.query import QueryError, SubjectiveQuery
 from ..core.result import OpinionTable
 from ..core.types import Polarity, PropertyTypeKey, SubjectiveProperty
+from ..obs.histogram import WindowedHistogram
 from ..obs.metrics import MetricsRegistry
+from ..obs.slo import SLO_STATES, SloTracker
 from ..obs.trace import Tracer
 from ..storage import load
+from .access_log import AccessLog
 from .admission import (
     DEFAULT_CLIENT_BURST,
     DEFAULT_QUEUE_DEPTH,
@@ -87,6 +100,22 @@ MAX_BODY_BYTES = 1 << 20
 HEALTH_STATES = {"healthy": 0, "degraded": 1, "draining": 2}
 #: Failed-artefact records kept for /healthz (newest last).
 MAX_QUARANTINE_RECORDS = 16
+
+#: Head-sampling default: keep every Nth request's span (1 = all).
+DEFAULT_TRACE_SAMPLE = 1
+#: Tail rule: a request at least this slow keeps its span regardless
+#: of the sampling decision — the outliers are what traces are *for*.
+DEFAULT_TRACE_SLOW_SECONDS = 0.5
+#: Rolling window behind the /healthz latency block.
+LATENCY_WINDOW_SECONDS = 300.0
+
+#: Client-supplied request ids must look like ids, not payloads.
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
+
+
+def new_request_id() -> str:
+    """A fresh 16-hex-char request id."""
+    return secrets.token_hex(8)
 
 
 class ServeError(ValueError):
@@ -137,6 +166,10 @@ class OpinionService:
         client_burst: float = DEFAULT_CLIENT_BURST,
         fault_injector: ServeFaultInjector | None = None,
         reload_breaker: CircuitBreaker | None = None,
+        access_log: AccessLog | None = None,
+        slo: SloTracker | None = None,
+        trace_sample: int = DEFAULT_TRACE_SAMPLE,
+        trace_slow_seconds: float = DEFAULT_TRACE_SLOW_SECONDS,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(
@@ -146,6 +179,10 @@ class OpinionService:
             raise ValueError(
                 "request_deadline must be positive, "
                 f"got {request_deadline}"
+            )
+        if trace_sample < 1:
+            raise ValueError(
+                f"trace_sample must be >= 1, got {trace_sample}"
             )
         self.source_path = (
             Path(source_path) if source_path is not None else None
@@ -170,6 +207,17 @@ class OpinionService:
             if reload_breaker is not None
             else CircuitBreaker()
         )
+        self.access_log = access_log
+        self.slo = slo if slo is not None else SloTracker()
+        self.trace_sample = int(trace_sample)
+        self.trace_slow_seconds = float(trace_slow_seconds)
+        self.latency_window = WindowedHistogram(
+            window_seconds=LATENCY_WINDOW_SECONDS
+        )
+        # Lock-free head-sampling counter: itertools.count.__next__
+        # is atomic in CPython, so the hot path takes _trace_lock
+        # only for the spans it actually keeps.
+        self._trace_seen = itertools.count(1)
         self._swap_lock = threading.Lock()
         self._trace_lock = threading.Lock()
         self._index = OpinionIndex(table, generation=1)
@@ -602,17 +650,48 @@ class OpinionService:
         status: int,
         seconds: float,
         cached: bool | None = None,
+        request_id: str | None = None,
+        client: str | None = None,
+        code: str | None = None,
     ) -> None:
-        """Account one handled request (metrics + optional span)."""
+        """Account one handled request: metrics (with the request id
+        as the histogram exemplar), SLO windows, the rolling latency
+        window, the access log, and a head-sampled span."""
         registry = self.registry
         registry.inc("repro_serve_requests_total")
         if status == 503:
             registry.inc("repro_serve_rejected_total")
         elif status >= 500:
             registry.inc("repro_serve_errors_total")
-        registry.observe("repro_serve_request_seconds", seconds)
+        registry.observe(
+            "repro_serve_request_seconds", seconds,
+            exemplar=request_id,
+        )
+        self.slo.record(status, seconds)
+        self.latency_window.observe(seconds, request_id)
+        if self.access_log is not None:
+            self.access_log.write(
+                request_id=request_id,
+                method=method,
+                path=path,
+                status=status,
+                seconds=seconds,
+                cached=cached,
+                code=code,
+                client=client,
+                generation=self._index.generation,
+            )
         tracer = self.tracer
         if tracer is None or not tracer.enabled:
+            return
+        # Head sampling with a tail rule: every Nth request keeps its
+        # span, and slow or failed requests ALWAYS keep theirs.
+        sampled = next(self._trace_seen) % self.trace_sample == 0
+        if not (
+            sampled
+            or seconds >= self.trace_slow_seconds
+            or status >= 500
+        ):
             return
         attrs: dict[str, Any] = {
             "method": method,
@@ -621,6 +700,10 @@ class OpinionService:
         }
         if cached is not None:
             attrs["cached"] = cached
+        if request_id is not None:
+            attrs["request_id"] = request_id
+        if code is not None:
+            attrs["code"] = code
         record = {
             "span_id": 0,
             "parent_id": None,
@@ -638,6 +721,44 @@ class OpinionService:
         # span a fresh id under the service's lock.
         with self._trace_lock:
             tracer.adopt([record])
+
+    def publish_slo_gauges(self) -> None:
+        """Refresh the burn-rate gauges (called before /metrics
+        renders so scrapes always see current windows)."""
+        rates = self.slo.burn_rates()
+        registry = self.registry
+        registry.set_gauge(
+            "repro_serve_availability_burn_fast",
+            rates["availability"]["fast"],
+        )
+        registry.set_gauge(
+            "repro_serve_availability_burn_slow",
+            rates["availability"]["slow"],
+        )
+        registry.set_gauge(
+            "repro_serve_latency_burn_fast",
+            rates["latency"]["fast"],
+        )
+        registry.set_gauge(
+            "repro_serve_latency_burn_slow",
+            rates["latency"]["slow"],
+        )
+        registry.set_gauge(
+            "repro_serve_slo_state",
+            SLO_STATES.index(self.slo.state()),
+        )
+
+    def latency_summary(self) -> dict[str, Any]:
+        """The /healthz recent-latency block (rolling window)."""
+        merged = self.latency_window.merged()
+        p50, p95, p99 = merged.quantiles((0.5, 0.95, 0.99))
+        return {
+            "window_seconds": self.latency_window.window_seconds,
+            "count": merged.count,
+            "p50": p50,
+            "p95": p95,
+            "p99": p99,
+        }
 
     def healthz(self) -> dict[str, Any]:
         index = self._index
@@ -657,6 +778,8 @@ class OpinionService:
             "max_inflight": self.max_inflight,
             "admission": self.admission.stats(),
             "cache": self.cache.stats(),
+            "slo": self.slo.report(),
+            "latency": self.latency_summary(),
         }
 
 
@@ -709,6 +832,9 @@ class ServeHandler(BaseHTTPRequestHandler):
     UNGATED = ("/healthz", "/metrics", "/admin/reload",
                "/admin/rollback")
 
+    #: Set per request in _handle before any response is written.
+    request_id: str = ""
+
     # -- plumbing -------------------------------------------------------
     def log_message(self, format: str, *args: Any) -> None:
         pass  # request logging is the metrics/trace layer's job
@@ -716,6 +842,15 @@ class ServeHandler(BaseHTTPRequestHandler):
     @property
     def service(self) -> OpinionService:
         return self.server.service
+
+    def _resolve_request_id(self) -> str:
+        """Honour a well-formed client ``X-Request-Id``, else mint
+        one. Malformed ids are replaced, not echoed — a header is not
+        a place to reflect arbitrary bytes back at a client."""
+        supplied = self.headers.get("X-Request-Id", "")
+        if supplied and _REQUEST_ID_RE.match(supplied):
+            return supplied
+        return new_request_id()
 
     def _send_json(
         self,
@@ -729,6 +864,8 @@ class ServeHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self.request_id:
+            self.send_header("X-Request-Id", self.request_id)
         if cached is not None:
             self.send_header("X-Cache", "hit" if cached else "miss")
         if retry_after is None and status in (429, 503):
@@ -756,6 +893,7 @@ class ServeHandler(BaseHTTPRequestHandler):
                 message,
                 retry_after=retry_after,
                 degraded=self.service.degraded,
+                request_id=self.request_id or None,
             ),
             retry_after=retry_after,
         )
@@ -767,6 +905,8 @@ class ServeHandler(BaseHTTPRequestHandler):
             "Content-Type", "text/plain; version=0.0.4"
         )
         self.send_header("Content-Length", str(len(body)))
+        if self.request_id:
+            self.send_header("X-Request-Id", self.request_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -807,12 +947,16 @@ class ServeHandler(BaseHTTPRequestHandler):
         path = urlsplit(self.path).path
         status = 500
         cached: bool | None = None
+        code: str | None = None
+        self.request_id = self._resolve_request_id()
+        client = self._client_id()
         service = self.service
         gated = path not in self.UNGATED
         if gated:
-            decision = service.admit(self._client_id())
+            decision = service.admit(client)
             if not decision:
                 status = decision.status
+                code = decision.code
                 if status == 429:
                     service.registry.inc(
                         "repro_serve_rate_limited_total"
@@ -828,6 +972,9 @@ class ServeHandler(BaseHTTPRequestHandler):
                     path=path,
                     status=status,
                     seconds=time.perf_counter() - started,
+                    request_id=self.request_id,
+                    client=client,
+                    code=code,
                 )
                 return
         deadline = (
@@ -837,28 +984,32 @@ class ServeHandler(BaseHTTPRequestHandler):
             status, cached = self._route(method, path, deadline)
         except DeadlineExceeded as error:
             status = 503
+            code = "deadline_exceeded"
             service.registry.inc(
                 "repro_serve_deadline_exceeded_total"
             )
             self._send_error(
-                status, "deadline_exceeded", str(error),
+                status, code, str(error),
                 retry_after=1.0,
             )
         except ServeError as error:
             status = error.status
+            code = error.code
             self._send_error(
                 status, error.code, str(error),
                 retry_after=error.retry_after,
             )
         except (BrokenPipeError, ConnectionResetError):
             status = 499  # client went away mid-response
+            code = "client_disconnect"
             self.close_connection = True
         except Exception as error:  # pragma: no cover - defensive
             status = 500
+            code = "internal"
             try:
                 self._send_error(
                     status,
-                    "internal",
+                    code,
                     f"{type(error).__name__}: {error}",
                 )
             except OSError:
@@ -872,6 +1023,9 @@ class ServeHandler(BaseHTTPRequestHandler):
                 status=status,
                 seconds=time.perf_counter() - started,
                 cached=cached,
+                request_id=self.request_id,
+                client=client,
+                code=code,
             )
 
     # -- routing --------------------------------------------------------
@@ -884,6 +1038,9 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._send_json(200, self.service.healthz())
             return 200, None
         if method == "GET" and path == "/metrics":
+            # Burn-rate gauges are derived from rolling windows, so
+            # they are recomputed at scrape time, not write time.
+            self.service.publish_slo_gauges()
             self._send_text(200, self.service.registry.exposition())
             return 200, None
         if method == "POST" and path == "/batch":

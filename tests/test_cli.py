@@ -460,6 +460,23 @@ class TestBench:
         assert "benchmark trend over 2 runs" in output
         assert "wall_seconds" in output
 
-    def test_trend_empty_directory_fails(self, tmp_path):
-        with pytest.raises(SystemExit):
-            main(["bench", "trend", "--dir", str(tmp_path)])
+    def test_trend_empty_directory_notes_no_data(
+        self, tmp_path, capsys
+    ):
+        """A directory with no trajectories is an answer (nothing
+        recorded yet), not an error: one-line note, exit 0."""
+        rc = main(["bench", "trend", "--dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no data" in out
+        assert out.count("\n") == 1
+
+    def test_trend_skips_empty_trajectory_files(
+        self, tmp_path, capsys
+    ):
+        """An aborted bench run can leave a zero-byte BENCH file;
+        trend must not crash on it."""
+        (tmp_path / "BENCH_empty.json").write_text("")
+        rc = main(["bench", "trend", "--dir", str(tmp_path)])
+        assert rc == 0
+        assert "no data" in capsys.readouterr().out

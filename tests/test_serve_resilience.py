@@ -523,6 +523,7 @@ def post(url, payload=None):
 
 ENVELOPE_KEYS = {
     "format", "version", "code", "error", "retry_after", "degraded",
+    "request_id",
 }
 
 
@@ -548,6 +549,8 @@ class TestHTTPResilience:
                 assert status in (400, 404, 409)
                 assert payload["format"] == "serve_error"
                 assert set(payload) == ENVELOPE_KEYS
+                # HTTP-side envelopes always carry the real id.
+                assert payload["request_id"]
         finally:
             server.shutdown()
             server.server_close()
@@ -696,12 +699,21 @@ class TestErrorEnvelopeGolden:
         )
 
     def test_http_400_matches_golden(self, tmp_path):
+        """The HTTP envelope is the golden envelope plus the echoed
+        request id — normalising the id back to null must restore the
+        golden bytes exactly."""
         service = OpinionService(demo_table())
         server, thread, base = serve(service)
         try:
-            status, _, body = get(f"{base}/query?q=%21%21")
+            status, headers, body = get(f"{base}/query?q=%21%21")
             assert status == 400
-            assert body.decode() == GOLDEN.read_text().strip()
+            payload = json.loads(body)
+            assert payload["request_id"] == headers["X-Request-Id"]
+            payload["request_id"] = None
+            assert (
+                json.dumps(payload, sort_keys=True)
+                == GOLDEN.read_text().strip()
+            )
         finally:
             server.shutdown()
             server.server_close()
