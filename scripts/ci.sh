@@ -45,11 +45,13 @@ trap 'rm -rf "$OBS_DIR" "$BENCH_DIR"' EXIT
 # Order matters: ru_maxrss is a process-global high-watermark, so the
 # serving benches must run before bench_obs_overhead (whose tracing
 # bench peaks ~2x higher) or their recorded peak RSS is its, not
-# theirs.
+# theirs. bench_provenance runs last for the same reason: its 12k-doc
+# corpus would otherwise raise the watermark under the earlier benches.
 REPRO_BENCH_DIR="$BENCH_DIR" python -m pytest -q -p no:cacheprovider \
     benchmarks/bench_sec71_pipeline_scale.py \
     benchmarks/bench_serving.py \
-    benchmarks/bench_obs_overhead.py > /dev/null
+    benchmarks/bench_obs_overhead.py \
+    benchmarks/bench_provenance.py > /dev/null
 # Wall tolerance is wider than the ±15% library default: CI boxes run
 # these benches right after two test lanes on shared hardware, so wall
 # noise is real — a genuine 2x regression still fails by a mile. RSS
@@ -96,7 +98,11 @@ proc = subprocess.Popen(
     stderr=subprocess.PIPE, text=True,
 )
 try:
-    banner = proc.stderr.readline()
+    # The lineage-sidecar notice (if any) precedes the serving banner.
+    for _ in range(5):
+        banner = proc.stderr.readline()
+        if "repro serve: serving" in banner:
+            break
     assert "repro serve: serving" in banner, banner
     port = int(banner.rsplit(":", 1)[1])
     base = f"http://127.0.0.1:{port}"
@@ -121,13 +127,40 @@ try:
     hits = json.loads(body)["hits"]
     assert hits and hits[0]["entity"] == "/animal/kitten", hits
 
+    # Answer provenance: /explain joins the posterior with the
+    # lineage sidecar `repro mine` wrote next to the table, and the
+    # CLI renders the very same payload byte for byte.
+    status, body = get("/explain?entity=/animal/kitten&property=cute")
+    assert status == 200, body
+    explain = json.loads(body)
+    assert explain["format"] == "serve_explain", explain
+    assert explain["lineage"]["available"] is True, explain
+    assert explain["lineage"]["samples"], explain
+    cli = subprocess.run(
+        [sys.executable, "-m", "repro", "explain", opinions,
+         "/animal/kitten", "cute", "--format", "json"],
+        capture_output=True, text=True, timeout=60,
+    )
+    assert cli.returncode == 0, cli.stderr
+    assert cli.stdout.strip() == body.decode().strip(), (
+        "repro explain and GET /explain disagree",
+        cli.stdout, body,
+    )
+
     req = urllib.request.Request(
         base + "/batch",
         data=json.dumps({"queries": ["cute animals"]}).encode(),
         method="POST",
     )
     with urllib.request.urlopen(req, timeout=10) as r:
-        assert json.loads(r.read())["results"][0]["hits"]
+        batch_id = r.headers["X-Request-Id"]
+        results = json.loads(r.read())["results"]
+    assert results[0]["hits"], results
+    # Every batch item is stamped with the envelope's request id so
+    # sub-answers join the batch's access-log line.
+    assert batch_id and all(
+        item["request_id"] == batch_id for item in results
+    ), results
 
     status, body = get("/metrics")
     assert b"repro_serve_requests_total" in body
@@ -155,13 +188,38 @@ try:
         base + "/admin/reload", data=b"{}", method="POST"
     )
     with urllib.request.urlopen(req, timeout=10) as r:
-        assert json.loads(r.read())["generation"] == 2
+        reloaded = json.loads(r.read())
+    assert reloaded["generation"] == 2, reloaded
+    # Every snapshot swap emits a drift report: the reload response
+    # carries its summary, /metrics grows the generation gauges, and
+    # /healthz keeps the last report. Same artefact -> zero flips.
+    assert reloaded["drift"]["flips"] == 0, reloaded
+    status, body = get("/metrics")
+    for gauge in (b"repro_serve_generation_flips",
+                  b"repro_serve_generation_flip_fraction",
+                  b"repro_serve_generation_pairs_added",
+                  b"repro_serve_generation_entity_churn"):
+        assert gauge in body, (gauge, body)
+    health = json.loads(get("/healthz")[1])
+    assert health["drift"]["trigger"] == "reload", health
 
     proc.send_signal(signal.SIGHUP)
     deadline = time.monotonic() + 10
     while json.loads(get("/healthz")[1])["generation"] != 3:
         assert time.monotonic() < deadline, "SIGHUP reload missing"
         time.sleep(0.05)
+
+    # The offline drift CLI runs the same comparison the reloads just
+    # did; a table diffed against itself reports zero flips (exit 0).
+    diff = subprocess.run(
+        [sys.executable, "-m", "repro", "diff", opinions, opinions,
+         "--format", "json"],
+        capture_output=True, text=True, timeout=60,
+    )
+    assert diff.returncode == 0, diff.stderr
+    drift = json.loads(diff.stdout)
+    assert drift["format"] == "generation_drift", drift
+    assert drift["flips"] == 0 and drift["common"] > 0, drift
 
     proc.terminate()
     stderr = proc.communicate(timeout=10)[1]
@@ -176,6 +234,12 @@ try:
     assert records, "access log is empty after the serve lane"
     assert any(r["path"] == "/query" and r["status"] == 200
                for r in records), records
+    # One line per batch, carrying the sub-query count and the id the
+    # response items echoed.
+    batch_lines = [r for r in records if r["path"] == "/batch"]
+    assert len(batch_lines) == 1, batch_lines
+    assert batch_lines[0].get("items") == 1, batch_lines
+    assert batch_lines[0]["request_id"] == batch_id, batch_lines
 finally:
     if proc.poll() is None:
         proc.kill()
@@ -199,7 +263,11 @@ proc = subprocess.Popen(
     stderr=subprocess.PIPE, text=True,
 )
 try:
-    banner = proc.stderr.readline()
+    # The lineage-sidecar notice (if any) precedes the serving banner.
+    for _ in range(5):
+        banner = proc.stderr.readline()
+        if "repro serve: serving" in banner:
+            break
     assert "repro serve: serving" in banner, banner
     port = int(banner.rsplit(":", 1)[1])
     base = f"http://127.0.0.1:{port}"

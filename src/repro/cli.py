@@ -5,6 +5,8 @@ Subcommands::
     python -m repro demo                      end-to-end demo run
     python -m repro mine  ...                 mine opinions from raw text
     python -m repro query ...                 query a mined opinion table
+    python -m repro explain ...               full lineage for one answer
+    python -m repro diff  ...                 drift between two tables
     python -m repro serve ...                 HTTP query API over a table
     python -m repro top   ...                 live console over a server
     python -m repro eval                      reproduce the Table 3 comparison
@@ -62,7 +64,12 @@ from .obs import (
 from .pipeline.mapreduce import EXECUTORS
 from .pipeline.resilience import RetryPolicy
 from .pipeline.runner import SurveyorPipeline
-from .storage import FormatError, load, save
+from .storage import (
+    FormatError,
+    load,
+    provenance_path_for,
+    save,
+)
 
 #: Exit code for operational failures (bad input files, corrupt
 #: artefacts); distinct from 1, which subcommands use for "ran fine
@@ -235,12 +242,23 @@ def cmd_mine(args: argparse.Namespace) -> int:
         registry=registry,
         fast_path=False if args.no_fast_path else None,
         strict_parity=True if args.strict_parity else None,
+        provenance=False if args.no_provenance else None,
     )
     report = pipeline.run(corpus)
     _finish_obs(args, tracer, registry, report.convergence)
     print(report.summary(), file=sys.stderr)
     save(report.opinions, args.out)
     print(f"wrote {len(report.opinions)} opinions to {args.out}")
+    sidecar_path = None
+    if report.provenance is not None:
+        sidecar_path = provenance_path_for(args.out)
+        save(report.provenance, sidecar_path)
+        print(
+            f"wrote evidence lineage ({report.provenance.n_pairs} "
+            f"pairs, {report.provenance.n_samples} samples) to "
+            f"{sidecar_path}",
+            file=sys.stderr,
+        )
     manifest = build_manifest(
         command="mine",
         config={
@@ -257,12 +275,18 @@ def cmd_mine(args: argparse.Namespace) -> int:
             "shard_timeout": args.shard_timeout,
             "fast_path": not args.no_fast_path,
             "strict_parity": args.strict_parity,
+            "provenance": not args.no_provenance,
         },
         started_unix=started_unix,
         duration_seconds=time.perf_counter() - started,
         health=report.health,
         outputs={
             "opinions": str(args.out),
+            **(
+                {"provenance": str(sidecar_path)}
+                if sidecar_path is not None
+                else {}
+            ),
             **({"trace": args.trace} if args.trace else {}),
             **(
                 {"metrics": args.metrics_out}
@@ -389,12 +413,142 @@ def cmd_ask(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Full lineage for one (entity, property) answer.
+
+    JSON mode goes through the same resolver and response builder as
+    the HTTP server's ``GET /explain``, so the two surfaces emit
+    byte-identical payloads (tested). Exit codes: 0 found, 1 no such
+    answer, 2 bad request (e.g. ambiguous entity type).
+    """
+    from .serve import (
+        OpinionIndex,
+        ServeError,
+        error_response,
+        explain_response,
+        load_provenance_sidecar,
+        resolve_opinion,
+    )
+
+    table = load(args.opinions)
+    if not isinstance(table, OpinionTable):
+        raise SystemExit(f"{args.opinions} is not an opinions artefact")
+    index = OpinionIndex(table)
+    provenance = load_provenance_sidecar(args.opinions)
+    try:
+        key, opinion = resolve_opinion(
+            table, args.entity, args.property, args.type
+        )
+    except ServeError as error:
+        if args.format == "json":
+            print(
+                json.dumps(
+                    error_response(error.code, str(error)),
+                    sort_keys=True,
+                )
+            )
+        else:
+            print(f"repro explain: {error}", file=sys.stderr)
+        return 1 if error.code == "not_found" else EXIT_USAGE
+    payload = explain_response(
+        args.entity,
+        key,
+        opinion,
+        index,
+        pair=(
+            provenance.for_pair(key, args.entity)
+            if provenance is not None
+            else None
+        ),
+        model=(
+            provenance.model_for(key)
+            if provenance is not None
+            else None
+        ),
+        convergence=(
+            provenance.convergence_for(key)
+            if provenance is not None
+            else None
+        ),
+        lineage_available=provenance is not None,
+    )
+    if args.format == "json":
+        print(json.dumps(payload, sort_keys=True))
+        return 0
+    lineage = payload["lineage"]
+    print(
+        f"{args.entity} / {key.property.text} ({key.entity_type}): "
+        f"p={opinion.probability:.3f} "
+        f"polarity={payload['polarity']} "
+        f"(+{opinion.evidence.positive}/-{opinion.evidence.negative})"
+        + ("  [degraded]" if payload["degraded"] else "")
+    )
+    model = payload["model"]
+    if model is not None:
+        print(
+            f"  model: pA={model['agreement']:.3f} "
+            f"p+S={model['rate_positive']:.3f} "
+            f"p-S={model['rate_negative']:.3f}"
+        )
+    conv = payload["convergence"]
+    if conv is not None:
+        print(
+            f"  em: {conv.get('verdict', 'unknown')} after "
+            f"{conv.get('iterations', 0)} iteration(s)"
+        )
+    if not lineage["available"]:
+        print(
+            "  lineage: unavailable (no provenance sidecar next to "
+            "the opinion table)"
+        )
+        return 0
+    print(
+        f"  lineage: {lineage['positive_seen'] or 0} positive / "
+        f"{lineage['negative_seen'] or 0} negative statements seen"
+    )
+    for sample in lineage["samples"]:
+        print(
+            f"    [{sample['polarity']}] {sample['doc_id']}#"
+            f"{sample['sentence_index']} via {sample['pattern']}"
+            + (
+                f" ({sample['negations']} negation(s))"
+                if sample["negations"]
+                else ""
+            )
+        )
+        if sample["sentence"]:
+            print(f"      {sample['sentence']}")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Generation drift between two opinion tables.
+
+    The same comparison the server runs on every reload/rollback.
+    Exit codes: 0 no flipped decisions, 1 at least one flip.
+    """
+    from .obs.drift import compare_tables
+
+    before = load(args.before)
+    after = load(args.after)
+    for path, table in ((args.before, before), (args.after, after)):
+        if not isinstance(table, OpinionTable):
+            raise SystemExit(f"{path} is not an opinions artefact")
+    report = compare_tables(before, after)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), sort_keys=True))
+    else:
+        print(report.render())
+    return 1 if report.flips else 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve a mined opinion table over HTTP until SIGTERM/Ctrl-C."""
     from .serve import (
         OpinionService,
         build_server,
         install_signal_handlers,
+        load_provenance_sidecar,
     )
 
     table = load(args.opinions)
@@ -423,10 +577,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.access_log:
         from .serve import AccessLog
 
-        access_log = AccessLog(args.access_log)
+        access_log = AccessLog(
+            args.access_log,
+            max_bytes=args.access_log_max_bytes,
+        )
+    provenance = load_provenance_sidecar(args.opinions)
+    if provenance is not None:
+        print(
+            f"repro serve: loaded evidence lineage "
+            f"({provenance.n_pairs} pairs) for /explain",
+            file=sys.stderr,
+        )
     service = OpinionService(
         table,
         source_path=args.opinions,
+        provenance=provenance,
+        drift_guard_fraction=args.drift_guard_fraction,
         cache_size=args.cache_size,
         max_inflight=args.max_inflight,
         registry=registry,
@@ -726,6 +892,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "output divergence (roughly doubles map "
                            "cost; REPRO_STRICT_PARITY also controls "
                            "this)")
+    mine.add_argument("--no-provenance", action="store_true",
+                      help="skip evidence-lineage capture and the "
+                           "<out>.provenance.json sidecar "
+                           "(REPRO_PROVENANCE also controls this)")
     _add_obs_flags(mine)
     mine.set_defaults(func=cmd_mine)
 
@@ -754,6 +924,36 @@ def build_parser() -> argparse.ArgumentParser:
                      help="json emits the serve_ask payload, "
                           "identical to the HTTP server's")
     ask.set_defaults(func=cmd_ask)
+
+    explain = sub.add_parser(
+        "explain",
+        help="full lineage for one answer: posterior, counts, model "
+             "parameters, EM verdict, sampled evidence sentences",
+    )
+    explain.add_argument("opinions", help="opinions JSON from 'mine'")
+    explain.add_argument("entity", help="entity id, e.g. kitten")
+    explain.add_argument("property", help='e.g. "cute" or "very big"')
+    explain.add_argument("--type",
+                         help="entity type (needed only when the "
+                              "entity has the property under several "
+                              "types)")
+    explain.add_argument("--format", choices=("text", "json"),
+                         default="text",
+                         help="json emits the serve_explain payload, "
+                              "identical to GET /explain")
+    explain.set_defaults(func=cmd_explain)
+
+    diff = sub.add_parser(
+        "diff",
+        help="generation drift between two opinion tables (flipped "
+             "decisions, posterior deltas, entity churn)",
+    )
+    diff.add_argument("before", help="older opinions JSON")
+    diff.add_argument("after", help="newer opinions JSON")
+    diff.add_argument("--format", choices=("text", "json"),
+                      default="text",
+                      help="json emits the generation_drift payload")
+    diff.set_defaults(func=cmd_diff)
 
     serve = sub.add_parser(
         "serve",
@@ -798,6 +998,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--access-log", metavar="PATH",
                        help="append one JSONL line per request here "
                             "(flushed on drain)")
+    serve.add_argument("--access-log-max-bytes", type=int,
+                       metavar="N",
+                       help="rotate the access log when the live file "
+                            "would exceed N bytes (rotated parts are "
+                            "named <path>.<n>; default: no rotation)")
+    serve.add_argument("--drift-guard-fraction", type=float,
+                       metavar="F",
+                       help="warn (stderr + /healthz drift_alarm + "
+                            "repro_serve_drift_alarms_total) when a "
+                            "reload/rollback flips more than this "
+                            "fraction of common answers, e.g. 0.2 "
+                            "(default: disabled)")
     serve.add_argument("--trace-sample", type=int, default=1,
                        help="head-sample spans: keep every Nth "
                             "request (default 1 = all; slow and "

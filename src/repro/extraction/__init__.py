@@ -10,9 +10,23 @@ from .patterns import (
     find_matches,
 )
 from .polarity import negation_count, statement_polarity
+from .provenance import (
+    DEFAULT_SAMPLES_PER_POLARITY,
+    PairProvenance,
+    ProvenanceIndex,
+    ProvenanceLedger,
+    ProvenanceSample,
+    provenance_default,
+)
 from .statement import EvidenceCounter, EvidenceStatement
 
 __all__ = [
+    "DEFAULT_SAMPLES_PER_POLARITY",
+    "PairProvenance",
+    "ProvenanceIndex",
+    "ProvenanceLedger",
+    "ProvenanceSample",
+    "provenance_default",
     "ANTONYMS",
     "DEFAULT_PATTERNS",
     "EvidenceCounter",

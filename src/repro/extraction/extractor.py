@@ -11,9 +11,11 @@ from collections.abc import Iterable
 from dataclasses import dataclass, field, replace
 
 from ..core.errors import ExtractionError
+from ..core.types import Polarity
 from ..nlp.annotate import AnnotatedDocument, AnnotatedSentence, Annotator
 from .patterns import DEFAULT_PATTERNS, PatternConfig, find_matches
-from .polarity import statement_polarity
+from .polarity import negation_count
+from .provenance import ProvenanceLedger
 from .statement import EvidenceCounter, EvidenceStatement
 
 
@@ -41,9 +43,18 @@ class EvidenceExtractor:
 
     config: PatternConfig = DEFAULT_PATTERNS
     stats: ExtractionStats = field(default_factory=ExtractionStats)
+    #: Optional lineage capture: when set, :meth:`extract_sentence`
+    #: samples each distinct sentence's statements (doc id, sentence
+    #: index, pattern, polarity) into the ledger. ``None`` (the
+    #: default) keeps extraction byte-identical to the pre-provenance
+    #: behaviour at zero cost.
+    provenance: ProvenanceLedger | None = None
 
     def extract_sentence(
-        self, annotated: AnnotatedSentence, doc_id: str = ""
+        self,
+        annotated: AnnotatedSentence,
+        doc_id: str = "",
+        sentence_index: int = 0,
     ) -> list[EvidenceStatement]:
         """All evidence statements in one sentence.
 
@@ -54,7 +65,11 @@ class EvidenceExtractor:
         When the annotator attached an ``extraction_cache`` (the
         sentence's matches are a pure function of its text and link
         context), the pattern matching and polarity work runs once per
-        cache line and later documents only re-stamp ``doc_id``.
+        cache line and later documents only re-stamp ``doc_id``. A
+        ledger samples each cache line once (``seen_lines`` identity
+        check), so repeat visits of a shared sentence pay no
+        provenance cost beyond that check; exact totals come from the
+        evidence counter via ``ProvenanceLedger.seed_totals``.
         """
         cache = annotated.extraction_cache
         if cache is not None:
@@ -62,11 +77,26 @@ class EvidenceExtractor:
             if protos is None:
                 protos = tuple(self._match_sentence(annotated, doc_id))
                 cache[self.config] = protos
-            return [
+            if not protos:
+                return []
+            found = [
                 s if s.doc_id == doc_id else replace(s, doc_id=doc_id)
                 for s in protos
             ]
-        return self._match_sentence(annotated, doc_id)
+            ledger = self.provenance
+            if (
+                ledger is not None
+                and id(protos) not in ledger.seen_lines
+            ):
+                ledger.sample_line(protos, found, sentence_index)
+            return found
+        found = self._match_sentence(annotated, doc_id)
+        if found:
+            ledger = self.provenance
+            if ledger is not None:
+                for statement in found:
+                    ledger.record(statement, sentence_index)
+        return found
 
     def _match_sentence(
         self, annotated: AnnotatedSentence, doc_id: str
@@ -75,15 +105,21 @@ class EvidenceExtractor:
         try:
             text = annotated.text()
             for match in find_matches(annotated, self.config):
+                negations = negation_count(match.property_node)
                 statements.append(
                     EvidenceStatement(
                         entity_id=match.mention.entity_id,
                         entity_type=match.mention.entity_type,
                         property=match.property,
-                        polarity=statement_polarity(match.property_node),
+                        polarity=(
+                            Polarity.NEGATIVE
+                            if negations % 2
+                            else Polarity.POSITIVE
+                        ),
                         pattern=match.pattern,
                         doc_id=doc_id,
                         sentence=text,
+                        negations=negations,
                     )
                 )
         except ExtractionError:
@@ -101,10 +137,15 @@ class EvidenceExtractor:
         """All evidence statements in one document."""
         statements: list[EvidenceStatement] = []
         self.stats.documents += 1
-        for annotated in document.sentences:
+        doc_id = document.doc_id
+        for sentence_index, annotated in enumerate(
+            document.sentences
+        ):
             self.stats.sentences += 1
             statements.extend(
-                self.extract_sentence(annotated, document.doc_id)
+                self.extract_sentence(
+                    annotated, doc_id, sentence_index
+                )
             )
         self._account(statements)
         return statements
@@ -119,8 +160,6 @@ class EvidenceExtractor:
         return counter
 
     def _account(self, statements: list[EvidenceStatement]) -> None:
-        from ..core.types import Polarity
-
         self.stats.statements += len(statements)
         for statement in statements:
             if statement.polarity is Polarity.POSITIVE:

@@ -1,0 +1,486 @@
+"""Bounded-sample evidence lineage for extracted statements.
+
+Every opinion Surveyor serves is a posterior distilled from ``<C+, C->``
+counts; this module keeps enough raw material to answer *why* — for each
+(entity, property-type) pair it records where the counts came from: a
+handful of sampled statements (doc id, sentence index, matched
+dependency pattern, polarity, negation count, sentence text) plus the
+exact number of positive/negative statements seen.
+
+The capture is deliberately bounded: at most ``samples_per_polarity``
+sampled statements per polarity per pair, with sentence text truncated
+to :data:`MAX_SENTENCE_CHARS`. On the paper's scale (Section 7.1) the
+counts dominate — the ledger stays a small constant factor of the
+evidence counter, never a copy of the corpus.
+
+Cost model: the extraction fast path shares memoized statement protos
+across every document containing the same sentence, so the ledger
+samples *once per distinct sentence* (:meth:`ProvenanceLedger.sample_line`,
+guarded by an identity check that costs two dict probes on repeats)
+instead of doing per-statement bookkeeping, and the exact
+positive/negative totals are copied from the
+:class:`~repro.extraction.statement.EvidenceCounter` — which already
+counts every statement — in one pass at reduce time
+(:meth:`ProvenanceLedger.seed_totals`). The per-statement hot path
+stays untouched; benchmarks/bench_provenance.py gates the residue.
+
+Determinism: workers visit sentences in document order within a
+shard, the seen-line marker is per-ledger (never shared state), and
+the runner merges shard ledgers in ``shard_id`` order — exactly the
+order the evidence counters merge in — so two runs over the same
+corpus produce byte-identical sidecars whether the annotation memo
+was cold or warm.
+
+The write side (:class:`ProvenanceLedger`) lives in the extraction
+workers and merges across shards; the read side
+(:class:`ProvenanceIndex`) additionally links each pair to its
+combination's learned model parameters ``(pA, p+S, p-S)`` and EM
+convergence verdict, and is what the sidecar file and the ``/explain``
+surface serialize.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator
+
+from ..core.params import ModelParameters
+from ..core.types import Polarity, PropertyTypeKey
+from .statement import EvidenceStatement
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.surveyor import SurveyorResult
+    from ..obs.convergence import ConvergenceRecord
+
+PROVENANCE_ENV = "REPRO_PROVENANCE"
+
+_FALSEY = frozenset({"", "0", "false", "no", "off"})
+
+#: Sampled statements kept per polarity per (entity, property) pair.
+DEFAULT_SAMPLES_PER_POLARITY = 3
+
+#: Sentence text is truncated to this many characters in samples.
+MAX_SENTENCE_CHARS = 240
+
+
+def provenance_default() -> bool:
+    """Whether lineage capture is on by default (``REPRO_PROVENANCE``)."""
+    value = os.environ.get(PROVENANCE_ENV)
+    if value is None:
+        return True
+    return value.strip().lower() not in _FALSEY
+
+
+@dataclass(frozen=True, slots=True)
+class ProvenanceSample:
+    """One sampled statement supporting or refuting a pair."""
+
+    doc_id: str
+    sentence_index: int
+    pattern: str
+    polarity: str  # "positive" | "negative"
+    negations: int
+    sentence: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "doc_id": self.doc_id,
+            "sentence_index": self.sentence_index,
+            "pattern": self.pattern,
+            "polarity": self.polarity,
+            "negations": self.negations,
+            "sentence": self.sentence,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ProvenanceSample":
+        return cls(
+            doc_id=str(payload["doc_id"]),
+            sentence_index=int(payload["sentence_index"]),
+            pattern=str(payload["pattern"]),
+            polarity=str(payload["polarity"]),
+            negations=int(payload.get("negations", 0)),
+            sentence=str(payload.get("sentence", "")),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class PairProvenance:
+    """Lineage for one (entity, property-type) pair.
+
+    ``positive_seen``/``negative_seen`` are exact totals (they match
+    the evidence counter); ``samples`` is the bounded subset kept.
+    """
+
+    positive_seen: int
+    negative_seen: int
+    samples: tuple[ProvenanceSample, ...] = ()
+
+
+def _raw_from_sample(sample: ProvenanceSample) -> tuple:
+    """Internal slot entry for one sample (field order matches)."""
+    return (
+        sample.doc_id,
+        sample.sentence_index,
+        sample.pattern,
+        sample.polarity,
+        sample.negations,
+        sample.sentence,
+    )
+
+
+def _pair_from_slot(slot: list[Any]) -> PairProvenance:
+    """Materialize a slot's raw tuples into the read-side view."""
+    return PairProvenance(
+        positive_seen=slot[0],
+        negative_seen=slot[1],
+        samples=tuple(
+            ProvenanceSample(
+                doc_id=raw[0],
+                sentence_index=int(raw[1]),
+                pattern=raw[2],
+                polarity=raw[3],
+                negations=raw[4],
+                sentence=raw[5],
+            )
+            for raw in (*slot[2], *slot[3])
+        ),
+    )
+
+
+class ProvenanceLedger:
+    """Accumulates bounded per-pair lineage during extraction.
+
+    Mirrors :class:`~repro.extraction.statement.EvidenceCounter`'s
+    shape (plain nested dicts, picklable across process-pool workers)
+    with a ``merge`` that is associative given the runner's sorted
+    shard order: the first ``samples_per_polarity`` statements per
+    polarity in merge order win.
+    """
+
+    def __init__(
+        self,
+        samples_per_polarity: int = DEFAULT_SAMPLES_PER_POLARITY,
+    ) -> None:
+        if samples_per_polarity < 1:
+            raise ValueError(
+                "samples_per_polarity must be >= 1, got "
+                f"{samples_per_polarity}"
+            )
+        self.samples_per_polarity = int(samples_per_polarity)
+        # One flat dict keyed by (property, entity_type, entity_id),
+        # value [positive_seen, negative_seen, pos_samples,
+        # neg_samples]. The flat tuple key hashes several times
+        # cheaper than constructing a PropertyTypeKey per statement,
+        # and the split sample lists turn the per-polarity cap check
+        # into one len(). Samples are held as plain field tuples
+        # (:class:`ProvenanceSample` construction costs ~5x a tuple;
+        # per-shard ledgers build several times more samples than
+        # survive the merge cap) and materialized by the views.
+        self._slots: dict[tuple[Any, str, str], list[Any]] = {}
+        # Memoized statement-proto tuples already sampled, keyed by
+        # identity. The value keeps a strong reference so the id can
+        # never be recycled for a different live line. Repeat visits
+        # of a shared sentence cost two dict probes — the only work
+        # provenance adds to the extraction hot path.
+        self.seen_lines: dict[int, tuple] = {}
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Shard ledgers cross process-pool boundaries; the seen-line
+        # pins are identity-scoped (meaningless after unpickling) and
+        # would drag full statement protos along — drop them.
+        state = self.__dict__.copy()
+        state["seen_lines"] = {}
+        return state
+
+    def record(
+        self, statement: EvidenceStatement, sentence_index: int
+    ) -> None:
+        """Account one statement exactly, sampling if room remains.
+
+        This is the non-memoized (reference/slow) extraction path:
+        counts here are exact because every statement occurrence is
+        seen once. The fast path uses :meth:`sample_line` plus
+        :meth:`seed_totals` instead.
+        """
+        slots = self._slots
+        pair_key = (
+            statement.property,
+            statement.entity_type,
+            statement.entity_id,
+        )
+        slot = slots.get(pair_key)
+        if slot is None:
+            slot = [0, 0, [], []]
+            slots[pair_key] = slot
+        if statement.polarity is Polarity.POSITIVE:
+            slot[0] += 1
+            samples: list[tuple] = slot[2]
+            polarity = "positive"
+        else:
+            slot[1] += 1
+            samples = slot[3]
+            polarity = "negative"
+        if len(samples) >= self.samples_per_polarity:
+            return
+        samples.append((
+            statement.doc_id,
+            sentence_index,
+            statement.pattern,
+            polarity,
+            statement.negations,
+            statement.sentence[:MAX_SENTENCE_CHARS],
+        ))
+
+    def sample_line(
+        self,
+        line: tuple,
+        statements: list[EvidenceStatement],
+        sentence_index: int,
+    ) -> None:
+        """Sample one memoized sentence's statements, once per ledger.
+
+        ``line`` is the shared proto tuple (the identity marker);
+        ``statements`` are the re-stamped copies carrying the current
+        document's id. Totals are *not* touched — they come from
+        :meth:`seed_totals` — so sampling dedupes across the documents
+        that share a sentence: samples are distinct sentences, each
+        attributed to the first document (per shard) containing it.
+        """
+        self.seen_lines[id(line)] = line
+        cap = self.samples_per_polarity
+        slots = self._slots
+        for statement in statements:
+            pair_key = (
+                statement.property,
+                statement.entity_type,
+                statement.entity_id,
+            )
+            slot = slots.get(pair_key)
+            if slot is None:
+                slot = [0, 0, [], []]
+                slots[pair_key] = slot
+            if statement.polarity is Polarity.POSITIVE:
+                samples: list[tuple] = slot[2]
+                polarity = "positive"
+            else:
+                samples = slot[3]
+                polarity = "negative"
+            if len(samples) >= cap:
+                continue
+            samples.append((
+                statement.doc_id,
+                sentence_index,
+                statement.pattern,
+                polarity,
+                statement.negations,
+                statement.sentence[:MAX_SENTENCE_CHARS],
+            ))
+
+    def seed_totals(self, counter: Any) -> None:
+        """Copy exact per-pair totals from an ``EvidenceCounter``.
+
+        The counter counts every statement occurrence already; doing
+        it again per statement in the ledger would double the hot-path
+        bookkeeping. The runner calls this once after the shard merge,
+        making ``positive_seen``/``negative_seen`` exact regardless of
+        which capture path (memoized or reference) recorded samples.
+        """
+        slots = self._slots
+        for key, per_entity in counter.as_evidence().items():
+            prop = key.property
+            entity_type = key.entity_type
+            for entity_id, counts in per_entity.items():
+                pair_key = (prop, entity_type, entity_id)
+                slot = slots.get(pair_key)
+                if slot is None:
+                    slot = [0, 0, [], []]
+                    slots[pair_key] = slot
+                slot[0] = counts.positive
+                slot[1] = counts.negative
+
+    def _seed_slot(
+        self, key: PropertyTypeKey, entity_id: str
+    ) -> list[Any]:
+        pair_key = (key.property, key.entity_type, entity_id)
+        slot = self._slots.get(pair_key)
+        if slot is None:
+            slot = [0, 0, [], []]
+            self._slots[pair_key] = slot
+        return slot
+
+    def seed_pair(
+        self,
+        key: PropertyTypeKey,
+        entity_id: str,
+        pair: PairProvenance,
+    ) -> None:
+        """Load one pair's persisted lineage (checkpoint read path)."""
+        slot = self._seed_slot(key, entity_id)
+        slot[0] = pair.positive_seen
+        slot[1] = pair.negative_seen
+        slot[2] = [
+            _raw_from_sample(s)
+            for s in pair.samples
+            if s.polarity == "positive"
+        ]
+        slot[3] = [
+            _raw_from_sample(s)
+            for s in pair.samples
+            if s.polarity == "negative"
+        ]
+
+    def merge(self, other: "ProvenanceLedger") -> None:
+        """Fold another ledger in (the reduce side of the pipeline).
+
+        Totals add; samples concatenate in merge order and re-truncate
+        per polarity, so the earliest-merged shards' samples win —
+        deterministic because the runner merges shards sorted by id.
+        """
+        cap = self.samples_per_polarity
+        for pair_key, (pos, neg, pos_s, neg_s) in other._slots.items():
+            slot = self._slots.get(pair_key)
+            if slot is None:
+                slot = [0, 0, [], []]
+                self._slots[pair_key] = slot
+            slot[0] += pos
+            slot[1] += neg
+            room = cap - len(slot[2])
+            if room > 0:
+                slot[2].extend(pos_s[:room])
+            room = cap - len(slot[3])
+            if room > 0:
+                slot[3].extend(neg_s[:room])
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def n_pairs(self) -> int:
+        return len(self._slots)
+
+    @property
+    def n_samples(self) -> int:
+        return sum(
+            len(slot[2]) + len(slot[3])
+            for slot in self._slots.values()
+        )
+
+    def for_pair(
+        self, key: PropertyTypeKey, entity_id: str
+    ) -> PairProvenance | None:
+        slot = self._slots.get(
+            (key.property, key.entity_type, entity_id)
+        )
+        if slot is None:
+            return None
+        return _pair_from_slot(slot)
+
+    def pairs(
+        self,
+    ) -> Iterator[tuple[PropertyTypeKey, str, PairProvenance]]:
+        for (prop, entity_type, entity_id), slot in self._slots.items():
+            yield (
+                PropertyTypeKey(
+                    property=prop, entity_type=entity_type
+                ),
+                entity_id,
+                _pair_from_slot(slot),
+            )
+
+
+class ProvenanceIndex:
+    """Read-side lineage: pairs linked to their fitted model and
+    convergence verdict — the object the sidecar file serializes and
+    ``/explain`` reads."""
+
+    def __init__(
+        self,
+        pairs: dict[PropertyTypeKey, dict[str, PairProvenance]],
+        models: dict[PropertyTypeKey, ModelParameters] | None = None,
+        convergence: dict[PropertyTypeKey, dict[str, Any]] | None = None,
+        samples_per_polarity: int = DEFAULT_SAMPLES_PER_POLARITY,
+    ) -> None:
+        self._pairs = pairs
+        self._models = models or {}
+        self._convergence = convergence or {}
+        self.samples_per_polarity = int(samples_per_polarity)
+
+    @classmethod
+    def from_run(
+        cls,
+        ledger: ProvenanceLedger,
+        result: "SurveyorResult | None" = None,
+        convergence: "list[ConvergenceRecord] | None" = None,
+    ) -> "ProvenanceIndex":
+        """Link a run's ledger to its fits and convergence records."""
+        pairs: dict[PropertyTypeKey, dict[str, PairProvenance]] = {}
+        for key, entity_id, pair in ledger.pairs():
+            pairs.setdefault(key, {})[entity_id] = pair
+        models: dict[PropertyTypeKey, ModelParameters] = {}
+        by_text: dict[str, PropertyTypeKey] = {}
+        if result is not None:
+            for key, fit in result.fits.items():
+                models[key] = fit.parameters
+                by_text[str(key)] = key
+        summaries: dict[PropertyTypeKey, dict[str, Any]] = {}
+        for record in convergence or ():
+            # ConvergenceRecord carries the key flattened to text;
+            # join it back through the fits it was built from.
+            key = by_text.get(record.key)
+            if key is None:
+                continue
+            summaries[key] = {
+                "verdict": record.verdict,
+                "iterations": record.iterations,
+                "converged": record.converged,
+                "degraded": record.degraded,
+            }
+        return cls(
+            pairs,
+            models,
+            summaries,
+            samples_per_polarity=ledger.samples_per_polarity,
+        )
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def for_pair(
+        self, key: PropertyTypeKey, entity_id: str
+    ) -> PairProvenance | None:
+        return self._pairs.get(key, {}).get(entity_id)
+
+    def model_for(self, key: PropertyTypeKey) -> ModelParameters | None:
+        return self._models.get(key)
+
+    def convergence_for(
+        self, key: PropertyTypeKey
+    ) -> dict[str, Any] | None:
+        summary = self._convergence.get(key)
+        return dict(summary) if summary is not None else None
+
+    def keys(self) -> list[PropertyTypeKey]:
+        return list(self._pairs)
+
+    def entities_for(self, key: PropertyTypeKey) -> list[str]:
+        return sorted(self._pairs.get(key, {}))
+
+    def models(self) -> dict[PropertyTypeKey, ModelParameters]:
+        return dict(self._models)
+
+    def convergence(self) -> dict[PropertyTypeKey, dict[str, Any]]:
+        return {k: dict(v) for k, v in self._convergence.items()}
+
+    @property
+    def n_pairs(self) -> int:
+        return sum(len(v) for v in self._pairs.values())
+
+    @property
+    def n_samples(self) -> int:
+        return sum(
+            len(pair.samples)
+            for per_entity in self._pairs.values()
+            for pair in per_entity.values()
+        )

@@ -31,6 +31,12 @@ class EvidenceStatement:
     pattern: str
     doc_id: str = ""
     sentence: str = ""
+    #: Negation-particle count on the dependency path (Section 4.2);
+    #: ``polarity`` is negative iff this is odd. Kept on the statement
+    #: so provenance can report *why* a statement counted the way it
+    #: did. A pure function of the parsed sentence, so it is safe to
+    #: cache across documents alongside the rest of the proto.
+    negations: int = 0
 
     def __post_init__(self) -> None:
         if self.polarity is Polarity.NEUTRAL:

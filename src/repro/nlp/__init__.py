@@ -1,6 +1,11 @@
 """NLP substrate: tokenizer, tagger, dependency parser, entity linker."""
 
-from .annotate import AnnotatedDocument, AnnotatedSentence, Annotator
+from .annotate import (
+    AnnotatedDocument,
+    AnnotatedSentence,
+    Annotator,
+    reset_shared_annotation_state,
+)
 from .coref import HUMAN_TYPES, PronounResolver
 from .deptree import DepNode, DepTree
 from .entity_linker import EntityLinker, LinkerStats
@@ -25,6 +30,7 @@ __all__ = [
     "Sentence",
     "Span",
     "Token",
+    "reset_shared_annotation_state",
     "split_sentences",
     "tag",
     "tokenize",

@@ -128,6 +128,22 @@ _SHARED: "weakref.WeakKeyDictionary[KnowledgeBase, dict]" = (
 )
 
 
+def reset_shared_annotation_state(
+    kb: "KnowledgeBase | None" = None,
+) -> None:
+    """Drop the process-local shared memo/prefilter caches.
+
+    Annotators built afterwards start cold, as a fresh process would.
+    For benchmarks and tests that need run-to-run isolation (e.g.
+    measuring the cold extraction path); never needed in production.
+    Pass a knowledge base to drop only its share, ``None`` for all.
+    """
+    if kb is None:
+        _SHARED.clear()
+    else:
+        _SHARED.pop(kb, None)
+
+
 def _shared_cache(
     kb: KnowledgeBase, key: tuple, build
 ):

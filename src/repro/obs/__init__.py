@@ -39,6 +39,12 @@ from .convergence import (
     records_to_payload,
     save_convergence,
 )
+from .drift import (
+    DRIFT_FORMAT,
+    DriftReport,
+    PropertyDrift,
+    compare_tables,
+)
 from .histogram import StreamingHistogram, WindowedHistogram
 from .live import (
     parse_exposition,
@@ -50,6 +56,7 @@ from .manifest import (
     build_manifest,
     git_describe,
     manifest_path_for,
+    read_manifest,
     write_manifest,
 )
 from .metrics import (
@@ -95,6 +102,11 @@ __all__ = [
     "ComparisonReport",
     "ConvergenceRecord",
     "DEFAULT_TOLERANCES",
+    "DRIFT_FORMAT",
+    "DriftReport",
+    "PropertyDrift",
+    "compare_tables",
+    "read_manifest",
     "MemoryProbe",
     "MemorySample",
     "MetricVerdict",

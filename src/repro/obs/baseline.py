@@ -315,6 +315,11 @@ def _recorded_at(payload: dict[str, Any]) -> float:
     return min(stamps) if stamps else 0.0
 
 
+def _format_gauge(value: float) -> str:
+    """Free-form gauge values have no declared unit: compact float."""
+    return f"{value:.4g}"
+
+
 def trend(
     paths: list[str | Path],
     metrics: tuple[str, ...] = BENCH_METRICS,
@@ -323,6 +328,9 @@ def trend(
 
     Files are ordered by their earliest record timestamp, so the
     rightmost point of every sparkline is the most recent run.
+    Besides the standard cost metrics, each record's free-form
+    ``values`` gauges (e.g. ``provenance_cpu_ratio``, ``qps``) get a
+    sparkline of their own.
     """
     from ..evaluation.ascii_plots import sparkline
 
@@ -355,6 +363,33 @@ def trend(
                 f"  {name:<{width}}  {metric:<24}"
                 f" {_format_metric(metric, values[0]):>10}"
                 f" -> {_format_metric(metric, values[-1]):>10}"
+                f"  {sparkline(values)}"
+            )
+        gauge_labels = sorted(
+            {
+                label
+                for payload in loaded
+                if name in payload["entries"]
+                for label in (
+                    payload["entries"][name].get("values") or {}
+                )
+            }
+        )
+        for label in gauge_labels:
+            series = [
+                (payload["entries"][name].get("values") or {}).get(
+                    label
+                )
+                for payload in loaded
+                if name in payload["entries"]
+            ]
+            values = [v for v in series if v is not None]
+            if not values:
+                continue
+            lines.append(
+                f"  {name:<{width}}  {label:<24}"
+                f" {_format_gauge(values[0]):>10}"
+                f" -> {_format_gauge(values[-1]):>10}"
                 f"  {sparkline(values)}"
             )
     return "\n".join(lines)

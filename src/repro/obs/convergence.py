@@ -61,21 +61,32 @@ class ConvergenceRecord:
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "ConvergenceRecord":
+        """Forward-compatible read: ``key`` is required; every other
+        field defaults when absent and unknown keys are ignored, so
+        records written by newer (or older) versions still load."""
+        if "key" not in payload:
+            raise KeyError("convergence record missing 'key'")
         return cls(
             key=str(payload["key"]),
-            verdict=str(payload["verdict"]),
-            iterations=int(payload["iterations"]),
-            converged=bool(payload["converged"]),
-            degraded=bool(payload["degraded"]),
-            n_entities=int(payload["n_entities"]),
-            n_statements=int(payload["n_statements"]),
+            verdict=str(payload.get("verdict", "unknown")),
+            iterations=int(payload.get("iterations", 0)),
+            converged=bool(payload.get("converged", False)),
+            degraded=bool(payload.get("degraded", False)),
+            n_entities=int(payload.get("n_entities", 0)),
+            n_statements=int(payload.get("n_statements", 0)),
             final_log_likelihood=float(
-                payload["final_log_likelihood"]
+                payload.get("final_log_likelihood", float("nan"))
             ),
-            log_likelihoods=tuple(payload["log_likelihoods"]),
-            agreement_path=tuple(payload["agreement_path"]),
-            rate_positive_path=tuple(payload["rate_positive_path"]),
-            rate_negative_path=tuple(payload["rate_negative_path"]),
+            log_likelihoods=tuple(
+                payload.get("log_likelihoods", ())
+            ),
+            agreement_path=tuple(payload.get("agreement_path", ())),
+            rate_positive_path=tuple(
+                payload.get("rate_positive_path", ())
+            ),
+            rate_negative_path=tuple(
+                payload.get("rate_negative_path", ())
+            ),
         )
 
 

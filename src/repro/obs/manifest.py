@@ -96,3 +96,26 @@ def write_manifest(
         json.dumps(payload, indent=1, sort_keys=True) + "\n"
     )
     return path
+
+
+def read_manifest(path: str | Path) -> dict[str, Any]:
+    """Load a manifest written by :func:`write_manifest`.
+
+    Validates the format tag and version; extra keys pass through
+    untouched so newer writers stay readable.
+    """
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: manifest is not a JSON object")
+    if payload.get("format") != MANIFEST_FORMAT:
+        raise ValueError(
+            f"{path}: expected format {MANIFEST_FORMAT!r}, got "
+            f"{payload.get('format')!r}"
+        )
+    if payload.get("version") != MANIFEST_VERSION:
+        raise ValueError(
+            f"{path}: unsupported manifest version "
+            f"{payload.get('version')!r}"
+        )
+    return payload

@@ -206,6 +206,29 @@ CATALOG: dict[str, MetricSpec] = _catalog(
                "latency error-budget burn rate, slow window"),
     MetricSpec("repro_serve_slo_state", "gauge",
                "worst SLO state (0 ok, 1 warn, 2 page)"),
+    # Generation drift (see repro.obs.drift; published after every
+    # reload/rollback against the snapshot it replaced)
+    MetricSpec("repro_serve_generation_flips", "gauge",
+               "answers whose dominant polarity flipped in the last "
+               "snapshot swap"),
+    MetricSpec("repro_serve_generation_flip_fraction", "gauge",
+               "flipped fraction of answers common to both "
+               "generations"),
+    MetricSpec("repro_serve_generation_pairs_added", "gauge",
+               "entity-property pairs present only in the new "
+               "generation"),
+    MetricSpec("repro_serve_generation_pairs_removed", "gauge",
+               "entity-property pairs present only in the old "
+               "generation"),
+    MetricSpec("repro_serve_generation_entity_churn", "gauge",
+               "entities present in exactly one of the two "
+               "generations"),
+    MetricSpec("repro_serve_generation_delta_max", "gauge",
+               "largest absolute posterior change across common "
+               "pairs in the last swap"),
+    MetricSpec("repro_serve_drift_alarms_total", "counter",
+               "snapshot swaps whose flip fraction exceeded the "
+               "configured drift guard"),
 )
 
 

@@ -16,8 +16,11 @@ exhausts its attempts is dropped from the run instead of aborting it,
 with the skip recorded in the metrics' health ledger.
 
 The abstraction is deliberately generic — the extraction stage maps
-documents to statements and reduces evidence counters, but tests also
-exercise word-count-style jobs.
+documents to statements and reduces evidence counters (each shard's
+:class:`~repro.pipeline.resilience.ShardEvidence` also carries its
+worker's telemetry and evidence-lineage ledger back through the same
+channel, so provenance needs no side path through the executor), but
+tests also exercise word-count-style jobs.
 """
 
 from __future__ import annotations

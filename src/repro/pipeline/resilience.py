@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import TypeVar
 
 from ..core.errors import ReproError
+from ..extraction.provenance import ProvenanceLedger
 from ..extraction.statement import EvidenceCounter
 
 T = TypeVar("T")
@@ -213,12 +214,17 @@ class ShardEvidence:
     ``telemetry`` rides along only for freshly-mapped shards; shards
     resumed from a checkpoint carry ``None`` (their worker's telemetry
     belonged to the run that wrote the checkpoint).
+
+    ``provenance`` is the shard's evidence-lineage ledger
+    (:class:`~repro.extraction.provenance.ProvenanceLedger`); ``None``
+    when capture is off or the checkpoint predates the sidecar format.
     """
 
     shard_id: int
     counter: EvidenceCounter
     dead_letters: tuple[DeadLetter, ...] = ()
     telemetry: WorkerTelemetry | None = None
+    provenance: ProvenanceLedger | None = None
 
 
 # ---------------------------------------------------------------------------

@@ -47,6 +47,11 @@ from ..core.surveyor import (
 from ..corpus.document import CorpusShard, WebCorpus
 from ..extraction.extractor import EvidenceExtractor
 from ..extraction.patterns import DEFAULT_PATTERNS, PatternConfig
+from ..extraction.provenance import (
+    ProvenanceIndex,
+    ProvenanceLedger,
+    provenance_default,
+)
 from ..extraction.statement import EvidenceCounter
 from ..kb.knowledge_base import KnowledgeBase
 from ..nlp.annotate import Annotator
@@ -90,6 +95,10 @@ class PipelineReport:
     evidence: EvidenceCounter
     metrics: PipelineMetrics
     convergence: list[ConvergenceRecord] = field(default_factory=list)
+    #: Evidence lineage for the run — each pair's exact statement
+    #: totals, bounded samples, and links to its combination's fit
+    #: and convergence verdict. ``None`` when capture was disabled.
+    provenance: ProvenanceIndex | None = None
 
     @property
     def opinions(self):
@@ -144,6 +153,15 @@ class SurveyorPipeline:
         the reference path either way. The prefilter automaton is
         compiled once in the parent and shipped to workers with the
         pickled pipeline — once per shard, never per document.
+    provenance:
+        Capture bounded-sample evidence lineage per (entity,
+        property) pair during extraction (see
+        :mod:`repro.extraction.provenance`). ``None`` defers to
+        ``REPRO_PROVENANCE`` (default on). Ledgers ride back on each
+        shard's result, persist into shard checkpoints, and merge in
+        shard order; the report links the merged ledger to the run's
+        fits and convergence records as a
+        :class:`~repro.extraction.provenance.ProvenanceIndex`.
     strict_parity:
         Map every shard through *both* paths and raise
         :class:`~repro.core.errors.ParityError` on any divergence in
@@ -184,6 +202,7 @@ class SurveyorPipeline:
     registry: MetricsRegistry | None = None
     fast_path: bool | None = None
     strict_parity: bool | None = None
+    provenance: bool | None = None
     annotation_memo_size: int = DEFAULT_MEMO_SIZE
     _prefilter: SentencePrefilter | None = field(
         init=False, default=None, repr=False
@@ -200,6 +219,12 @@ class SurveyorPipeline:
         if self.strict_parity is None:
             return strict_parity_default()
         return self.strict_parity
+
+    @property
+    def _provenance(self) -> bool:
+        if self.provenance is None:
+            return provenance_default()
+        return self.provenance
 
     @property
     def _tracing(self) -> bool:
@@ -237,7 +262,7 @@ class SurveyorPipeline:
         self, corpus: WebCorpus, metrics: PipelineMetrics
     ) -> PipelineReport:
         registry = self.registry
-        evidence = self._extract(corpus, metrics)
+        evidence, ledger = self._extract(corpus, metrics)
         with metrics.timed("kb") as stage:
             catalog = self.kb
             stats = catalog.stats()
@@ -275,9 +300,15 @@ class SurveyorPipeline:
             metrics.health.degraded_combinations.extend(
                 str(key) for key in result.degraded
             )
-        convergence = (
-            records_from_result(result) if self._telemetry else []
+        # Convergence records stay a telemetry artefact on the report,
+        # but lineage always links each pair to its combination's
+        # verdict, so an untraced mine still explains its answers.
+        records = (
+            records_from_result(result)
+            if self._telemetry or ledger is not None
+            else []
         )
+        convergence = records if self._telemetry else []
         if registry is not None:
             registry.inc("repro_em_fits_total", len(result.fits))
             registry.inc(
@@ -299,11 +330,17 @@ class SurveyorPipeline:
                 convergence,
                 Path(self.checkpoint_dir) / CONVERGENCE_BASENAME,
             )
+        lineage = (
+            ProvenanceIndex.from_run(ledger, result, records)
+            if ledger is not None
+            else None
+        )
         return PipelineReport(
             result=result,
             evidence=evidence,
             metrics=metrics,
             convergence=convergence,
+            provenance=lineage,
         )
 
     def _telemetry_learner(self) -> EMLearner:
@@ -325,7 +362,7 @@ class SurveyorPipeline:
     # ------------------------------------------------------------------
     def _extract(
         self, corpus: WebCorpus, metrics: PipelineMetrics
-    ) -> EvidenceCounter:
+    ) -> tuple[EvidenceCounter, ProvenanceLedger | None]:
         health = metrics.health
         registry = self.registry
         if self._fast and self._prefilter is None:
@@ -395,11 +432,14 @@ class SurveyorPipeline:
             else None
         )
         evidence = EvidenceCounter()
+        ledger = ProvenanceLedger() if self._provenance else None
         map_stage = metrics.stage("map")
         for part in sorted(
             [*resumed, *fresh], key=lambda p: p.shard_id
         ):
             evidence.merge(part.counter)
+            if ledger is not None and part.provenance is not None:
+                ledger.merge(part.provenance)
             health.record_quarantine(part.dead_letters)
             if part.telemetry is not None and part.telemetry.prefilter:
                 health.record_prefilter(part.telemetry.prefilter)
@@ -456,7 +496,12 @@ class SurveyorPipeline:
                 "repro_annotation_memo_evictions_total",
                 health.memo_evictions,
             )
-        return evidence
+        if ledger is not None:
+            # Samples came from the ledgers; the exact per-pair
+            # totals come from the merged counter in one pass, so the
+            # per-statement extraction hot path never counts twice.
+            ledger.seed_totals(evidence)
+        return evidence, ledger
 
     def _merge_telemetry(
         self,
@@ -515,9 +560,17 @@ class SurveyorPipeline:
             prefilter=self._prefilter if fast else None,
             memo_size=self.annotation_memo_size,
         )
-        extractor = EvidenceExtractor(config=self.pattern_config)
+        extractor = EvidenceExtractor(
+            config=self.pattern_config,
+            provenance=(
+                ProvenanceLedger() if self._provenance else None
+            ),
+        )
         parity = self._parity
         if parity:
+            # The reference extractor gets no ledger: lineage is not
+            # part of the statement-equality contract, and a second
+            # ledger would double-record every pair.
             ref_annotator = Annotator(self.kb, fast_path=False)
             ref_extractor = EvidenceExtractor(
                 config=self.pattern_config
@@ -654,6 +707,7 @@ class SurveyorPipeline:
             counter=counter,
             dead_letters=tuple(dead),
             telemetry=telemetry,
+            provenance=extractor.provenance,
         )
         if self.checkpoint_dir is not None:
             save_shard_checkpoint(
@@ -663,6 +717,7 @@ class SurveyorPipeline:
                 result.shard_id,
                 result.counter,
                 [letter.to_dict() for letter in result.dead_letters],
+                provenance=result.provenance,
             )
         return result
 
@@ -682,7 +737,9 @@ class SurveyorPipeline:
         if not path.exists():
             return None
         try:
-            loaded_id, counter, letters = load_shard_checkpoint(path)
+            loaded_id, counter, letters, ledger = (
+                load_shard_checkpoint(path)
+            )
         except CheckpointError:
             health.corrupt_checkpoints += 1
             path.unlink(missing_ok=True)
@@ -698,4 +755,5 @@ class SurveyorPipeline:
             dead_letters=tuple(
                 DeadLetter.from_dict(letter) for letter in letters
             ),
+            provenance=ledger,
         )

@@ -41,6 +41,7 @@ from .schema import (
     ask_response,
     batch_response,
     error_response,
+    explain_response,
     listing_response,
 )
 from .server import (
@@ -51,7 +52,9 @@ from .server import (
     ServeError,
     build_server,
     install_signal_handlers,
+    load_provenance_sidecar,
     new_request_id,
+    resolve_opinion,
 )
 
 __all__ = [
@@ -81,8 +84,11 @@ __all__ = [
     "batch_response",
     "build_server",
     "error_response",
+    "explain_response",
     "install_signal_handlers",
     "listing_response",
+    "load_provenance_sidecar",
     "new_request_id",
     "read_access_log",
+    "resolve_opinion",
 ]

@@ -24,17 +24,28 @@ applicable) so downstream `jq`/pandas never branch on key presence:
     Peer address, ``null`` if unknown.
 ``generation``
     Snapshot generation that answered the request.
+``items``
+    Sub-query count for ``POST /batch`` lines, ``null`` otherwise.
+    This is the one key older logs may lack (it post-dates them), so
+    the reader treats it as optional and defaults it to ``null``.
 
 Writes go through the binary file's thread-safe buffer and are
 durably flushed every ``flush_every`` lines; the server closes the
 log after the SIGTERM drain, so the file is complete when the process
 exits cleanly.
+
+With ``max_bytes`` set the log rotates: when the live file would grow
+past the cap it is flushed, fsynced, closed, and renamed to
+``<path>.<n>`` (higher ``n`` = newer), and a fresh live file opens.
+:func:`read_access_log` transparently reads rotated parts in
+chronological order before the live file.
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import os
 import re
 import threading
 import time
@@ -71,10 +82,12 @@ def _json_bool(value: bool | None) -> str:
 _LINE_TEMPLATE = (
     '{"ts": %.6f, "request_id": %s, "method": %s, "path": %s, '
     '"status": %d, "seconds": %.6f, "cached": %s, "code": %s, '
-    '"client": %s, "generation": %s}\n'
+    '"client": %s, "generation": %s, "items": %s}\n'
 )
 
-#: Every record carries exactly these keys, in this order.
+#: Every record carries exactly these keys, in this order. ``items``
+#: is the one optional key on read — logs written before it existed
+#: omit it, and the reader fills in ``null``.
 ACCESS_LOG_FIELDS = (
     "ts",
     "request_id",
@@ -86,7 +99,11 @@ ACCESS_LOG_FIELDS = (
     "code",
     "client",
     "generation",
+    "items",
 )
+
+#: Keys that may be absent on disk (see ``items`` above).
+_OPTIONAL_FIELDS = frozenset({"items"})
 
 
 class AccessLog:
@@ -97,24 +114,35 @@ class AccessLog:
         path: str | Path,
         flush_every: int = DEFAULT_FLUSH_EVERY,
         clock: Any = time.time,
+        max_bytes: int | None = None,
     ) -> None:
         if flush_every < 1:
             raise ValueError(
                 f"flush_every must be >= 1, got {flush_every}"
             )
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(
+                f"max_bytes must be >= 1, got {max_bytes}"
+            )
         self.path = Path(path)
         self.flush_every = int(flush_every)
+        self.max_bytes = max_bytes
         self._clock = clock
         # The hot path takes no Python-level lock: the file is opened
         # in binary append mode, whose BufferedWriter serializes
         # whole-bytes writes internally (in C, far cheaper under
         # thread contention than threading.Lock), and the flush
         # cadence counts on the atomic itertools.count. The Python
-        # lock below only coordinates close() with stragglers.
+        # lock below only coordinates close() with stragglers — except
+        # with rotation on, where every write takes it so the
+        # size-check/rotate/append sequence stays atomic.
         self._lock = threading.Lock()
         self._writes = itertools.count(1)
         self._closed = False
         self._handle = self.path.open("ab")
+        self._size = (
+            self.path.stat().st_size if max_bytes is not None else 0
+        )
 
     def write(
         self,
@@ -128,9 +156,10 @@ class AccessLog:
         code: str | None = None,
         client: str | None = None,
         generation: int | None = None,
+        items: int | None = None,
     ) -> None:
         # Hand-rolled serialization (validated against json.loads in
-        # the tests): json.dumps on a 10-key dict costs more than the
+        # the tests): json.dumps on an 11-key dict costs more than the
         # rest of the request's telemetry combined.
         line = _LINE_TEMPLATE % (
             self._clock(),
@@ -143,17 +172,54 @@ class AccessLog:
             _json_str(code),
             _json_str(client),
             "null" if generation is None else int(generation),
+            "null" if items is None else int(items),
         )
         if self._closed:
             return
+        data = line.encode("utf-8")
+        if self.max_bytes is not None:
+            self._write_rotating(data)
+            return
         try:
-            self._handle.write(line.encode("utf-8"))
+            self._handle.write(data)
             if next(self._writes) % self.flush_every == 0:
                 self._handle.flush()
         except ValueError:
             # The log was closed under us mid-write (server
             # shutdown); the line is dropped, same as after close.
             return
+
+    def _write_rotating(self, data: bytes) -> None:
+        """Locked write path, used only when ``max_bytes`` is set."""
+        with self._lock:
+            if self._closed:
+                return
+            if self._size and self._size + len(data) > self.max_bytes:
+                self._rotate()
+            self._handle.write(data)
+            self._size += len(data)
+            if next(self._writes) % self.flush_every == 0:
+                self._handle.flush()
+
+    def _rotate(self) -> None:
+        """Seal the live file as ``<path>.<n>`` and start a fresh one.
+
+        Caller holds the lock. The sealed part is flushed and fsynced
+        before the rename, so a rotated file is always complete and
+        durable — readers never see a part with a torn tail.
+        """
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        existing = [
+            number for _, number in _rotated_parts(self.path)
+        ]
+        target = self.path.with_name(
+            f"{self.path.name}.{max(existing, default=0) + 1}"
+        )
+        self.path.rename(target)
+        self._handle = self.path.open("ab")
+        self._size = 0
 
     def flush(self) -> None:
         with self._lock:
@@ -175,14 +241,44 @@ class AccessLog:
         self.close()
 
 
+def _rotated_parts(path: Path) -> list[tuple[Path, int]]:
+    """Rotated siblings of ``path`` as (part, number), oldest first.
+
+    Rotation renames the live file to ``<name>.<n>`` with strictly
+    increasing ``n``, so ascending numeric order is chronological.
+    """
+    pattern = re.compile(re.escape(path.name) + r"\.(\d+)$")
+    parts = []
+    if path.parent.is_dir():
+        for sibling in path.parent.iterdir():
+            match = pattern.fullmatch(sibling.name)
+            if match:
+                parts.append((sibling, int(match.group(1))))
+    parts.sort(key=lambda item: item[1])
+    return parts
+
+
 def read_access_log(path: str | Path) -> Iterator[dict[str, Any]]:
     """Yield parsed access-log records; raise on malformed lines.
 
+    Rotated parts (``<path>.<n>``) are read first, in chronological
+    order, then the live file — callers see one continuous stream.
+
     Strictness is deliberate: the access log is written by exactly one
     process through :class:`AccessLog`, so a bad line means data loss
-    worth surfacing, not noise worth skipping.
+    worth surfacing, not noise worth skipping. The only leniency is
+    ``items``, absent from logs that pre-date the field (defaults to
+    ``null``).
     """
     path = Path(path)
+    sources = [part for part, _ in _rotated_parts(path)]
+    if path.exists() or not sources:
+        sources.append(path)
+    for source in sources:
+        yield from _read_one_file(source)
+
+
+def _read_one_file(path: Path) -> Iterator[dict[str, Any]]:
     with path.open("r", encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
@@ -201,11 +297,16 @@ def read_access_log(path: str | Path) -> Iterator[dict[str, Any]]:
                     "object"
                 )
             missing = [
-                key for key in ACCESS_LOG_FIELDS if key not in record
+                key
+                for key in ACCESS_LOG_FIELDS
+                if key not in record
+                and key not in _OPTIONAL_FIELDS
             ]
             if missing:
                 raise ValueError(
                     f"{path}:{lineno}: access-log line missing "
                     f"fields: {', '.join(missing)}"
                 )
+            for key in _OPTIONAL_FIELDS:
+                record.setdefault(key, None)
             yield record

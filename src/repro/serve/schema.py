@@ -28,8 +28,10 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
+from ..core.params import ModelParameters
 from ..core.query import QueryHit, SubjectiveQuery
 from ..core.types import Opinion, PropertyTypeKey
+from ..extraction.provenance import PairProvenance
 from .index import OpinionIndex
 
 SERVE_SCHEMA_VERSION = 2
@@ -97,6 +99,73 @@ def listing_response(
             }
             for opinion in opinions
         ],
+    }
+
+
+def explain_response(
+    entity_id: str,
+    key: PropertyTypeKey,
+    opinion: Opinion,
+    index: OpinionIndex,
+    *,
+    pair: PairProvenance | None = None,
+    model: ModelParameters | None = None,
+    convergence: dict[str, Any] | None = None,
+    lineage_available: bool = False,
+) -> dict[str, Any]:
+    """Full lineage for one answer (``repro explain`` / ``GET
+    /explain``).
+
+    The posterior and counts come from the opinion table; ``model``
+    is the combination's learned ``(pA, p+S, p-S)``, ``convergence``
+    its EM verdict, and ``pair`` the bounded statement samples — all
+    three from the provenance sidecar, each ``null`` when the sidecar
+    (or that pair's entry) is absent. ``lineage_available`` reports
+    whether a sidecar was loaded at all, so clients can distinguish
+    "no provenance captured" from "this pair had no evidence".
+    """
+    return {
+        "format": "serve_explain",
+        "version": SERVE_SCHEMA_VERSION,
+        "generation": index.generation,
+        "degraded_mode": False,
+        "entity": entity_id,
+        "property": key.property.text,
+        "entity_type": key.entity_type,
+        "posterior": opinion.probability,
+        "polarity": str(opinion.polarity),
+        "decided": opinion.decided,
+        "evidence": {
+            "positive": opinion.evidence.positive,
+            "negative": opinion.evidence.negative,
+        },
+        "degraded": index.is_degraded(key),
+        "model": (
+            None
+            if model is None
+            else {
+                "agreement": model.agreement,
+                "rate_positive": model.rate_positive,
+                "rate_negative": model.rate_negative,
+            }
+        ),
+        "convergence": (
+            None if convergence is None else dict(convergence)
+        ),
+        "lineage": {
+            "available": bool(lineage_available),
+            "positive_seen": (
+                None if pair is None else pair.positive_seen
+            ),
+            "negative_seen": (
+                None if pair is None else pair.negative_seen
+            ),
+            "samples": (
+                []
+                if pair is None
+                else [sample.to_dict() for sample in pair.samples]
+            ),
+        },
     }
 
 

@@ -61,12 +61,19 @@ from urllib.parse import parse_qs, urlsplit
 
 from ..core.query import QueryError, SubjectiveQuery
 from ..core.result import OpinionTable
-from ..core.types import Polarity, PropertyTypeKey, SubjectiveProperty
+from ..core.types import (
+    Opinion,
+    Polarity,
+    PropertyTypeKey,
+    SubjectiveProperty,
+)
+from ..extraction.provenance import ProvenanceIndex
+from ..obs.drift import DriftReport, compare_tables
 from ..obs.histogram import WindowedHistogram
 from ..obs.metrics import MetricsRegistry
 from ..obs.slo import SLO_STATES, SloTracker
 from ..obs.trace import Tracer
-from ..storage import load
+from ..storage import load, provenance_path_for
 from .access_log import AccessLog
 from .admission import (
     DEFAULT_CLIENT_BURST,
@@ -86,6 +93,7 @@ from .schema import (
     ask_response,
     batch_response,
     error_response,
+    explain_response,
     listing_response,
 )
 
@@ -142,6 +150,81 @@ class ServeError(ValueError):
         self.retry_after = retry_after
 
 
+def resolve_opinion(
+    table: OpinionTable,
+    entity_id: str,
+    property_text: str,
+    entity_type: str | None = None,
+) -> tuple[PropertyTypeKey, Opinion]:
+    """Find the one opinion ``/explain`` is about.
+
+    With an explicit ``entity_type`` the lookup is exact; without one
+    the property must resolve to a single combination across the
+    entity's opinions — ambiguity is a 400 listing the candidate
+    types, absence a 404. Shared by the CLI and the HTTP route so
+    both surfaces resolve identically.
+    """
+    try:
+        prop = SubjectiveProperty.parse(property_text)
+    except ValueError as error:
+        raise ServeError(str(error)) from None
+    if entity_type is not None:
+        key = PropertyTypeKey(property=prop, entity_type=entity_type)
+        opinion = table.get(entity_id, key)
+        if opinion is None:
+            raise ServeError(
+                f"no opinion for entity {entity_id!r} and property "
+                f"{prop.text!r} of type {entity_type!r}",
+                status=404,
+                code="not_found",
+            )
+        return key, opinion
+    matches = [
+        opinion
+        for opinion in table.for_entity(entity_id)
+        if opinion.key.property == prop
+    ]
+    if not matches:
+        raise ServeError(
+            f"no opinion for entity {entity_id!r} and property "
+            f"{prop.text!r}",
+            status=404,
+            code="not_found",
+        )
+    if len(matches) > 1:
+        types = sorted(
+            opinion.key.entity_type for opinion in matches
+        )
+        raise ServeError(
+            f"property {prop.text!r} is ambiguous for entity "
+            f"{entity_id!r}; pass type= one of {', '.join(types)}"
+        )
+    return matches[0].key, matches[0]
+
+
+def load_provenance_sidecar(
+    source: str | Path | None,
+) -> ProvenanceIndex | None:
+    """Load the lineage sidecar next to an opinions artefact.
+
+    Best-effort by design: a missing or unreadable sidecar degrades
+    ``/explain`` to counts-only answers, it never blocks serving (or
+    a reload) of a perfectly good opinion table.
+    """
+    if source is None:
+        return None
+    path = provenance_path_for(source)
+    if not path.exists():
+        return None
+    try:
+        sidecar = load(path)
+    except Exception:
+        return None
+    if not isinstance(sidecar, ProvenanceIndex):
+        return None
+    return sidecar
+
+
 class OpinionService:
     """The query engine behind the HTTP API (usable standalone).
 
@@ -170,6 +253,8 @@ class OpinionService:
         slo: SloTracker | None = None,
         trace_sample: int = DEFAULT_TRACE_SAMPLE,
         trace_slow_seconds: float = DEFAULT_TRACE_SLOW_SECONDS,
+        provenance: ProvenanceIndex | None = None,
+        drift_guard_fraction: float | None = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(
@@ -183,6 +268,13 @@ class OpinionService:
         if trace_sample < 1:
             raise ValueError(
                 f"trace_sample must be >= 1, got {trace_sample}"
+            )
+        if drift_guard_fraction is not None and not (
+            0.0 < drift_guard_fraction <= 1.0
+        ):
+            raise ValueError(
+                "drift_guard_fraction must be in (0, 1], got "
+                f"{drift_guard_fraction}"
             )
         self.source_path = (
             Path(source_path) if source_path is not None else None
@@ -223,9 +315,24 @@ class OpinionService:
         self._index = OpinionIndex(table, generation=1)
         self._current_table = table
         self._current_source = self.source_path
-        self._previous: tuple[OpinionTable, Path | None] | None = None
+        self._current_provenance = provenance
+        # One atomic attribute carrying the whole serving snapshot, so
+        # /explain never reads the new table against the old sidecar
+        # mid-swap.
+        self._live: tuple[
+            OpinionIndex, OpinionTable, ProvenanceIndex | None
+        ] = (self._index, table, provenance)
+        self._previous: (
+            tuple[
+                OpinionTable, Path | None, ProvenanceIndex | None
+            ]
+            | None
+        ) = None
         self._degraded_reason: str | None = None
         self._quarantine: list[dict[str, Any]] = []
+        self.drift_guard_fraction = drift_guard_fraction
+        self._last_drift: dict[str, Any] | None = None
+        self._drift_alarm: str | None = None
         self._publish_gauges()
 
     # ------------------------------------------------------------------
@@ -256,6 +363,7 @@ class OpinionService:
         self,
         table: OpinionTable,
         source: str | Path | None = None,
+        provenance: ProvenanceIndex | None = None,
     ) -> OpinionIndex:
         """Atomically replace the live table (trusted caller path).
 
@@ -270,7 +378,7 @@ class OpinionService:
             index = OpinionIndex(
                 table, generation=self._index.generation + 1
             )
-            self._publish(table, source, index)
+            self._publish(table, source, index, provenance)
             return index
 
     def _publish(
@@ -278,20 +386,88 @@ class OpinionService:
         table: OpinionTable,
         source: str | Path | None,
         index: OpinionIndex,
-    ) -> None:
+        provenance: ProvenanceIndex | None = None,
+    ) -> DriftReport:
         """Install a validated (table, index) pair; callers hold
-        ``_swap_lock``."""
-        self._previous = (self._current_table, self._current_source)
+        ``_swap_lock``. Returns the generation-drift report against
+        the table being retired."""
+        drift = compare_tables(self._current_table, table)
+        self._previous = (
+            self._current_table,
+            self._current_source,
+            self._current_provenance,
+        )
         self._current_table = table
         self._current_source = (
             Path(source) if source is not None else None
         )
+        self._current_provenance = provenance
         self._index = index
+        self._live = (index, table, provenance)
         self.cache.purge_generations(index.generation)
         self.registry.inc("repro_serve_reloads_total")
         self._degraded_reason = None
         self.reload_breaker.record_success()
+        self._note_drift(drift, "reload", index.generation)
         self._publish_gauges()
+        return drift
+
+    def _note_drift(
+        self, drift: DriftReport, trigger: str, generation: int
+    ) -> None:
+        """Publish one snapshot swap's drift: gauges, the /healthz
+        line, the opt-in guard, and a structured stderr record."""
+        registry = self.registry
+        registry.set_gauge(
+            "repro_serve_generation_flips", drift.flips
+        )
+        registry.set_gauge(
+            "repro_serve_generation_flip_fraction",
+            drift.flip_fraction,
+        )
+        registry.set_gauge(
+            "repro_serve_generation_pairs_added", drift.added
+        )
+        registry.set_gauge(
+            "repro_serve_generation_pairs_removed", drift.removed
+        )
+        registry.set_gauge(
+            "repro_serve_generation_entity_churn",
+            drift.entity_churn,
+        )
+        registry.set_gauge(
+            "repro_serve_generation_delta_max", drift.delta_max
+        )
+        summary = drift.summary()
+        self._last_drift = {"trigger": trigger, **summary}
+        guard = self.drift_guard_fraction
+        if (
+            guard is not None
+            and drift.common
+            and drift.flip_fraction > guard
+        ):
+            self._drift_alarm = (
+                f"{trigger} flipped {drift.flips} of "
+                f"{drift.common} answers "
+                f"({drift.flip_fraction:.1%} > guard {guard:.1%})"
+            )
+            registry.inc("repro_serve_drift_alarms_total")
+        else:
+            self._drift_alarm = None
+        print(
+            json.dumps(
+                {
+                    "event": "serve.generation_drift",
+                    "trigger": trigger,
+                    "generation": generation,
+                    "alarm": self._drift_alarm,
+                    **summary,
+                },
+                sort_keys=True,
+            ),
+            file=sys.stderr,
+            flush=True,
+        )
 
     def _validate_candidate(
         self, table: Any, source: Path
@@ -418,12 +594,15 @@ class OpinionService:
                     status=500,
                     code="reload_failed",
                 ) from None
-            self._publish(table, source, index)
+            drift = self._publish(
+                table, source, index, load_provenance_sidecar(source)
+            )
         return {
             "status": "reloaded",
             "source": str(source),
             "generation": index.generation,
             "opinions": index.n_opinions,
+            "drift": drift.summary(),
         }
 
     def rollback(self) -> dict[str, Any]:
@@ -431,18 +610,24 @@ class OpinionService:
         degraded flag when there is nothing to return to."""
         with self._swap_lock:
             if self._previous is not None:
-                table, source = self._previous
+                table, source, provenance = self._previous
                 index = OpinionIndex(
                     table, generation=self._index.generation + 1
                 )
+                drift = compare_tables(self._current_table, table)
                 self._previous = None
                 self._current_table = table
                 self._current_source = source
+                self._current_provenance = provenance
                 self._index = index
+                self._live = (index, table, provenance)
                 self.cache.purge_generations(index.generation)
                 self._degraded_reason = None
                 self.reload_breaker.reset()
                 self.registry.inc("repro_serve_rollbacks_total")
+                self._note_drift(
+                    drift, "rollback", index.generation
+                )
                 self._publish_gauges()
                 return {
                     "status": "rolled_back",
@@ -451,6 +636,7 @@ class OpinionService:
                     ),
                     "generation": index.generation,
                     "opinions": index.n_opinions,
+                    "drift": drift.summary(),
                 }
             if self._degraded_reason is not None:
                 # Degraded but never successfully swapped: generation 1
@@ -603,13 +789,78 @@ class OpinionService:
         self.cache.put(cache_key, response)
         return self._stamp(response), False
 
+    def explain(
+        self,
+        entity_id: str,
+        property_text: str,
+        entity_type: str | None = None,
+        deadline: Deadline | None = None,
+    ) -> tuple[dict[str, Any], bool]:
+        """Full lineage for one answer (``GET /explain``).
+
+        Resolves the (entity, property[, type]) target against the
+        live table, then joins the posterior with the provenance
+        sidecar's counts, sampled sentences, model parameters, and
+        convergence verdict. Reads the whole serving snapshot from
+        one atomic attribute, so a concurrent swap can never pair the
+        new table with the old sidecar.
+        """
+        index, table, provenance = self._live
+        normalized = " ".join(property_text.lower().split())
+        cache_key = (
+            index.generation,
+            "explain",
+            entity_id,
+            normalized,
+            entity_type or "",
+        )
+        cached = self.cache.get(cache_key)
+        if cached is not None:
+            return self._stamp(cached), True
+        if deadline is not None:
+            deadline.checkpoint("explain")
+        key, opinion = resolve_opinion(
+            table, entity_id, property_text, entity_type
+        )
+        response = explain_response(
+            entity_id,
+            key,
+            opinion,
+            index,
+            pair=(
+                provenance.for_pair(key, entity_id)
+                if provenance is not None
+                else None
+            ),
+            model=(
+                provenance.model_for(key)
+                if provenance is not None
+                else None
+            ),
+            convergence=(
+                provenance.convergence_for(key)
+                if provenance is not None
+                else None
+            ),
+            lineage_available=provenance is not None,
+        )
+        self.cache.put(cache_key, response)
+        return self._stamp(response), False
+
     def batch(
         self,
         queries: list[str],
         top: int = DEFAULT_TOP,
         deadline: Deadline | None = None,
+        request_id: str | None = None,
     ) -> dict[str, Any]:
-        """Answer many free-text queries against ONE index snapshot."""
+        """Answer many free-text queries against ONE index snapshot.
+
+        With a ``request_id`` every item of the response carries it,
+        so chaos-bench audits can attribute each sub-answer to the
+        batch's access-log line. Items are stamped on copies — cached
+        entries stay shared and id-free.
+        """
         if len(queries) > MAX_BATCH_QUERIES:
             raise ServeError(
                 f"batch of {len(queries)} exceeds the limit of "
@@ -626,6 +877,9 @@ class OpinionService:
                 )
             except ServeError as error:
                 response = {"error": str(error), "query": text}
+            if request_id is not None:
+                response = dict(response)
+                response["request_id"] = request_id
             results.append(response)
         return self._stamp(batch_response(results, index.generation))
 
@@ -653,10 +907,12 @@ class OpinionService:
         request_id: str | None = None,
         client: str | None = None,
         code: str | None = None,
+        items: int | None = None,
     ) -> None:
         """Account one handled request: metrics (with the request id
         as the histogram exemplar), SLO windows, the rolling latency
-        window, the access log, and a head-sampled span."""
+        window, the access log, and a head-sampled span. ``items`` is
+        the sub-query count for ``POST /batch`` lines."""
         registry = self.registry
         registry.inc("repro_serve_requests_total")
         if status == 503:
@@ -680,6 +936,7 @@ class OpinionService:
                 code=code,
                 client=client,
                 generation=self._index.generation,
+                items=items,
             )
         tracer = self.tracer
         if tracer is None or not tracer.enabled:
@@ -780,6 +1037,8 @@ class OpinionService:
             "cache": self.cache.stats(),
             "slo": self.slo.report(),
             "latency": self.latency_summary(),
+            "drift": self._last_drift,
+            "drift_alarm": self._drift_alarm,
         }
 
 
@@ -834,6 +1093,9 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     #: Set per request in _handle before any response is written.
     request_id: str = ""
+    #: Sub-query count of the current request (POST /batch only);
+    #: reset per request, surfaced as the access-log line's "items".
+    batch_items: int | None = None
 
     # -- plumbing -------------------------------------------------------
     def log_message(self, format: str, *args: Any) -> None:
@@ -949,6 +1211,7 @@ class ServeHandler(BaseHTTPRequestHandler):
         cached: bool | None = None
         code: str | None = None
         self.request_id = self._resolve_request_id()
+        self.batch_items = None
         client = self._client_id()
         service = self.service
         gated = path not in self.UNGATED
@@ -1026,6 +1289,7 @@ class ServeHandler(BaseHTTPRequestHandler):
                 request_id=self.request_id,
                 client=client,
                 code=code,
+                items=self.batch_items,
             )
 
     # -- routing --------------------------------------------------------
@@ -1034,6 +1298,8 @@ class ServeHandler(BaseHTTPRequestHandler):
     ) -> tuple[int, bool | None]:
         if method == "GET" and path == "/query":
             return self._get_query(deadline)
+        if method == "GET" and path == "/explain":
+            return self._get_explain(deadline)
         if method == "GET" and path == "/healthz":
             self._send_json(200, self.service.healthz())
             return 200, None
@@ -1098,6 +1364,27 @@ class ServeHandler(BaseHTTPRequestHandler):
         self._send_json(200, response, cached=cached)
         return 200, cached
 
+    def _get_explain(
+        self, deadline: Deadline | None
+    ) -> tuple[int, bool]:
+        params = self._params()
+        entity = params.get("entity")
+        prop = params.get("property")
+        if not entity or not prop:
+            raise ServeError(
+                "need entity=<id> and property=<adjective> "
+                "(optional type=<entity type>)"
+            )
+        response, cached = self.service.explain(
+            entity,
+            prop,
+            entity_type=params.get("type"),
+            deadline=deadline,
+        )
+        self.service.fault_response("/explain")
+        self._send_json(200, response, cached=cached)
+        return 200, cached
+
     def _post_batch(
         self, deadline: Deadline | None
     ) -> tuple[int, None]:
@@ -1109,10 +1396,12 @@ class ServeHandler(BaseHTTPRequestHandler):
             raise ServeError(
                 "body must be {\"queries\": [<string>, ...]}"
             )
+        self.batch_items = len(queries)
         response = self.service.batch(
             queries,
             top=payload.get("top", DEFAULT_TOP),
             deadline=deadline,
+            request_id=self.request_id or None,
         )
         self.service.fault_response("/batch")
         self._send_json(200, response)

@@ -23,6 +23,12 @@ from ..core.types import (
     PropertyTypeKey,
     SubjectiveProperty,
 )
+from ..extraction.provenance import (
+    PairProvenance,
+    ProvenanceIndex,
+    ProvenanceLedger,
+    ProvenanceSample,
+)
 from ..extraction.statement import EvidenceCounter
 from ..kb.entity import Entity
 from ..kb.knowledge_base import KnowledgeBase
@@ -183,6 +189,128 @@ def parameters_from_dict(
 
 
 # ---------------------------------------------------------------------------
+# Evidence provenance (the opinion table's lineage sidecar)
+# ---------------------------------------------------------------------------
+#
+# A compact companion artefact written next to the opinion table: for
+# every (entity, property-type) pair, the exact positive/negative
+# statement totals plus a bounded sample of the statements behind them,
+# linked to the combination's learned model parameters and convergence
+# verdict. Powers `repro explain` and the server's `/explain`.
+
+def _pair_to_dict(pair: PairProvenance) -> dict[str, Any]:
+    return {
+        "positive": int(pair.positive_seen),
+        "negative": int(pair.negative_seen),
+        "samples": [sample.to_dict() for sample in pair.samples],
+    }
+
+
+def _pair_from_dict(row: dict[str, Any]) -> PairProvenance:
+    return PairProvenance(
+        positive_seen=int(row["positive"]),
+        negative_seen=int(row["negative"]),
+        samples=tuple(
+            ProvenanceSample.from_dict(sample)
+            for sample in row.get("samples", ())
+        ),
+    )
+
+
+def provenance_to_dict(index: ProvenanceIndex) -> dict[str, Any]:
+    pairs = {}
+    for key in index.keys():
+        pairs[_key_to_str(key)] = {
+            entity_id: _pair_to_dict(index.for_pair(key, entity_id))
+            for entity_id in index.entities_for(key)
+        }
+    return {
+        "format": "provenance",
+        "version": FORMAT_VERSION,
+        "samples_per_polarity": index.samples_per_polarity,
+        "pairs": pairs,
+        "models": {
+            _key_to_str(key): {
+                "agreement": value.agreement,
+                "rate_positive": value.rate_positive,
+                "rate_negative": value.rate_negative,
+            }
+            for key, value in index.models().items()
+        },
+        "convergence": {
+            _key_to_str(key): summary
+            for key, summary in index.convergence().items()
+        },
+    }
+
+
+def provenance_from_dict(payload: dict[str, Any]) -> ProvenanceIndex:
+    _check_version(payload, "provenance")
+    pairs: dict[PropertyTypeKey, dict[str, PairProvenance]] = {}
+    for key_text, per_entity in payload.get("pairs", {}).items():
+        key = _key_from_str(key_text)
+        pairs[key] = {
+            entity_id: _pair_from_dict(row)
+            for entity_id, row in per_entity.items()
+        }
+    models = {
+        _key_from_str(key_text): ModelParameters(
+            agreement=row["agreement"],
+            rate_positive=row["rate_positive"],
+            rate_negative=row["rate_negative"],
+        )
+        for key_text, row in payload.get("models", {}).items()
+    }
+    convergence = {
+        _key_from_str(key_text): dict(summary)
+        for key_text, summary in payload.get(
+            "convergence", {}
+        ).items()
+    }
+    return ProvenanceIndex(
+        pairs,
+        models,
+        convergence,
+        samples_per_polarity=int(
+            payload.get("samples_per_polarity", 3)
+        ),
+    )
+
+
+def provenance_path_for(artefact: str | Path) -> Path:
+    """Where the lineage sidecar for an artefact lives:
+    ``opinions.json`` -> ``opinions.json.provenance.json``."""
+    artefact = Path(artefact)
+    return artefact.with_name(artefact.name + ".provenance.json")
+
+
+def _ledger_to_dict(ledger: ProvenanceLedger) -> dict[str, Any]:
+    """A shard ledger as checkpoint-embeddable primitives."""
+    pairs: dict[str, dict[str, Any]] = {}
+    for key, entity_id, pair in ledger.pairs():
+        pairs.setdefault(_key_to_str(key), {})[entity_id] = (
+            _pair_to_dict(pair)
+        )
+    return {
+        "samples_per_polarity": ledger.samples_per_polarity,
+        "pairs": pairs,
+    }
+
+
+def _ledger_from_dict(payload: dict[str, Any]) -> ProvenanceLedger:
+    ledger = ProvenanceLedger(
+        samples_per_polarity=int(
+            payload.get("samples_per_polarity", 3)
+        )
+    )
+    for key_text, per_entity in payload.get("pairs", {}).items():
+        key = _key_from_str(key_text)
+        for entity_id, row in per_entity.items():
+            ledger.seed_pair(key, entity_id, _pair_from_dict(row))
+    return ledger
+
+
+# ---------------------------------------------------------------------------
 # Shard checkpoints
 # ---------------------------------------------------------------------------
 #
@@ -196,19 +324,28 @@ def shard_checkpoint_to_dict(
     shard_id: int,
     counter: EvidenceCounter,
     dead_letters: list[dict[str, str]] | tuple = (),
+    provenance: ProvenanceLedger | None = None,
 ) -> dict[str, Any]:
-    return {
+    payload = {
         "format": "shard_checkpoint",
         "version": FORMAT_VERSION,
         "shard_id": int(shard_id),
         "evidence": evidence_to_dict(counter),
         "dead_letters": [dict(letter) for letter in dead_letters],
     }
+    if provenance is not None:
+        payload["provenance"] = _ledger_to_dict(provenance)
+    return payload
 
 
 def shard_checkpoint_from_dict(
     payload: dict[str, Any],
-) -> tuple[int, EvidenceCounter, list[dict[str, str]]]:
+) -> tuple[
+    int,
+    EvidenceCounter,
+    list[dict[str, str]],
+    ProvenanceLedger | None,
+]:
     _check_version(payload, "shard_checkpoint")
     try:
         shard_id = int(payload["shard_id"])
@@ -216,11 +353,16 @@ def shard_checkpoint_from_dict(
         dead_letters = [
             dict(letter) for letter in payload.get("dead_letters", ())
         ]
+        # Checkpoints written before lineage capture existed simply
+        # lack the key; they load with no ledger and the resumed
+        # shard contributes no samples.
+        raw = payload.get("provenance")
+        ledger = _ledger_from_dict(raw) if raw is not None else None
     except (KeyError, TypeError, ValueError) as error:
         raise CheckpointError(
             f"malformed shard checkpoint: {error}"
         ) from error
-    return shard_id, counter, dead_letters
+    return shard_id, counter, dead_letters, ledger
 
 
 def save_shard_checkpoint(
@@ -228,6 +370,7 @@ def save_shard_checkpoint(
     shard_id: int,
     counter: EvidenceCounter,
     dead_letters: list[dict[str, str]] | tuple = (),
+    provenance: ProvenanceLedger | None = None,
 ) -> Path:
     """Atomically persist one shard's mapped output.
 
@@ -236,7 +379,9 @@ def save_shard_checkpoint(
     complete file or nothing.
     """
     path = Path(path)
-    payload = shard_checkpoint_to_dict(shard_id, counter, dead_letters)
+    payload = shard_checkpoint_to_dict(
+        shard_id, counter, dead_letters, provenance
+    )
     _atomic_write_text(
         path, json.dumps(payload, indent=1, sort_keys=True)
     )
@@ -245,7 +390,12 @@ def save_shard_checkpoint(
 
 def load_shard_checkpoint(
     path: str | Path,
-) -> tuple[int, EvidenceCounter, list[dict[str, str]]]:
+) -> tuple[
+    int,
+    EvidenceCounter,
+    list[dict[str, str]],
+    ProvenanceLedger | None,
+]:
     """Load one shard checkpoint; corruption raises :class:`CheckpointError`."""
     path = Path(path)
     try:
@@ -317,6 +467,7 @@ _SAVERS = {
     KnowledgeBase: kb_to_dict,
     EvidenceCounter: evidence_to_dict,
     OpinionTable: opinions_to_dict,
+    ProvenanceIndex: provenance_to_dict,
 }
 
 _LOADERS = {
@@ -325,6 +476,7 @@ _LOADERS = {
     "parameters": parameters_from_dict,
     "opinions": opinions_from_dict,
     "shard_checkpoint": shard_checkpoint_from_dict,
+    "provenance": provenance_from_dict,
 }
 
 

@@ -1,0 +1,318 @@
+"""Tests for generation drift: compare_tables, CLI, and serve wiring."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.core import (
+    EvidenceCounts,
+    Opinion,
+    OpinionTable,
+    PropertyTypeKey,
+    SubjectiveProperty,
+)
+from repro.obs import MetricsRegistry, parse_exposition
+from repro.obs.drift import (
+    DRIFT_FORMAT,
+    MAX_FLIP_EXAMPLES,
+    compare_tables,
+)
+from repro.serve import OpinionService, build_server
+from repro.storage import save
+
+CUTE = PropertyTypeKey(SubjectiveProperty("cute"), "animal")
+BIG = PropertyTypeKey(SubjectiveProperty("big"), "animal")
+
+
+def table_from(entries) -> OpinionTable:
+    return OpinionTable(
+        [
+            Opinion(entity, key, p, EvidenceCounts(2, 1))
+            for entity, key, p in entries
+        ]
+    )
+
+
+BEFORE = table_from(
+    [
+        ("/animal/kitten", CUTE, 0.95),
+        ("/animal/shark", CUTE, 0.10),
+        ("/animal/pony", CUTE, 0.80),
+        ("/animal/shark", BIG, 0.90),
+    ]
+)
+
+
+class TestCompareTables:
+    def test_identical_tables_report_nothing(self):
+        report = compare_tables(BEFORE, BEFORE)
+        assert report.flips == 0
+        assert report.common == 4
+        assert report.added == report.removed == 0
+        assert report.entity_churn == 0
+        assert report.delta_max == 0.0
+        assert report.flip_fraction == 0.0
+
+    def test_flip_detected_with_example(self):
+        after = table_from(
+            [
+                ("/animal/kitten", CUTE, 0.95),
+                ("/animal/shark", CUTE, 0.75),  # flipped - to +
+                ("/animal/pony", CUTE, 0.80),
+                ("/animal/shark", BIG, 0.90),
+            ]
+        )
+        report = compare_tables(BEFORE, after)
+        assert report.flips == 1
+        assert report.flip_fraction == 0.25
+        assert report.delta_max == pytest.approx(0.65)
+        (example,) = report.flip_examples
+        assert example["entity"] == "/animal/shark"
+        assert example["key"] == "cute|animal"
+        assert example["before"] == 0.1
+        assert example["after"] == 0.75
+        assert example["before_polarity"] == "-"
+        assert example["after_polarity"] == "+"
+
+    def test_churn_counts_added_removed_entities(self):
+        after = table_from(
+            [
+                ("/animal/kitten", CUTE, 0.95),
+                ("/animal/pony", CUTE, 0.80),
+                ("/animal/slug", CUTE, 0.40),  # new entity
+            ]
+        )
+        report = compare_tables(BEFORE, after)
+        assert report.pairs_before == 4
+        assert report.pairs_after == 3
+        assert report.common == 2
+        assert report.added == 1
+        assert report.removed == 2  # shark's two pairs
+        assert report.entity_churn == 2  # shark out, slug in
+
+    def test_per_property_rollup(self):
+        after = table_from(
+            [
+                ("/animal/kitten", CUTE, 0.05),  # flip
+                ("/animal/shark", CUTE, 0.10),
+                ("/animal/pony", CUTE, 0.80),
+                ("/animal/shark", BIG, 0.70),
+            ]
+        )
+        report = compare_tables(BEFORE, after)
+        cute = report.per_property["cute|animal"]
+        big = report.per_property["big|animal"]
+        assert (cute.common, cute.flips) == (3, 1)
+        assert cute.mean_abs_delta == pytest.approx(0.9 / 3)
+        assert (big.common, big.flips) == (1, 0)
+        assert big.mean_abs_delta == pytest.approx(0.2)
+
+    def test_histogram_observes_every_common_pair(self):
+        report = compare_tables(BEFORE, BEFORE)
+        assert report.delta_histogram.count == 4
+
+    def test_flip_examples_bounded(self):
+        before = table_from(
+            [(f"/animal/e{i:02d}", CUTE, 0.9) for i in range(20)]
+        )
+        after = table_from(
+            [(f"/animal/e{i:02d}", CUTE, 0.1) for i in range(20)]
+        )
+        report = compare_tables(before, after)
+        assert report.flips == 20
+        assert len(report.flip_examples) == MAX_FLIP_EXAMPLES
+        report = compare_tables(before, after, max_examples=2)
+        assert len(report.flip_examples) == 2
+
+    def test_to_dict_shape(self):
+        payload = compare_tables(BEFORE, BEFORE).to_dict()
+        assert payload["format"] == DRIFT_FORMAT
+        assert payload["version"] == 1
+        assert set(payload) >= {
+            "flips", "flip_fraction", "common", "added", "removed",
+            "entity_churn", "delta_max", "flip_examples",
+            "per_property", "delta_histogram",
+        }
+        assert list(payload["per_property"]) == sorted(
+            payload["per_property"]
+        )
+
+    def test_render_readable(self):
+        after = table_from(
+            [
+                ("/animal/kitten", CUTE, 0.05),
+                ("/animal/shark", CUTE, 0.10),
+                ("/animal/pony", CUTE, 0.80),
+                ("/animal/shark", BIG, 0.90),
+            ]
+        )
+        text = compare_tables(BEFORE, after).render()
+        assert "generation drift" in text
+        assert "flips: 1" in text
+        assert "flip: /animal/kitten" in text
+        assert "cute|animal" in text
+
+    def test_deterministic_for_same_inputs(self):
+        after = table_from(
+            [
+                ("/animal/kitten", CUTE, 0.05),
+                ("/animal/pony", CUTE, 0.95),
+            ]
+        )
+        first = compare_tables(BEFORE, after).to_dict()
+        second = compare_tables(BEFORE, after).to_dict()
+        assert first == second
+
+
+class TestDiffCLI:
+    def test_self_diff_exits_zero(self, tmp_path, capsys):
+        path = save(BEFORE, tmp_path / "a.json")
+        rc = main(["diff", str(path), str(path), "--format", "json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == DRIFT_FORMAT
+        assert payload["flips"] == 0
+
+    def test_flips_exit_one_and_text_render(self, tmp_path, capsys):
+        a = save(BEFORE, tmp_path / "a.json")
+        flipped = table_from(
+            [
+                ("/animal/kitten", CUTE, 0.05),
+                ("/animal/shark", CUTE, 0.10),
+                ("/animal/pony", CUTE, 0.80),
+                ("/animal/shark", BIG, 0.90),
+            ]
+        )
+        b = save(flipped, tmp_path / "b.json")
+        rc = main(["diff", str(a), str(b)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "flips: 1" in out
+
+    def test_rejects_non_opinion_artefacts(self, tmp_path, capsys):
+        a = save(BEFORE, tmp_path / "a.json")
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"format": "nonsense", "version": 1}')
+        rc = main(["diff", str(a), str(bogus)])
+        assert rc != 0
+        assert "error" in capsys.readouterr().err
+
+
+FLIPPED = table_from(
+    [
+        ("/animal/kitten", CUTE, 0.95),
+        ("/animal/shark", CUTE, 0.75),  # the flip
+        ("/animal/pony", CUTE, 0.80),
+        ("/animal/shark", BIG, 0.90),
+    ]
+)
+
+
+def gauge(registry: MetricsRegistry, name: str) -> float:
+    series = parse_exposition(registry.exposition())
+    ((_, value, _),) = series[name]
+    return value
+
+
+class TestServeDriftWiring:
+    def test_swap_publishes_gauges_and_healthz_line(self):
+        service = OpinionService(BEFORE)
+        service.swap(FLIPPED)
+        registry = service.registry
+        assert gauge(registry, "repro_serve_generation_flips") == 1.0
+        assert gauge(
+            registry, "repro_serve_generation_flip_fraction"
+        ) == pytest.approx(0.25)
+        health = service.healthz()
+        assert health["drift"]["trigger"] == "reload"
+        assert health["drift"]["flips"] == 1
+        assert health["drift_alarm"] is None
+
+    def test_reload_response_carries_drift_summary(self, tmp_path):
+        path = save(BEFORE, tmp_path / "op.json")
+        service = OpinionService(BEFORE, source_path=path)
+        save(FLIPPED, path)
+        summary = service.reload()
+        assert summary["generation"] == 2
+        assert summary["drift"]["flips"] == 1
+
+    def test_rollback_emits_drift(self, tmp_path):
+        path = save(BEFORE, tmp_path / "op.json")
+        service = OpinionService(BEFORE, source_path=path)
+        save(FLIPPED, path)
+        service.reload()
+        summary = service.rollback()
+        assert summary["drift"]["flips"] == 1
+        health = service.healthz()
+        assert health["drift"]["trigger"] == "rollback"
+
+    def test_guard_alarm_fires_above_fraction(self):
+        service = OpinionService(BEFORE, drift_guard_fraction=0.1)
+        service.swap(FLIPPED)  # 25% of common answers flipped
+        health = service.healthz()
+        assert health["drift_alarm"] is not None
+        assert "flipped 1 of 4" in health["drift_alarm"]
+        assert service.registry.counter_value(
+            "repro_serve_drift_alarms_total"
+        ) == 1
+        # A quiet swap clears the alarm.
+        service.swap(FLIPPED)
+        assert service.healthz()["drift_alarm"] is None
+
+    def test_guard_quiet_below_fraction(self):
+        service = OpinionService(BEFORE, drift_guard_fraction=0.5)
+        service.swap(FLIPPED)
+        assert service.healthz()["drift_alarm"] is None
+        assert service.registry.counter_value(
+            "repro_serve_drift_alarms_total"
+        ) == 0
+
+    def test_guard_fraction_validated(self):
+        with pytest.raises(ValueError):
+            OpinionService(BEFORE, drift_guard_fraction=0.0)
+        with pytest.raises(ValueError):
+            OpinionService(BEFORE, drift_guard_fraction=1.5)
+
+    def test_http_reload_of_differing_generation_surfaces_flips(
+        self, tmp_path
+    ):
+        """Two differing generations end to end: boot on A, reload B
+        over HTTP, and the non-zero flip gauge lands in /metrics."""
+        import threading
+
+        path = save(BEFORE, tmp_path / "op.json")
+        service = OpinionService(BEFORE, source_path=path)
+        server = build_server(service)
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        base = f"http://127.0.0.1:{server.port}"
+        try:
+            save(FLIPPED, path)
+            request = urllib.request.Request(
+                f"{base}/admin/reload", data=b"{}", method="POST"
+            )
+            with urllib.request.urlopen(request, timeout=10) as r:
+                payload = json.loads(r.read())
+            assert payload["generation"] == 2
+            assert payload["drift"]["flips"] == 1
+            with urllib.request.urlopen(
+                f"{base}/metrics", timeout=10
+            ) as r:
+                series = parse_exposition(r.read().decode())
+            ((_, flips, _),) = series["repro_serve_generation_flips"]
+            assert flips == 1.0
+            with urllib.request.urlopen(
+                f"{base}/healthz", timeout=10
+            ) as r:
+                health = json.loads(r.read())
+            assert health["drift"]["flips"] == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from pathlib import Path
 
 import pytest
@@ -20,6 +21,7 @@ from repro.obs import (
     build_manifest,
     load_convergence,
     manifest_path_for,
+    read_manifest,
     read_trace,
     render_convergence,
     render_metrics,
@@ -291,6 +293,28 @@ class TestConvergence:
         with pytest.raises(ValueError, match="not an EM convergence"):
             load_convergence(path)
 
+    def test_from_dict_forward_compatible(self):
+        """Records written by newer (or older) code still load: every
+        field but ``key`` defaults, unknown keys are ignored."""
+        record = ConvergenceRecord.from_dict(
+            {"key": "cute animal", "a_future_field": [1, 2, 3]}
+        )
+        assert record.key == "cute animal"
+        assert record.verdict == "unknown"
+        assert record.iterations == 0
+        assert record.converged is False
+        assert record.degraded is False
+        assert record.log_likelihoods == ()
+        assert math.isnan(record.final_log_likelihood)
+
+    def test_from_dict_round_trips_full_record(self):
+        record = record_from_fit(self.fitted())
+        assert ConvergenceRecord.from_dict(record.to_dict()) == record
+
+    def test_from_dict_requires_key(self):
+        with pytest.raises(KeyError, match="key"):
+            ConvergenceRecord.from_dict({"verdict": "converged"})
+
 
 class TestManifest:
     def test_build_and_write(self, tmp_path):
@@ -313,6 +337,47 @@ class TestManifest:
             manifest_path_for("out/opinions.json").name
             == "opinions.json.manifest.json"
         )
+
+    def test_write_read_round_trip(self, tmp_path):
+        manifest = build_manifest(
+            command="mine",
+            config={"threshold": 100, "workers": 4},
+            started_unix=1_700_000_000.0,
+            duration_seconds=1.25,
+            outputs={"opinions": "opinions.json"},
+        )
+        path = write_manifest(tmp_path / "m.json", manifest)
+        assert read_manifest(path) == manifest
+
+    def test_read_preserves_unknown_keys(self, tmp_path):
+        manifest = build_manifest(
+            command="mine",
+            config={},
+            started_unix=0.0,
+            duration_seconds=0.0,
+            outputs={},
+        )
+        manifest["a_future_field"] = {"nested": True}
+        path = write_manifest(tmp_path / "m.json", manifest)
+        assert read_manifest(path)["a_future_field"] == {"nested": True}
+
+    def test_read_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text('{"format": "opinions", "version": 1}')
+        with pytest.raises(ValueError):
+            read_manifest(path)
+
+    def test_read_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text('{"format": "run_manifest", "version": 99}')
+        with pytest.raises(ValueError):
+            read_manifest(path)
+
+    def test_read_rejects_non_object(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            read_manifest(path)
 
 
 class TestRendering:

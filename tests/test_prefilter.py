@@ -348,8 +348,8 @@ class TestStrictParityPipeline:
         corpus = CorpusGenerator(seed=26).generate(cute_scenario)
         original = EvidenceExtractor.extract_sentence
 
-        def broken(self, annotated, doc_id=""):
-            found = original(self, annotated, doc_id)
+        def broken(self, annotated, doc_id="", sentence_index=0):
+            found = original(self, annotated, doc_id, sentence_index)
             if annotated.extraction_cache is not None and found:
                 return found[:-1]  # fast path loses one statement
             return found

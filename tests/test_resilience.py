@@ -553,7 +553,7 @@ class TestCheckpointing:
         assert report.health.resumed_shards == 1
         assert report.health.checkpointed_shards == 1
         # The corrupt file was replaced by a fresh, loadable one.
-        shard_id, counter, letters = load_shard_checkpoint(victim)
+        shard_id, counter, letters, _ = load_shard_checkpoint(victim)
         assert shard_id == 0
 
     def test_load_shard_checkpoint_rejects_garbage(self, tmp_path):

@@ -25,6 +25,11 @@ from repro.core import (
     SubjectiveProperty,
 )
 from repro.core.query import QueryEngine, SubjectiveQuery
+from repro.extraction import (
+    EvidenceStatement,
+    ProvenanceIndex,
+    ProvenanceLedger,
+)
 from repro.obs import MetricsRegistry, Tracer
 from repro.serve import (
     OpinionIndex,
@@ -32,8 +37,9 @@ from repro.serve import (
     QueryCache,
     ServeError,
     build_server,
+    load_provenance_sidecar,
 )
-from repro.storage import save
+from repro.storage import provenance_path_for, save
 
 CUTE = PropertyTypeKey(SubjectiveProperty("cute"), "animal")
 BIG = PropertyTypeKey(SubjectiveProperty("big"), "animal")
@@ -86,6 +92,38 @@ def demo_table() -> OpinionTable:
     )
     table.mark_degraded(BIG)
     return table
+
+
+def demo_provenance() -> ProvenanceIndex:
+    """Lineage for the demo table's kitten/cute pair."""
+    ledger = ProvenanceLedger()
+    statements = [
+        EvidenceStatement(
+            entity_id="/animal/kitten",
+            entity_type="animal",
+            property=SubjectiveProperty("cute"),
+            polarity=Polarity.POSITIVE,
+            pattern="pred_adj",
+            doc_id=f"d{i}",
+            sentence="Kittens are cute.",
+        )
+        for i in range(2)
+    ]
+    statements.append(
+        EvidenceStatement(
+            entity_id="/animal/kitten",
+            entity_type="animal",
+            property=SubjectiveProperty("cute"),
+            polarity=Polarity.NEGATIVE,
+            pattern="pred_adj",
+            doc_id="d9",
+            sentence="That kitten is not cute.",
+            negations=1,
+        )
+    )
+    for index, statement in enumerate(statements):
+        ledger.record(statement, sentence_index=index)
+    return ProvenanceIndex.from_run(ledger)
 
 
 # ---------------------------------------------------------------------------
@@ -571,6 +609,129 @@ class TestHTTPAPI:
 
 
 # ---------------------------------------------------------------------------
+# GET /explain (answer provenance)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def served_with_lineage(tmp_path):
+    """A live server whose table has a provenance sidecar on disk;
+    yields (service, base_url, opinions_path)."""
+    path = save(demo_table(), tmp_path / "op.json")
+    save(demo_provenance(), provenance_path_for(path))
+    service = OpinionService(
+        demo_table(),
+        source_path=path,
+        provenance=load_provenance_sidecar(path),
+    )
+    server = build_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield service, f"http://127.0.0.1:{server.port}", path
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+class TestExplainHTTP:
+    def test_full_lineage_payload(self, served_with_lineage):
+        _, base, _ = served_with_lineage
+        status, headers, body = get(
+            f"{base}/explain?entity=/animal/kitten&property=cute"
+        )
+        payload = json.loads(body)
+        assert status == 200
+        assert headers["X-Cache"] == "miss"
+        assert payload["format"] == "serve_explain"
+        assert payload["entity"] == "/animal/kitten"
+        assert payload["posterior"] == 0.97
+        assert payload["polarity"] == "+"
+        assert payload["lineage"]["available"] is True
+        assert payload["lineage"]["positive_seen"] == 2
+        assert payload["lineage"]["negative_seen"] == 1
+        samples = payload["lineage"]["samples"]
+        assert [s["polarity"] for s in samples] == [
+            "positive", "positive", "negative",
+        ]
+        assert samples[2]["negations"] == 1
+        assert samples[2]["sentence"] == "That kitten is not cute."
+
+    def test_second_hit_is_cached(self, served_with_lineage):
+        _, base, _ = served_with_lineage
+        url = f"{base}/explain?entity=/animal/kitten&property=cute"
+        _, _, first = get(url)
+        _, headers, again = get(url)
+        assert headers["X-Cache"] == "hit"
+        assert again == first
+
+    def test_explicit_type_param(self, served_with_lineage):
+        _, base, _ = served_with_lineage
+        status, _, body = get(
+            f"{base}/explain?entity=/animal/kitten&property=cute"
+            "&type=animal"
+        )
+        assert status == 200
+        assert json.loads(body)["entity_type"] == "animal"
+
+    def test_without_sidecar_degrades_to_counts(self, served):
+        _, base = served
+        status, _, body = get(
+            f"{base}/explain?entity=/animal/kitten&property=cute"
+        )
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["lineage"]["available"] is False
+        assert payload["lineage"]["samples"] == []
+        assert payload["model"] is None
+        assert payload["evidence"] == {"positive": 2, "negative": 1}
+
+    def test_unknown_pair_is_404(self, served):
+        _, base = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(f"{base}/explain?entity=/animal/slug&property=cute")
+        assert excinfo.value.code == 404
+        assert json.loads(excinfo.value.read())["code"] == "not_found"
+
+    def test_missing_params_is_400(self, served):
+        _, base = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(f"{base}/explain?entity=/animal/kitten")
+        assert excinfo.value.code == 400
+
+
+class TestBatchRequestIds:
+    def test_items_stamped_with_envelope_id(self, served):
+        _, base = served
+        request = urllib.request.Request(
+            f"{base}/batch",
+            data=json.dumps(
+                {"queries": ["cute animals", "cute xyzzy"]}
+            ).encode(),
+            headers={"X-Request-Id": "req-42"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request) as response:
+            assert response.headers["X-Request-Id"] == "req-42"
+            payload = json.loads(response.read())
+        assert [
+            item["request_id"] for item in payload["results"]
+        ] == ["req-42", "req-42"]
+
+    def test_service_level_batch_without_id_stays_unstamped(self):
+        service = OpinionService(demo_table())
+        payload = service.batch(["cute animals"])
+        assert "request_id" not in payload["results"][0]
+
+    def test_stamping_leaves_cached_entries_clean(self):
+        service = OpinionService(demo_table())
+        service.batch(["cute animals"], request_id="one")
+        response, was_cached = service.ask("cute animals")
+        assert was_cached
+        assert "request_id" not in response
+
+
+# ---------------------------------------------------------------------------
 # CLI/HTTP schema identity (the --format json satellite)
 # ---------------------------------------------------------------------------
 
@@ -607,6 +768,26 @@ class TestCLIServerParity:
             "&min_probability=0.5"
         )
         assert cli_body == http_body.decode()
+
+    def test_explain_json_identical_to_http(
+        self, served_with_lineage, capsys
+    ):
+        """`repro explain --format json` and GET /explain agree byte
+        for byte, lineage samples included."""
+        _, base, path = served_with_lineage
+        rc = main(
+            [
+                "explain", str(path), "/animal/kitten", "cute",
+                "--format", "json",
+            ]
+        )
+        assert rc == 0
+        cli_body = capsys.readouterr().out.strip()
+        _, _, http_body = get(
+            f"{base}/explain?entity=/animal/kitten&property=cute"
+        )
+        assert cli_body == http_body.decode()
+        assert json.loads(cli_body)["lineage"]["samples"]
 
 
 # ---------------------------------------------------------------------------

@@ -287,6 +287,79 @@ class TestAccessLog:
         )
         assert list(read_access_log(path)) == []
 
+    def test_items_round_trip_and_optional_on_read(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        with AccessLog(path, flush_every=1) as log:
+            log.write(
+                request_id="b1", method="POST", path="/batch",
+                status=200, seconds=0.02, items=7,
+            )
+        (record,) = read_access_log(path)
+        assert record["items"] == 7
+        # Logs that pre-date the field read back with items = null.
+        legacy = tmp_path / "legacy.jsonl"
+        line = dict(record)
+        del line["items"]
+        legacy.write_text(json.dumps(line) + "\n")
+        (old,) = read_access_log(legacy)
+        assert old["items"] is None
+
+    def test_rotation_seals_parts_and_reads_in_order(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        with AccessLog(path, flush_every=1, max_bytes=300) as log:
+            for i in range(12):
+                log.write(
+                    request_id=f"r{i:02d}", method="GET",
+                    path="/query", status=200, seconds=0.001,
+                )
+        parts = sorted(
+            sibling.name
+            for sibling in tmp_path.iterdir()
+            if sibling.name.startswith("access.jsonl.")
+        )
+        assert parts, "no rotated parts were produced"
+        # Every sealed part respects the byte cap.
+        for part in parts:
+            assert (tmp_path / part).stat().st_size <= 300
+        # The reader stitches parts + live file chronologically.
+        records = list(read_access_log(path))
+        assert [r["request_id"] for r in records] == [
+            f"r{i:02d}" for i in range(12)
+        ]
+
+    def test_rotation_resumes_numbering_across_reopen(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+
+        def fill(count):
+            with AccessLog(
+                path, flush_every=1, max_bytes=150
+            ) as log:
+                for i in range(count):
+                    log.write(
+                        request_id=f"x{i}", method="GET", path="/",
+                        status=200, seconds=0.001,
+                    )
+
+        fill(3)
+        first_parts = {
+            s.name
+            for s in tmp_path.iterdir()
+            if s.name.startswith("access.jsonl.")
+        }
+        fill(3)
+        numbers = sorted(
+            int(s.name.rsplit(".", 1)[1])
+            for s in tmp_path.iterdir()
+            if s.name.startswith("access.jsonl.")
+        )
+        assert numbers == list(range(1, len(numbers) + 1))
+        assert len(numbers) > len(first_parts)
+        assert len(list(read_access_log(path))) == 6
+
+    def test_rotation_validates_max_bytes(self, tmp_path):
+        with pytest.raises(ValueError):
+            AccessLog(tmp_path / "a.jsonl", max_bytes=0)
+
     def test_reader_rejects_malformed_lines(self, tmp_path):
         path = tmp_path / "access.jsonl"
         path.write_text("not json\n")
