@@ -335,4 +335,134 @@ REPRO_BENCH_DIR="$CHAOS_BENCH_DIR" python -m pytest -q -p no:cacheprovider \
 python -m repro bench compare "$CHAOS_BENCH_DIR"/BENCH_*.json \
     --baseline benchmarks/baseline.json --wall-tolerance 0.5
 
+echo "== ingest lane (journal bootstrap, live append, hot publish) =="
+# Streaming ingestion end to end (docs/ingestion.md): journal-first
+# bootstrap with `repro ingest`, a live POST /admin/ingest whose new
+# answer must be served as soon as the call returns, and a second
+# CLI-journal publish picked up by /admin/reload (which must re-read
+# the rewritten provenance sidecar).
+INGEST_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR" "$BENCH_DIR" "$PARITY_DIR" "$SERVE_DIR" "$CHAOS_BENCH_DIR" "$INGEST_DIR"' EXIT
+printf '%s\n' \
+    "Kittens are cute." \
+    "I think that kittens are cute." \
+    "The kitten is a cute animal." > "$INGEST_DIR/bootstrap.txt"
+printf '%s\n' \
+    "Spiders are not cute." \
+    "I doubt that spiders are cute." > "$INGEST_DIR/later.txt"
+python -m repro ingest "$INGEST_DIR/bootstrap.txt" \
+    --journal "$INGEST_DIR/journal" \
+    --out "$INGEST_DIR/opinions.json" --threshold 1 > /dev/null
+python - "$INGEST_DIR" <<'PYEOF'
+import json, subprocess, sys, time, urllib.request
+
+ingest_dir = sys.argv[1]
+opinions = f"{ingest_dir}/opinions.json"
+proc = subprocess.Popen(
+    [sys.executable, "-m", "repro", "serve", opinions, "--port", "0",
+     "--ingest-journal", f"{ingest_dir}/journal",
+     "--ingest-threshold", "1"],
+    stderr=subprocess.PIPE, text=True,
+)
+try:
+    for _ in range(5):
+        banner = proc.stderr.readline()
+        if "repro serve: serving" in banner:
+            break
+    assert "repro serve: serving" in banner, banner
+    port = int(banner.rsplit(":", 1)[1])
+    base = f"http://127.0.0.1:{port}"
+
+    def get(path):
+        with urllib.request.urlopen(base + path, timeout=10) as r:
+            return r.status, json.loads(r.read())
+
+    def post(path, payload):
+        req = urllib.request.Request(
+            base + path, data=json.dumps(payload).encode(),
+            method="POST",
+        )
+        with urllib.request.urlopen(req, timeout=60) as r:
+            return r.status, json.loads(r.read())
+
+    deadline = time.monotonic() + 10
+    while True:
+        try:
+            status, health = get("/healthz")
+            break
+        except OSError:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.05)
+    assert health["generation"] == 1, health
+
+    # Live append: the moment the POST returns, the refitted answer
+    # must already be served (the response reports the end-to-end
+    # journal -> extract -> refit -> swap freshness).
+    status, summary = post("/admin/ingest", {"documents": [
+        "Tigers are dangerous animals.",
+        "I believe that tigers are dangerous.",
+    ]})
+    assert status == 200 and summary["status"] == "ingested", summary
+    assert summary["generation"] == 2, summary
+    assert summary["freshness_seconds"] < 5.0, summary
+    status, body = get("/query?q=dangerous+animals")
+    assert status == 200, body
+    assert body["generation"] == 2, body
+    assert any(
+        hit["entity"] == "/animal/tiger" for hit in body["hits"]
+    ), body
+
+    # The swap surfaced as ingest-triggered drift and the ingest
+    # gauges moved.
+    status, health = get("/healthz")
+    assert health["drift"]["trigger"] == "ingest", health
+    with urllib.request.urlopen(base + "/metrics", timeout=10) as r:
+        metrics = r.read().decode()
+    for needle in ("repro_ingest_documents_total 2",
+                   "repro_ingest_journal_offset",
+                   "repro_ingest_freshness_seconds_bucket"):
+        assert needle in metrics, (needle, metrics)
+
+    # Second publish path: `repro ingest` appends to the same journal
+    # from another process and rewrites the artefacts; a plain file
+    # reload must pick up the new generation AND re-read the
+    # rewritten lineage sidecar (stat-signature cache invalidation).
+    cli = subprocess.run(
+        [sys.executable, "-m", "repro", "ingest",
+         f"{ingest_dir}/later.txt",
+         "--journal", f"{ingest_dir}/journal",
+         "--out", opinions, "--threshold", "1"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert cli.returncode == 0, cli.stderr
+    status, reloaded = post("/admin/reload", {})
+    assert reloaded["generation"] == 3, reloaded
+    status, explain = get(
+        "/explain?entity=/animal/spider&property=cute"
+    )
+    assert status == 200, explain
+    assert explain["lineage"]["available"] is True, explain
+    assert explain["polarity"] == "-", explain
+
+    proc.terminate()
+    stderr = proc.communicate(timeout=10)[1]
+    assert proc.returncode == 0, (proc.returncode, stderr)
+finally:
+    if proc.poll() is None:
+        proc.kill()
+        proc.wait(timeout=10)
+print("ingest lane OK")
+PYEOF
+
+# Ingestion benches carry their own hard gates (incremental CPU <=
+# 25% of a full re-run on a 10% append; ingest -> servable p50 under
+# a second) on top of the baseline comparison.
+INGEST_BENCH_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR" "$BENCH_DIR" "$PARITY_DIR" "$SERVE_DIR" "$CHAOS_BENCH_DIR" "$INGEST_DIR" "$INGEST_BENCH_DIR"' EXIT
+REPRO_BENCH_DIR="$INGEST_BENCH_DIR" python -m pytest -q -p no:cacheprovider \
+    benchmarks/bench_ingest.py > /dev/null
+python -m repro bench compare "$INGEST_BENCH_DIR"/BENCH_*.json \
+    --baseline benchmarks/baseline.json --wall-tolerance 0.5
+
 echo "CI OK"

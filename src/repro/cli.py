@@ -4,6 +4,7 @@ Subcommands::
 
     python -m repro demo                      end-to-end demo run
     python -m repro mine  ...                 mine opinions from raw text
+    python -m repro ingest ...                append docs to a journal, refit incrementally
     python -m repro query ...                 query a mined opinion table
     python -m repro explain ...               full lineage for one answer
     python -m repro diff  ...                 drift between two tables
@@ -311,6 +312,55 @@ def cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Append documents to a corpus journal and publish a refitted
+    opinion table incrementally (see docs/ingestion.md)."""
+    from .ingest import IngestPipeline, CorpusJournal
+
+    if args.threshold < 1:
+        raise _fail(
+            f"--threshold must be at least 1, got {args.threshold}"
+        )
+    corpus = _read_corpus(Path(args.corpus), args.region)
+    kb = _load_kb(args.kb)
+    journal = CorpusJournal(args.journal)
+    if journal.truncated_bytes:
+        print(
+            f"repro ingest: repaired a torn journal tail "
+            f"({journal.truncated_bytes} bytes truncated)",
+            file=sys.stderr,
+        )
+    pipeline = IngestPipeline(
+        kb=kb,
+        journal=journal,
+        occurrence_threshold=args.threshold,
+        fast_path=False if args.no_fast_path else None,
+        provenance=False if args.no_provenance else None,
+        warm_start=args.warm_start,
+    )
+    started_unix = time.time()
+    started = time.perf_counter()
+    report = pipeline.ingest(list(corpus.documents))
+    out = pipeline.publish(
+        report,
+        args.out,
+        started_unix=started_unix,
+        duration_seconds=time.perf_counter() - started,
+    )
+    print(
+        f"appended {report.documents} documents "
+        f"(+{report.statements} statements; journal offset "
+        f"{report.journal_offset}, generation {report.generation})"
+    )
+    print(
+        f"refit {report.refitted} dirty combination(s), reused "
+        f"{report.reused} cached fit(s) in "
+        f"{report.refit_seconds:.3f}s"
+    )
+    print(f"published {len(report.table)} opinions to {out}")
+    return 0
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     table = load(args.opinions)
     if not isinstance(table, OpinionTable):
@@ -588,10 +638,42 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"({provenance.n_pairs} pairs) for /explain",
             file=sys.stderr,
         )
+    ingest_pipeline = None
+    if args.ingest_journal:
+        from .ingest import IngestPipeline, CorpusJournal
+
+        journal = CorpusJournal(args.ingest_journal)
+        ingest_pipeline = IngestPipeline(
+            kb=_load_kb(args.ingest_kb),
+            journal=journal,
+            occurrence_threshold=args.ingest_threshold,
+            warm_start=args.ingest_warm_start,
+            registry=registry,
+        )
+        if ingest_pipeline.state.fresh:
+            # Accepted batches publish tables built from *journaled*
+            # evidence only; an empty journal would wipe the batch
+            # answers on the first POST /admin/ingest.
+            print(
+                f"repro serve: ingest state under {journal.directory}"
+                " is fresh — published generations will reflect only"
+                " journaled documents; bootstrap the journal with"
+                " 'repro ingest' over the full corpus first",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"repro serve: ingest journal at {journal.directory} "
+                f"(offset {journal.last_offset}, generation "
+                f"{ingest_pipeline.state.generation}); "
+                "POST /admin/ingest accepts documents",
+                file=sys.stderr,
+            )
     service = OpinionService(
         table,
         source_path=args.opinions,
         provenance=provenance,
+        ingest_pipeline=ingest_pipeline,
         drift_guard_fraction=args.drift_guard_fraction,
         cache_size=args.cache_size,
         max_inflight=args.max_inflight,
@@ -899,6 +981,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(mine)
     mine.set_defaults(func=cmd_mine)
 
+    ingest = sub.add_parser(
+        "ingest",
+        help="append documents to a corpus journal and refit "
+             "incrementally (see docs/ingestion.md)",
+    )
+    ingest.add_argument("corpus",
+                        help="text file (one doc/line) or dir of .txt")
+    ingest.add_argument("--journal", required=True, metavar="DIR",
+                        help="journal directory (created if missing); "
+                             "evidence totals and cached fits persist "
+                             "alongside the segments")
+    ingest.add_argument("--kb",
+                        help="knowledge-base JSON (default: built-in)")
+    ingest.add_argument("--out", default="opinions.json",
+                        help="publish the refitted table here "
+                             "(default opinions.json)")
+    ingest.add_argument("--threshold", type=int, default=100,
+                        help="occurrence threshold rho (default 100)")
+    ingest.add_argument("--region", default="",
+                        help="tag appended documents with this region")
+    ingest.add_argument("--no-fast-path", action="store_true",
+                        help="run the reference extraction path "
+                             "(REPRO_FAST_PATH also controls this)")
+    ingest.add_argument("--no-provenance", action="store_true",
+                        help="skip evidence-lineage capture and the "
+                             "<out>.provenance.json sidecar "
+                             "(REPRO_PROVENANCE also controls this)")
+    ingest.add_argument("--warm-start", action="store_true",
+                        help="seed dirty refits from cached "
+                             "parameters: much faster on small "
+                             "appends, but trades exact bit-parity "
+                             "with a cold batch run for last-ulp "
+                             "differences")
+    ingest.set_defaults(func=cmd_ingest)
+
     query = sub.add_parser("query", help="query a mined opinion table")
     query.add_argument("opinions", help="opinions JSON from 'mine'")
     query.add_argument("property", help='e.g. "cute" or "very big"')
@@ -1017,6 +1134,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace-slow-ms", type=float, default=500.0,
                        help="requests at least this slow always keep "
                             "their span (default 500)")
+    serve.add_argument("--ingest-journal", metavar="DIR",
+                       help="attach a corpus journal and accept "
+                            "documents on POST /admin/ingest; "
+                            "accepted batches refit incrementally "
+                            "and hot-swap the live table")
+    serve.add_argument("--ingest-kb",
+                       help="knowledge base for incremental "
+                            "extraction (default: built-in)")
+    serve.add_argument("--ingest-threshold", type=int, default=100,
+                       help="occurrence threshold rho for ingest "
+                            "refits (default 100)")
+    serve.add_argument("--ingest-warm-start", action="store_true",
+                       help="warm-start dirty refits from cached "
+                            "parameters (faster, near-identical "
+                            "posteriors)")
     serve.set_defaults(func=cmd_serve)
 
     top = sub.add_parser(

@@ -1,0 +1,41 @@
+"""Streaming ingestion: corpus journal, incremental EM, publication.
+
+The batch pipeline answers "what does the Web say?" for a snapshot;
+this package keeps the answer fresh as the Web keeps writing. New
+documents land durably in an append-only :class:`CorpusJournal`, an
+:class:`IngestPipeline` folds their evidence deltas into persisted
+running totals and re-runs EM only for the combinations that changed,
+and the rebuilt table publishes through the server's validated
+hot-reload swap. See ``docs/ingestion.md``.
+"""
+
+from .incremental import IngestPipeline, IngestReport
+from .journal import (
+    DEFAULT_MAX_SEGMENT_BYTES,
+    CorpusJournal,
+    DuplicateOffsetError,
+    JournalError,
+    JournalRecord,
+)
+from .state import (
+    STATE_BASENAME,
+    IngestState,
+    load_state,
+    save_state,
+    state_path_for,
+)
+
+__all__ = [
+    "CorpusJournal",
+    "DEFAULT_MAX_SEGMENT_BYTES",
+    "DuplicateOffsetError",
+    "IngestPipeline",
+    "IngestReport",
+    "IngestState",
+    "JournalError",
+    "JournalRecord",
+    "STATE_BASENAME",
+    "load_state",
+    "save_state",
+    "state_path_for",
+]

@@ -1,0 +1,214 @@
+"""Persisted running state of the incremental ingest pipeline.
+
+One JSON file (``state.json``, a sibling of the journal segments)
+carries everything the refitter needs to continue exactly where it
+stopped:
+
+* the **applied offset** — the journal watermark below which evidence
+  has already been folded in;
+* the running **evidence totals** (per-(entity,property) ⟨C+, C−⟩);
+* the running **provenance ledger** (exact totals plus bounded
+  statement samples);
+* cached **per-combination fits** — parameters and the convergence
+  trace summary — so clean combinations republish byte-identically
+  without re-running EM.
+
+The whole state is one atomic ``os.replace`` write: a crash between an
+advance and its publish leaves either the old state (the appended
+documents replay on the next advance — extraction is deterministic, so
+re-applying them reproduces the same totals) or the new one; never a
+half-updated mix of offset and counts.
+
+Cached fits round-trip losslessly: JSON floats are ``repr``-exact, so
+a reloaded :class:`~repro.core.params.ModelParameters` is bit-identical
+to the fitted one, and opinions recomputed from it match a fresh batch
+run byte for byte. The only lossy field is the EM ``parameters_path``
+(recorded-path debugging data, empty by default), which is dropped.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..core.em import EMTrace
+from ..core.params import ModelParameters
+from ..core.surveyor import FittedCombination
+from ..core.types import PropertyTypeKey
+from ..extraction.extractor import ExtractionStats
+from ..extraction.provenance import ProvenanceLedger
+from ..extraction.statement import EvidenceCounter
+from ..storage.serialize import (
+    FormatError,
+    _atomic_write_text,
+    _key_from_str,
+    _key_to_str,
+    evidence_from_dict,
+    evidence_to_dict,
+    ledger_from_dict,
+    ledger_to_dict,
+)
+
+STATE_BASENAME = "state.json"
+STATE_FORMAT = "ingest_state"
+STATE_VERSION = 1
+
+
+def _fit_to_dict(fit: FittedCombination) -> dict[str, Any]:
+    return {
+        "agreement": fit.parameters.agreement,
+        "rate_positive": fit.parameters.rate_positive,
+        "rate_negative": fit.parameters.rate_negative,
+        "iterations": fit.trace.iterations,
+        "converged": fit.trace.converged,
+        "degraded": fit.trace.degraded,
+        "log_likelihoods": list(fit.trace.log_likelihoods),
+        "n_entities": fit.n_entities,
+        "n_statements": fit.n_statements,
+    }
+
+
+def _fit_from_dict(
+    key: PropertyTypeKey, row: dict[str, Any]
+) -> FittedCombination:
+    return FittedCombination(
+        key=key,
+        parameters=ModelParameters(
+            agreement=float(row["agreement"]),
+            rate_positive=float(row["rate_positive"]),
+            rate_negative=float(row["rate_negative"]),
+        ),
+        trace=EMTrace(
+            iterations=int(row["iterations"]),
+            converged=bool(row["converged"]),
+            log_likelihoods=tuple(
+                float(v) for v in row["log_likelihoods"]
+            ),
+            parameters_path=(),
+            degraded=bool(row["degraded"]),
+        ),
+        n_entities=int(row["n_entities"]),
+        n_statements=int(row["n_statements"]),
+    )
+
+
+@dataclass
+class IngestState:
+    """Mutable running totals between ingest batches."""
+
+    applied_offset: int = -1
+    generation: int = 0
+    evidence: EvidenceCounter = field(default_factory=EvidenceCounter)
+    ledger: ProvenanceLedger | None = None
+    stats: ExtractionStats = field(default_factory=ExtractionStats)
+    fits: dict[PropertyTypeKey, FittedCombination] = field(
+        default_factory=dict
+    )
+
+    @property
+    def fresh(self) -> bool:
+        """True before any document has ever been applied."""
+        return self.applied_offset < 0 and self.generation == 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": STATE_FORMAT,
+            "version": STATE_VERSION,
+            "applied_offset": int(self.applied_offset),
+            "generation": int(self.generation),
+            "stats": {
+                "documents": self.stats.documents,
+                "sentences": self.stats.sentences,
+                "statements": self.stats.statements,
+                "positive": self.stats.positive,
+                "negative": self.stats.negative,
+            },
+            "evidence": evidence_to_dict(self.evidence),
+            "ledger": (
+                None
+                if self.ledger is None
+                else ledger_to_dict(self.ledger)
+            ),
+            "fits": {
+                _key_to_str(key): _fit_to_dict(fit)
+                for key, fit in sorted(
+                    self.fits.items(), key=lambda item: str(item[0])
+                )
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "IngestState":
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != STATE_FORMAT
+        ):
+            raise FormatError(
+                "expected format "
+                f"{STATE_FORMAT!r}, got {payload.get('format')!r}"
+                if isinstance(payload, dict)
+                else f"{STATE_FORMAT}: expected a JSON object"
+            )
+        if payload.get("version") != STATE_VERSION:
+            raise FormatError(
+                f"{STATE_FORMAT}: unsupported version "
+                f"{payload.get('version')!r}"
+            )
+        stats_row = payload.get("stats", {})
+        raw_ledger = payload.get("ledger")
+        return cls(
+            applied_offset=int(payload["applied_offset"]),
+            generation=int(payload.get("generation", 0)),
+            evidence=evidence_from_dict(payload["evidence"]),
+            ledger=(
+                None
+                if raw_ledger is None
+                else ledger_from_dict(raw_ledger)
+            ),
+            stats=ExtractionStats(
+                documents=int(stats_row.get("documents", 0)),
+                sentences=int(stats_row.get("sentences", 0)),
+                statements=int(stats_row.get("statements", 0)),
+                positive=int(stats_row.get("positive", 0)),
+                negative=int(stats_row.get("negative", 0)),
+            ),
+            fits={
+                (key := _key_from_str(key_text)): _fit_from_dict(
+                    key, row
+                )
+                for key_text, row in payload.get("fits", {}).items()
+            },
+        )
+
+
+def state_path_for(journal_dir: str | Path) -> Path:
+    return Path(journal_dir) / STATE_BASENAME
+
+
+def save_state(state: IngestState, journal_dir: str | Path) -> Path:
+    path = state_path_for(journal_dir)
+    _atomic_write_text(
+        path, json.dumps(state.to_dict(), indent=1, sort_keys=True)
+    )
+    return path
+
+
+def load_state(journal_dir: str | Path) -> IngestState:
+    """Load persisted state, or a fresh one when none exists yet."""
+    path = state_path_for(journal_dir)
+    if not path.exists():
+        return IngestState()
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise FormatError(
+            f"{path}: unreadable ingest state: {error}"
+        ) from error
+    try:
+        return IngestState.from_dict(payload)
+    except (KeyError, TypeError, ValueError) as error:
+        raise FormatError(
+            f"{path}: malformed ingest state: {error}"
+        ) from error

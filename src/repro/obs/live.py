@@ -190,6 +190,58 @@ class BurnHistory:
         return sparkline(history) if history else ""
 
 
+def _stream_quantile(
+    series: dict[str, Any], name: str, q: float
+) -> float | None:
+    """Approximate a quantile from a histogram's cumulative
+    ``<name>_bucket`` samples (upper bound of the first bucket whose
+    cumulative count covers the target rank)."""
+    buckets = series.get(f"{name}_bucket")
+    if not buckets:
+        return None
+    rows = []
+    for labels, value, _ in buckets:
+        bound = labels.get("le", "")
+        if bound == "+Inf":
+            continue
+        try:
+            rows.append((float(bound), value))
+        except ValueError:
+            continue
+    rows.sort()
+    total = scalar(series, f"{name}_count")
+    if not rows or total <= 0:
+        return None
+    rank = q * total
+    for bound, cumulative in rows:
+        if cumulative >= rank:
+            return bound
+    return rows[-1][0]
+
+
+def render_ingest_panel(prev: Sample, curr: Sample) -> list[str]:
+    """The ``ingest`` panel lines, or ``[]`` when the server has no
+    ingest subsystem attached (the repro_ingest_* series absent)."""
+    if "repro_ingest_documents_total" not in curr.series:
+        return []
+    docs = scalar(curr.series, "repro_ingest_documents_total")
+    docs_rate = _rate(prev, curr, "repro_ingest_documents_total")
+    dirty = scalar(curr.series, "repro_ingest_dirty_combinations")
+    offset = scalar(curr.series, "repro_ingest_journal_offset")
+    freshness_p50 = _stream_quantile(
+        curr.series, "repro_ingest_freshness_seconds", 0.5
+    )
+    return [
+        (
+            f"  ingest: {int(docs)} docs "
+            f"({docs_rate:5.1f}/s)   "
+            f"journal offset {int(offset)}   "
+            f"dirty combos {int(dirty)}   "
+            f"freshness p50 {_fmt_seconds(freshness_p50)}"
+        ),
+    ]
+
+
 def render_frame(
     prev: Sample, curr: Sample, history: BurnHistory
 ) -> str:
@@ -239,6 +291,7 @@ def render_frame(
             f"{history.spark(f'{name}.slow'):<12} "
             f"[{entry.get('state', '?')}]"
         )
+    lines.extend(render_ingest_panel(prev, curr))
     degraded = health.get("degraded_reason")
     if degraded:
         lines.append(f"  degraded: {degraded}")

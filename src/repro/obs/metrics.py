@@ -229,6 +229,26 @@ CATALOG: dict[str, MetricSpec] = _catalog(
     MetricSpec("repro_serve_drift_alarms_total", "counter",
                "snapshot swaps whose flip fraction exceeded the "
                "configured drift guard"),
+    # Streaming ingestion (see repro.ingest; docs/ingestion.md)
+    MetricSpec("repro_ingest_documents_total", "counter",
+               "documents appended through the ingest subsystem"),
+    MetricSpec("repro_ingest_batches_total", "counter",
+               "ingest advances applied (journal batches folded in)"),
+    MetricSpec("repro_ingest_statements_total", "counter",
+               "evidence statements extracted by incremental "
+               "ingestion"),
+    MetricSpec("repro_ingest_dirty_combinations", "gauge",
+               "property-type combinations refit by the last ingest "
+               "advance"),
+    MetricSpec("repro_ingest_journal_offset", "gauge",
+               "highest journal offset folded into the served "
+               "evidence"),
+    MetricSpec("repro_ingest_refit_seconds", "histogram",
+               "dirty-set EM refit latency per ingest advance",
+               LATENCY_BUCKETS),
+    MetricSpec("repro_ingest_freshness_seconds", "streamhist",
+               "ingest-to-serveable latency per accepted batch "
+               "(log-bucketed, with request exemplars)"),
 )
 
 

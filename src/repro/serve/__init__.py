@@ -51,6 +51,7 @@ from .server import (
     ReproServer,
     ServeError,
     build_server,
+    documents_from_payload,
     install_signal_handlers,
     load_provenance_sidecar,
     new_request_id,
@@ -83,6 +84,7 @@ __all__ = [
     "ask_response",
     "batch_response",
     "build_server",
+    "documents_from_payload",
     "error_response",
     "explain_response",
     "install_signal_handlers",

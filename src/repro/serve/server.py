@@ -61,6 +61,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from ..core.query import QueryError, SubjectiveQuery
 from ..core.result import OpinionTable
+from ..corpus.document import Document
 from ..core.types import (
     Opinion,
     Polarity,
@@ -255,6 +256,7 @@ class OpinionService:
         trace_slow_seconds: float = DEFAULT_TRACE_SLOW_SECONDS,
         provenance: ProvenanceIndex | None = None,
         drift_guard_fraction: float | None = None,
+        ingest_pipeline: Any | None = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(
@@ -312,6 +314,11 @@ class OpinionService:
         self._trace_seen = itertools.count(1)
         self._swap_lock = threading.Lock()
         self._trace_lock = threading.Lock()
+        # Serializes whole ingest cycles (journal append -> refit ->
+        # publish); _swap_lock is still taken for the swap itself so
+        # ingests and file reloads interleave safely.
+        self._ingest_lock = threading.Lock()
+        self.ingest_pipeline = ingest_pipeline
         self._index = OpinionIndex(table, generation=1)
         self._current_table = table
         self._current_source = self.source_path
@@ -333,6 +340,20 @@ class OpinionService:
         self.drift_guard_fraction = drift_guard_fraction
         self._last_drift: dict[str, Any] | None = None
         self._drift_alarm: str | None = None
+        # Sidecar cache: (path, stat signature) -> loaded index, so a
+        # reload whose sidecar file did not change skips the re-parse
+        # while a rewritten sidecar (new mtime/size) is re-read and
+        # /explain lineage follows the new generation. The loaded
+        # index is cached alongside the signature — never resolved
+        # through _current_provenance — so rollback or an intervening
+        # swap cannot alias the cache onto the wrong generation.
+        self._sidecar_cache: (
+            tuple[tuple[str, int, int], ProvenanceIndex | None] | None
+        ) = None
+        if provenance is not None and self.source_path is not None:
+            signature = self._sidecar_signature(self.source_path)
+            if signature is not None:
+                self._sidecar_cache = (signature, provenance)
         self._publish_gauges()
 
     # ------------------------------------------------------------------
@@ -387,6 +408,7 @@ class OpinionService:
         source: str | Path | None,
         index: OpinionIndex,
         provenance: ProvenanceIndex | None = None,
+        trigger: str = "reload",
     ) -> DriftReport:
         """Install a validated (table, index) pair; callers hold
         ``_swap_lock``. Returns the generation-drift report against
@@ -408,7 +430,7 @@ class OpinionService:
         self.registry.inc("repro_serve_reloads_total")
         self._degraded_reason = None
         self.reload_breaker.record_success()
-        self._note_drift(drift, "reload", index.generation)
+        self._note_drift(drift, trigger, index.generation)
         self._publish_gauges()
         return drift
 
@@ -541,6 +563,35 @@ class OpinionService:
             flush=True,
         )
 
+    def _sidecar_signature(
+        self, source: str | Path
+    ) -> tuple[str, int, int] | None:
+        """Freshness fingerprint of an artefact's lineage sidecar:
+        (path, mtime_ns, size), or None when the file is absent."""
+        path = provenance_path_for(source)
+        try:
+            stat = path.stat()
+        except OSError:
+            return None
+        return (str(path), stat.st_mtime_ns, stat.st_size)
+
+    def _load_sidecar(
+        self, source: str | Path
+    ) -> ProvenanceIndex | None:
+        """Load the sidecar next to ``source``, skipping the re-parse
+        when its stat signature matches the last load. A rewritten
+        sidecar (mtime or size moved) is always re-read, so /explain
+        lineage follows the generation a reload just installed."""
+        signature = self._sidecar_signature(source)
+        if signature is None:
+            return None
+        cached = self._sidecar_cache
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+        sidecar = load_provenance_sidecar(source)
+        self._sidecar_cache = (signature, sidecar)
+        return sidecar
+
     def reload(self, path: str | Path | None = None) -> dict[str, Any]:
         """Validate the opinions artefact off to the side, then swap.
 
@@ -595,7 +646,7 @@ class OpinionService:
                     code="reload_failed",
                 ) from None
             drift = self._publish(
-                table, source, index, load_provenance_sidecar(source)
+                table, source, index, self._load_sidecar(source)
             )
         return {
             "status": "reloaded",
@@ -656,6 +707,103 @@ class OpinionService:
             status=409,
             code="rollback_unavailable",
         )
+
+    def ingest(
+        self,
+        documents: list[Document],
+        request_id: str | None = None,
+    ) -> dict[str, Any]:
+        """Journal a document batch, fold its evidence in, and swap
+        the refitted table live (the streaming write path).
+
+        Requires an attached :class:`~repro.ingest.IngestPipeline`
+        (``repro serve --ingest-journal``); 409 otherwise. The whole
+        cycle — durable append, incremental extract, dirty-set refit,
+        artefact publish, validated swap — runs under ``_ingest_lock``
+        so concurrent posts serialize; the swap itself still takes
+        ``_swap_lock``, interleaving safely with file reloads. The
+        published artefacts land at the configured opinions path, so a
+        restart reloads the latest generation from disk.
+        """
+        pipeline = self.ingest_pipeline
+        if pipeline is None:
+            raise ServeError(
+                "no ingest journal attached to this server "
+                "(start with --ingest-journal)",
+                status=409,
+                code="ingest_unavailable",
+            )
+        if not documents:
+            raise ServeError("ingest batch holds no documents")
+        started = time.perf_counter()
+        started_unix = time.time()
+        with self._ingest_lock:
+            report = pipeline.ingest(documents)
+            out = self.source_path
+            swapped = False
+            drift: DriftReport | None = None
+            index = self._index
+            if len(report.table) > 0:
+                if out is not None:
+                    pipeline.publish(
+                        report,
+                        out,
+                        started_unix=started_unix,
+                        duration_seconds=(
+                            time.perf_counter() - started
+                        ),
+                    )
+                    # The freshly written sidecar is this report's
+                    # lineage; prime the cache so a follow-up file
+                    # reload does not re-parse it.
+                    signature = self._sidecar_signature(out)
+                    if signature is not None:
+                        self._sidecar_cache = (
+                            signature, report.provenance
+                        )
+                with self._swap_lock:
+                    try:
+                        index = self._validate_candidate(
+                            table=report.table,
+                            source=(
+                                out
+                                if out is not None
+                                else pipeline.journal.directory
+                            ),
+                        )
+                    except ValueError as error:
+                        raise ServeError(
+                            "ingest produced an unservable table: "
+                            f"{error}",
+                            status=500,
+                            code="ingest_failed",
+                        ) from None
+                    drift = self._publish(
+                        report.table,
+                        out,
+                        index,
+                        report.provenance,
+                        trigger="ingest",
+                    )
+                swapped = True
+        freshness = time.perf_counter() - started
+        self.registry.observe(
+            "repro_ingest_freshness_seconds",
+            freshness,
+            exemplar=request_id,
+        )
+        return {
+            "status": "ingested" if swapped else "accepted",
+            "documents": report.documents,
+            "statements": report.statements,
+            "journal_offset": report.journal_offset,
+            "dirty_combinations": len(report.dirty),
+            "refitted": report.refitted,
+            "generation": index.generation,
+            "opinions": index.n_opinions,
+            "freshness_seconds": round(freshness, 6),
+            "drift": None if drift is None else drift.summary(),
+        }
 
     def _publish_gauges(self) -> None:
         self.registry.set_gauge(
@@ -1089,7 +1237,7 @@ class ServeHandler(BaseHTTPRequestHandler):
     #: gating a rollback behind the overload it is meant to fix would
     #: be self-defeating.
     UNGATED = ("/healthz", "/metrics", "/admin/reload",
-               "/admin/rollback")
+               "/admin/rollback", "/admin/ingest")
 
     #: Set per request in _handle before any response is written.
     request_id: str = ""
@@ -1316,6 +1464,8 @@ class ServeHandler(BaseHTTPRequestHandler):
         if method == "POST" and path == "/admin/rollback":
             self._send_json(200, self.service.rollback())
             return 200, None
+        if method == "POST" and path == "/admin/ingest":
+            return self._post_ingest()
         raise ServeError(
             f"no route for {method} {path}", status=404,
             code="not_found",
@@ -1424,6 +1574,58 @@ class ServeHandler(BaseHTTPRequestHandler):
             ) from None
         self._send_json(200, summary)
         return 200, None
+
+    def _post_ingest(self) -> tuple[int, None]:
+        payload = self._read_json_body()
+        documents = documents_from_payload(payload)
+        self.batch_items = len(documents)
+        summary = self.service.ingest(
+            documents, request_id=self.request_id or None
+        )
+        self._send_json(200, summary)
+        return 200, None
+
+
+def documents_from_payload(
+    payload: dict[str, Any],
+) -> list[Document]:
+    """Parse a ``POST /admin/ingest`` body into documents.
+
+    Accepted shape: ``{"documents": [<string> | {"text": ...,
+    "doc_id"?, "region"?}, ...]}``. A bare string is a document body
+    with no id — the journal assigns ``ingested-<offset>`` ids at
+    commit time.
+    """
+    rows = payload.get("documents")
+    if not isinstance(rows, list) or not rows:
+        raise ServeError(
+            "body must be {\"documents\": [<string> | "
+            "{\"text\": ...}, ...]} with at least one document"
+        )
+    documents: list[Document] = []
+    for position, row in enumerate(rows):
+        if isinstance(row, str):
+            row = {"text": row}
+        if not isinstance(row, dict) or not isinstance(
+            row.get("text"), str
+        ) or not row["text"].strip():
+            raise ServeError(
+                f"documents[{position}] needs a non-empty "
+                "\"text\" string"
+            )
+        doc_id = row.get("doc_id", "")
+        region = row.get("region", "")
+        if not isinstance(doc_id, str) or not isinstance(
+            region, str
+        ):
+            raise ServeError(
+                f"documents[{position}]: doc_id and region must "
+                "be strings"
+            )
+        documents.append(
+            Document(doc_id=doc_id, text=row["text"], region=region)
+        )
+    return documents
 
 
 def build_server(

@@ -284,8 +284,13 @@ def provenance_path_for(artefact: str | Path) -> Path:
     return artefact.with_name(artefact.name + ".provenance.json")
 
 
-def _ledger_to_dict(ledger: ProvenanceLedger) -> dict[str, Any]:
-    """A shard ledger as checkpoint-embeddable primitives."""
+def ledger_to_dict(ledger: ProvenanceLedger) -> dict[str, Any]:
+    """A provenance ledger as checkpoint-embeddable primitives.
+
+    Used by shard checkpoints and by the ingest subsystem's persisted
+    running state; the payload is not a standalone artefact (no
+    format/version envelope) — embed it inside one.
+    """
     pairs: dict[str, dict[str, Any]] = {}
     for key, entity_id, pair in ledger.pairs():
         pairs.setdefault(_key_to_str(key), {})[entity_id] = (
@@ -297,7 +302,7 @@ def _ledger_to_dict(ledger: ProvenanceLedger) -> dict[str, Any]:
     }
 
 
-def _ledger_from_dict(payload: dict[str, Any]) -> ProvenanceLedger:
+def ledger_from_dict(payload: dict[str, Any]) -> ProvenanceLedger:
     ledger = ProvenanceLedger(
         samples_per_polarity=int(
             payload.get("samples_per_polarity", 3)
@@ -334,7 +339,7 @@ def shard_checkpoint_to_dict(
         "dead_letters": [dict(letter) for letter in dead_letters],
     }
     if provenance is not None:
-        payload["provenance"] = _ledger_to_dict(provenance)
+        payload["provenance"] = ledger_to_dict(provenance)
     return payload
 
 
@@ -357,7 +362,7 @@ def shard_checkpoint_from_dict(
         # lack the key; they load with no ledger and the resumed
         # shard contributes no samples.
         raw = payload.get("provenance")
-        ledger = _ledger_from_dict(raw) if raw is not None else None
+        ledger = ledger_from_dict(raw) if raw is not None else None
     except (KeyError, TypeError, ValueError) as error:
         raise CheckpointError(
             f"malformed shard checkpoint: {error}"

@@ -1,0 +1,869 @@
+"""Tests for the streaming ingestion subsystem.
+
+Covers the corpus journal (durability, torn-tail recovery, offset
+discipline), the incremental pipeline (differential bit-parity with
+the one-shot batch on every harness scenario, persisted-state resume,
+manifests, metrics), the server's ingest endpoint and sidecar
+stat-cache, and the ``repro top`` ingest panel.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.corpus import CorpusGenerator, NoiseProfile
+from repro.corpus.document import Document
+from repro.evaluation.harness import (
+    EVALUATION_TYPES,
+    EvaluationHarness,
+)
+from repro.ingest import (
+    CorpusJournal,
+    DuplicateOffsetError,
+    IngestPipeline,
+    JournalError,
+    load_state,
+    state_path_for,
+)
+from repro.obs import MetricsRegistry
+from repro.obs.live import Sample, render_frame, render_ingest_panel
+from repro.obs.manifest import manifest_path_for, read_manifest
+from repro.pipeline import SurveyorPipeline
+from repro.pipeline.faults import FaultInjector, InjectedFault
+from repro.serve import (
+    OpinionService,
+    ServeError,
+    build_server,
+    documents_from_payload,
+    install_signal_handlers,
+    load_provenance_sidecar,
+)
+from repro.storage import (
+    FormatError,
+    opinions_to_dict,
+    provenance_path_for,
+    save,
+)
+
+
+def docs(*texts: str, prefix: str = "d") -> list[Document]:
+    return [
+        Document(doc_id=f"{prefix}{i}", text=text)
+        for i, text in enumerate(texts)
+    ]
+
+
+def journal_bytes(journal: CorpusJournal) -> bytes:
+    """Concatenated segment bytes, in segment order."""
+    return b"".join(
+        path.read_bytes() for path in journal._segments()
+    )
+
+
+def fingerprint(table) -> str:
+    return json.dumps(opinions_to_dict(table), sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Journal
+# ---------------------------------------------------------------------------
+
+class TestJournal:
+    def test_roundtrip_assigns_monotonic_offsets(self, tmp_path):
+        journal = CorpusJournal(tmp_path / "j")
+        offsets = journal.append(docs("one", "two"))
+        assert offsets == [0, 1]
+        assert journal.append(docs("three")) == [2]
+        replayed = list(journal.replay())
+        assert [r.offset for r in replayed] == [0, 1, 2]
+        assert [r.document.text for r in replayed] == [
+            "one", "two", "three",
+        ]
+        # A cold reopen sees the same committed state.
+        reopened = CorpusJournal(tmp_path / "j")
+        assert reopened.last_offset == 2
+        assert reopened.n_records == 3
+        assert reopened.truncated_bytes == 0
+
+    def test_replay_resumes_above_watermark(self, tmp_path):
+        journal = CorpusJournal(tmp_path / "j")
+        journal.append(docs("a", "b", "c", "d"))
+        assert [r.offset for r in journal.replay(after=1)] == [2, 3]
+        assert list(journal.replay(after=3)) == []
+
+    def test_blank_doc_ids_get_offset_ids(self, tmp_path):
+        journal = CorpusJournal(tmp_path / "j")
+        journal.append(
+            [Document(doc_id="", text="anonymous upload")]
+        )
+        (record,) = journal.replay()
+        assert record.document.doc_id == "ingested-00000000"
+
+    def test_segments_roll_at_size_limit(self, tmp_path):
+        journal = CorpusJournal(tmp_path / "j", max_segment_bytes=1)
+        journal.append(docs("a", "b"))
+        journal.append(docs("c"))
+        assert journal.n_segments >= 2
+        reopened = CorpusJournal(tmp_path / "j", max_segment_bytes=1)
+        assert [r.offset for r in reopened.replay()] == [0, 1, 2]
+
+    def test_torn_tail_is_truncated_on_open(self, tmp_path):
+        journal = CorpusJournal(tmp_path / "j")
+        journal.append(docs("whole one", "whole two"))
+        segment = journal._segments()[-1]
+        clean = segment.read_bytes()
+        # A crash mid-write leaves a partial record at the tail.
+        with segment.open("ab") as handle:
+            handle.write(b'87\n{"doc_id": "torn", "off')
+        repaired = CorpusJournal(tmp_path / "j")
+        assert repaired.truncated_bytes > 0
+        assert repaired.n_records == 2
+        assert segment.read_bytes() == clean
+        # And a second open finds nothing left to repair.
+        assert CorpusJournal(tmp_path / "j").truncated_bytes == 0
+
+    def test_mid_file_damage_is_corruption_not_a_crash(
+        self, tmp_path
+    ):
+        journal = CorpusJournal(tmp_path / "j", max_segment_bytes=1)
+        journal.append(docs("a"))
+        journal.append(docs("b"))
+        assert journal.n_segments == 2
+        first = journal._segments()[0]
+        data = first.read_bytes()
+        first.write_bytes(data[: len(data) - 2])  # tear a NON-final segment
+        with pytest.raises(JournalError, match="non-final"):
+            CorpusJournal(tmp_path / "j", max_segment_bytes=1)
+
+    def test_complete_frame_with_bad_json_is_corruption(
+        self, tmp_path
+    ):
+        journal = CorpusJournal(tmp_path / "j")
+        journal.append(docs("fine"))
+        segment = journal._segments()[-1]
+        # A full, length-consistent frame whose payload is garbage
+        # cannot be a torn write — the prefix proves it was framed.
+        with segment.open("ab") as handle:
+            handle.write(b"7\nnotjson\n")
+        with pytest.raises(JournalError, match="corrupt"):
+            CorpusJournal(tmp_path / "j")
+
+    def test_duplicate_offset_rejected_and_nothing_written(
+        self, tmp_path
+    ):
+        journal = CorpusJournal(tmp_path / "j")
+        journal.append(docs("a", "b"))
+        before = journal_bytes(journal)
+        with pytest.raises(DuplicateOffsetError):
+            journal.append(docs("late echo"), offsets=[1])
+        assert journal_bytes(journal) == before
+        assert journal.last_offset == 1
+        assert journal.n_records == 2
+
+    def test_explicit_offsets_must_line_up(self, tmp_path):
+        journal = CorpusJournal(tmp_path / "j")
+        with pytest.raises(JournalError, match="offsets"):
+            journal.append(docs("a", "b"), offsets=[0])
+        assert journal.append(docs("a", "b"), offsets=[5, 9]) == [
+            5, 9,
+        ]
+        assert journal.last_offset == 9
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery (FaultInjector mid-commit kills)
+# ---------------------------------------------------------------------------
+
+class TestCrashRecovery:
+    def test_mid_commit_kill_then_reopen_is_byte_identical(
+        self, tmp_path
+    ):
+        first = docs("committed before the crash", prefix="pre")
+        second = docs("arrives during the crash", prefix="crash")
+        crashed = CorpusJournal(tmp_path / "crashed")
+        crashed.append(first)
+        # Kill the writer between the two halves of the next record.
+        crashed.fault_injector = FaultInjector(fail_every_nth=1)
+        with pytest.raises(InjectedFault):
+            crashed.append(second)
+        # The torn record is visible on disk...
+        committed = journal_bytes(crashed)
+        clean_journal = CorpusJournal(tmp_path / "reference")
+        clean_journal.append(first)
+        assert committed != journal_bytes(clean_journal)
+        # ...and this instance refuses to write over it.
+        crashed.fault_injector = None
+        with pytest.raises(JournalError, match="reopen"):
+            crashed.append(docs("more"))
+
+        repaired = CorpusJournal(tmp_path / "crashed")
+        assert repaired.truncated_bytes > 0
+        assert repaired.n_records == 1
+        # After repair + retrying the failed batch, the journal is
+        # byte-identical to one that never crashed.
+        repaired.append(second)
+        clean_journal.append(second)
+        assert journal_bytes(repaired) == journal_bytes(clean_journal)
+        assert [r.offset for r in repaired.replay()] == [0, 1]
+
+    def test_kill_inside_a_batch_keeps_no_partial_batch(
+        self, tmp_path
+    ):
+        journal = CorpusJournal(
+            tmp_path / "j",
+            fault_injector=FaultInjector(fail_every_nth=1),
+        )
+        with pytest.raises(InjectedFault):
+            journal.append(docs("a", "b", "c"))
+        repaired = CorpusJournal(tmp_path / "j")
+        # The batch never committed: offsets did not advance.
+        assert repaired.last_offset == -1
+        assert repaired.truncated_bytes > 0
+        repaired.append(docs("a", "b", "c"))
+        assert repaired.last_offset == 2
+
+
+# ---------------------------------------------------------------------------
+# Differential parity: incremental journal replay == one-shot batch
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def harness():
+    return EvaluationHarness()
+
+
+@pytest.fixture(scope="module")
+def scenario_by_type(harness):
+    return {
+        scenario.name.removeprefix("eval-"): scenario
+        for scenario in harness.scenarios()
+    }
+
+
+@pytest.fixture(scope="module")
+def eval_corpus(scenario_by_type):
+    """Memoized per-type harness corpora (regenerating one costs a
+    few seconds; the animal world is reused by several tests)."""
+    cache = {}
+
+    def corpus_of(entity_type):
+        if entity_type not in cache:
+            cache[entity_type] = CorpusGenerator(
+                seed=2015, noise=NoiseProfile()
+            ).generate(scenario_by_type[entity_type])
+        return cache[entity_type]
+
+    return corpus_of
+
+
+@pytest.fixture(scope="module")
+def batch_result(harness, eval_corpus):
+    """Memoized one-shot batch runs — the parity reference."""
+    cache = {}
+
+    def result_of(entity_type):
+        if entity_type not in cache:
+            cache[entity_type] = SurveyorPipeline(
+                kb=harness.kb, n_workers=1
+            ).run(eval_corpus(entity_type)).result
+        return cache[entity_type]
+
+    return result_of
+
+
+class TestDifferentialParity:
+    @pytest.mark.parametrize("entity_type", EVALUATION_TYPES)
+    def test_chunked_ingest_matches_batch(
+        self, tmp_path, harness, eval_corpus, batch_result,
+        entity_type,
+    ):
+        corpus = eval_corpus(entity_type)
+        batch = batch_result(entity_type)
+
+        journal = CorpusJournal(tmp_path / "journal")
+        pipeline = IngestPipeline(kb=harness.kb, journal=journal)
+        half = len(corpus.documents) // 2
+        pipeline.ingest(corpus.documents[:half])
+        report = pipeline.ingest(corpus.documents[half:])
+
+        assert fingerprint(report.table) == fingerprint(
+            batch.opinions
+        )
+        assert set(report.result.degraded) == set(batch.degraded)
+        assert report.generation == 2
+        assert report.journal_offset == len(corpus.documents) - 1
+
+    def test_resume_from_persisted_state(
+        self, tmp_path, harness, eval_corpus, batch_result
+    ):
+        corpus = eval_corpus("animal")
+        batch = batch_result("animal")
+
+        half = len(corpus.documents) // 2
+        first = IngestPipeline(
+            kb=harness.kb, journal=CorpusJournal(tmp_path / "j")
+        )
+        first.ingest(corpus.documents[:half])
+
+        # A brand-new process resumes from state.json + the journal.
+        second = IngestPipeline(
+            kb=harness.kb, journal=CorpusJournal(tmp_path / "j")
+        )
+        assert not second.state.fresh
+        report = second.ingest(corpus.documents[half:])
+        assert fingerprint(report.table) == fingerprint(
+            batch.opinions
+        )
+
+        # And an advance with nothing new reuses every cached fit.
+        third = IngestPipeline(
+            kb=harness.kb, journal=CorpusJournal(tmp_path / "j")
+        )
+        idle = third.advance()
+        assert idle.documents == 0
+        assert idle.refitted == 0
+        assert idle.reused == len(report.result.fits)
+        assert fingerprint(idle.table) == fingerprint(
+            batch.opinions
+        )
+
+    def test_crash_between_apply_and_save_replays_deterministically(
+        self, tmp_path, harness, eval_corpus
+    ):
+        corpus = eval_corpus("animal")
+        half = len(corpus.documents) // 2
+
+        steady = IngestPipeline(
+            kb=harness.kb, journal=CorpusJournal(tmp_path / "steady")
+        )
+        steady.ingest(corpus.documents[:half])
+        expected = fingerprint(
+            steady.ingest(corpus.documents[half:]).table
+        )
+
+        crashy = IngestPipeline(
+            kb=harness.kb, journal=CorpusJournal(tmp_path / "crashy")
+        )
+        crashy.ingest(corpus.documents[:half])
+        # Simulate dying after the journal committed the second batch
+        # but before extraction state was saved: append only.
+        crashy.append(corpus.documents[half:])
+        resumed = IngestPipeline(
+            kb=harness.kb, journal=CorpusJournal(tmp_path / "crashy")
+        )
+        report = resumed.advance()
+        assert report.documents == len(corpus.documents) - half
+        assert fingerprint(report.table) == expected
+
+
+# ---------------------------------------------------------------------------
+# Pipeline state, manifests, metrics
+# ---------------------------------------------------------------------------
+
+def cute_corpus(cute_scenario):
+    return CorpusGenerator(seed=9).generate(cute_scenario)
+
+
+class TestPipelineState:
+    def test_state_persists_and_reloads(
+        self, tmp_path, small_kb, cute_scenario
+    ):
+        corpus = cute_corpus(cute_scenario)
+        pipeline = IngestPipeline(
+            kb=small_kb,
+            journal=CorpusJournal(tmp_path / "j"),
+            occurrence_threshold=1,
+        )
+        report = pipeline.ingest(corpus.documents)
+        assert state_path_for(tmp_path / "j").exists()
+        state = load_state(tmp_path / "j")
+        assert state.applied_offset == report.journal_offset
+        assert state.generation == report.generation
+        assert set(state.fits) == set(report.result.fits)
+        assert state.evidence == pipeline.state.evidence
+
+    def test_missing_state_is_fresh(self, tmp_path):
+        state = load_state(tmp_path)
+        assert state.fresh
+        assert state.applied_offset == -1
+
+    def test_corrupt_state_raises_format_error(self, tmp_path):
+        state_path_for(tmp_path).write_text('{"format": "nope"}')
+        with pytest.raises(FormatError):
+            load_state(tmp_path)
+
+    def test_below_threshold_combinations_are_skipped(
+        self, tmp_path, small_kb, cute_scenario
+    ):
+        corpus = cute_corpus(cute_scenario)
+        pipeline = IngestPipeline(
+            kb=small_kb,
+            journal=CorpusJournal(tmp_path / "j"),
+            occurrence_threshold=10_000_000,
+        )
+        report = pipeline.ingest(corpus.documents)
+        assert len(report.table) == 0
+        assert report.result.skipped
+        assert not pipeline.state.fits
+
+    def test_publish_writes_manifest_with_ingest_toggles(
+        self, tmp_path, small_kb, cute_scenario
+    ):
+        corpus = cute_corpus(cute_scenario)
+        pipeline = IngestPipeline(
+            kb=small_kb,
+            journal=CorpusJournal(tmp_path / "j"),
+            occurrence_threshold=1,
+            warm_start=True,
+        )
+        report = pipeline.ingest(corpus.documents)
+        out = pipeline.publish(report, tmp_path / "op.json")
+        assert provenance_path_for(out).exists()
+        manifest = read_manifest(manifest_path_for(out))
+        assert manifest["command"] == "ingest"
+        config = manifest["config"]
+        assert config["incremental"] is True
+        assert config["journal_offset"] == report.journal_offset
+        assert config["generation"] == report.generation
+        assert config["fast_path"] is True
+        assert config["provenance"] is True
+        assert config["warm_start"] is True
+
+    def test_warm_start_refits_from_cached_parameters(
+        self, tmp_path, small_kb, cute_scenario
+    ):
+        corpus = cute_corpus(cute_scenario)
+        half = len(corpus.documents) // 2
+        pipeline = IngestPipeline(
+            kb=small_kb,
+            journal=CorpusJournal(tmp_path / "j"),
+            occurrence_threshold=1,
+            warm_start=True,
+        )
+        pipeline.ingest(corpus.documents[:half])
+        report = pipeline.ingest(corpus.documents[half:])
+        assert report.refitted >= 1
+        # Warm starts trade last-ulp parity for speed; the answers
+        # must still agree with a cold batch to high precision.
+        cold = SurveyorPipeline(
+            kb=small_kb, n_workers=1, occurrence_threshold=1
+        ).run(corpus)
+        warm_rows = {
+            (o.entity_id, str(o.key)): o.probability
+            for o in report.table
+        }
+        for opinion in cold.result.opinions:
+            warm = warm_rows[(opinion.entity_id, str(opinion.key))]
+            assert warm == pytest.approx(
+                opinion.probability, abs=1e-6
+            )
+
+    def test_metrics_feed_the_ingest_series(
+        self, tmp_path, small_kb, cute_scenario
+    ):
+        corpus = cute_corpus(cute_scenario)
+        registry = MetricsRegistry()
+        pipeline = IngestPipeline(
+            kb=small_kb,
+            journal=CorpusJournal(tmp_path / "j"),
+            occurrence_threshold=1,
+            registry=registry,
+        )
+        report = pipeline.ingest(corpus.documents)
+        assert registry.counter_value(
+            "repro_ingest_batches_total"
+        ) == 1
+        assert registry.counter_value(
+            "repro_ingest_documents_total"
+        ) == len(corpus.documents)
+        assert registry.counter_value(
+            "repro_ingest_statements_total"
+        ) == report.statements > 0
+        text = registry.exposition()
+        assert "repro_ingest_journal_offset" in text
+        assert "repro_ingest_dirty_combinations" in text
+        assert "repro_ingest_refit_seconds_bucket" in text
+
+
+# ---------------------------------------------------------------------------
+# Serving: POST /admin/ingest and the sidecar stat-cache
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def served_ingest(tmp_path, small_kb, cute_scenario):
+    """A live server bootstrapped from the first 2/3 of the cute
+    corpus, with the remainder available for streaming appends.
+
+    Yields (service, base_url, leftover_documents, opinions_path).
+    """
+    corpus = cute_corpus(cute_scenario)
+    cut = 2 * len(corpus.documents) // 3
+    pipeline = IngestPipeline(
+        kb=small_kb,
+        journal=CorpusJournal(tmp_path / "journal"),
+        occurrence_threshold=1,
+    )
+    report = pipeline.ingest(corpus.documents[:cut])
+    path = tmp_path / "opinions.json"
+    pipeline.publish(report, path)
+    service = OpinionService(
+        report.table,
+        source_path=path,
+        provenance=report.provenance,
+        registry=MetricsRegistry(),
+        ingest_pipeline=pipeline,
+    )
+    server = build_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield (
+            service,
+            f"http://127.0.0.1:{server.port}",
+            corpus.documents[cut:],
+            path,
+        )
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def get(url):
+    with urllib.request.urlopen(url) as response:
+        return response.status, json.loads(response.read())
+
+
+def post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestServeIngest:
+    def test_post_ingest_swaps_a_fresh_generation(
+        self, served_ingest
+    ):
+        service, base, leftover, path = served_ingest
+        assert service.index.generation == 1
+        status, summary = post(
+            f"{base}/admin/ingest",
+            {
+                "documents": [
+                    {
+                        "doc_id": doc.doc_id,
+                        "text": doc.text,
+                        "region": doc.region,
+                    }
+                    for doc in leftover
+                ]
+            },
+        )
+        assert status == 200
+        assert summary["status"] == "ingested"
+        assert summary["documents"] == len(leftover)
+        assert summary["generation"] == 2
+        assert summary["freshness_seconds"] < 60
+        assert summary["drift"] is not None
+        assert service.index.generation == 2
+
+        # The swap is the ingest-triggered drift surface...
+        _, health = get(f"{base}/healthz")
+        assert health["drift"]["trigger"] == "ingest"
+        # ...the freshness histogram saw the cycle...
+        exposition = service.registry.exposition()
+        assert "repro_ingest_freshness_seconds_bucket" in exposition
+        # ...and the published artefacts landed at the serving path,
+        # so a cold restart reloads this generation.
+        assert json.loads(path.read_text())["format"] == "opinions"
+        assert read_manifest(manifest_path_for(path))[
+            "config"
+        ]["generation"] == 2
+
+    def test_served_answer_reflects_appended_evidence(
+        self, served_ingest
+    ):
+        service, base, leftover, _ = served_ingest
+        _, before = get(f"{base}/query?q=cute+animals")
+        post(
+            f"{base}/admin/ingest",
+            {"documents": [doc.text for doc in leftover]},
+        )
+        status, after = get(f"{base}/query?q=cute+animals")
+        assert status == 200
+        assert after["generation"] == 2
+        assert [
+            hit["entity"] for hit in after["hits"]
+        ], "refitted table must still answer the query"
+        assert before["generation"] == 1
+
+    def test_ingest_without_pipeline_is_409(self, served_ingest):
+        service, base, leftover, _ = served_ingest
+        service.ingest_pipeline = None
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(
+                f"{base}/admin/ingest",
+                {"documents": ["Kittens are cute."]},
+            )
+        assert excinfo.value.code == 409
+        assert json.loads(excinfo.value.read())[
+            "code"
+        ] == "ingest_unavailable"
+
+    def test_malformed_bodies_are_400(self, served_ingest):
+        _, base, _, _ = served_ingest
+        for body in (
+            {},
+            {"documents": []},
+            {"documents": "Kittens are cute."},
+            {"documents": [{"text": "   "}]},
+            {"documents": [{"text": "ok", "doc_id": 7}]},
+        ):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post(f"{base}/admin/ingest", body)
+            assert excinfo.value.code == 400
+
+    def test_documents_from_payload_shapes(self):
+        documents = documents_from_payload(
+            {
+                "documents": [
+                    "Kittens are cute.",
+                    {
+                        "text": "Snakes are not cute.",
+                        "doc_id": "web-1",
+                        "region": "us",
+                    },
+                ]
+            }
+        )
+        assert documents[0].doc_id == ""
+        assert documents[0].text == "Kittens are cute."
+        assert documents[1].doc_id == "web-1"
+        assert documents[1].region == "us"
+        with pytest.raises(ServeError):
+            documents_from_payload({"documents": [42]})
+
+    def test_statement_free_batch_dirties_nothing(
+        self, served_ingest
+    ):
+        service, base, _, _ = served_ingest
+        # No extractable subjective statements: no combination goes
+        # dirty and every cached fit is reused — but the journal did
+        # advance and the rebuilt (identical) table still swaps.
+        offset_before = service.ingest_pipeline.state.applied_offset
+        status, summary = post(
+            f"{base}/admin/ingest",
+            {"documents": ["The weather report was uneventful."]},
+        )
+        assert status == 200
+        assert summary["dirty_combinations"] == 0
+        assert summary["refitted"] == 0
+        assert summary["journal_offset"] == offset_before + 1
+
+    def test_empty_table_ingest_is_accepted_without_swap(
+        self, tmp_path, small_kb
+    ):
+        from repro.core import OpinionTable
+
+        pipeline = IngestPipeline(
+            kb=small_kb,
+            journal=CorpusJournal(tmp_path / "j"),
+            occurrence_threshold=10_000_000,
+        )
+        service = OpinionService(
+            OpinionTable(), ingest_pipeline=pipeline
+        )
+        summary = service.ingest(docs("Kittens are cute."))
+        assert summary["status"] == "accepted"
+        assert summary["generation"] == 1
+        assert summary["drift"] is None
+
+
+class TestSidecarCache:
+    def test_unchanged_sidecar_is_not_reparsed(self, served_ingest):
+        service, base, _, path = served_ingest
+        first = service._load_sidecar(path)
+        assert first is not None
+        assert service._load_sidecar(path) is first  # cache hit
+        post(f"{base}/admin/reload", {})
+        assert service._load_sidecar(path) is first
+
+    def test_rewritten_sidecar_is_reread_on_reload(
+        self, served_ingest, small_kb
+    ):
+        service, base, leftover, path = served_ingest
+        pipeline = service.ingest_pipeline
+        cached = service._load_sidecar(path)
+
+        # Publish a new generation's artefacts directly to disk (the
+        # CLI-journal workflow: `repro ingest` while a server runs).
+        report = pipeline.ingest(leftover)
+        pipeline.publish(report, path)
+        # Guard against filesystems with coarse mtime granularity.
+        sidecar = provenance_path_for(path)
+        stat = sidecar.stat()
+        os.utime(
+            sidecar, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000)
+        )
+
+        status, _ = post(f"{base}/admin/reload", {})
+        assert status == 200
+        fresh = service._load_sidecar(path)
+        assert fresh is not cached
+        # /explain lineage follows the new generation.
+        entity = next(iter(report.table)).entity_id
+        prop = next(iter(report.table)).key.property.text
+        status, payload = get(
+            f"{base}/explain?entity={entity}&property={prop}"
+        )
+        assert status == 200
+        assert payload["lineage"]["available"] is True
+
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGHUP"),
+        reason="POSIX-only signal",
+    )
+    def test_sighup_reload_follows_rewritten_sidecar(
+        self, served_ingest
+    ):
+        service, _, leftover, path = served_ingest
+        pipeline = service.ingest_pipeline
+        cached = service._load_sidecar(path)
+        report = pipeline.ingest(leftover)
+        pipeline.publish(report, path)
+        sidecar = provenance_path_for(path)
+        stat = sidecar.stat()
+        os.utime(
+            sidecar, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000)
+        )
+        previous_hup = signal.getsignal(signal.SIGHUP)
+        previous_term = signal.getsignal(signal.SIGTERM)
+        try:
+            install_signal_handlers(service)
+            signal.raise_signal(signal.SIGHUP)
+        finally:
+            signal.signal(signal.SIGHUP, previous_hup)
+            signal.signal(signal.SIGTERM, previous_term)
+        assert service.index.generation == 2
+        assert service._load_sidecar(path) is not cached
+
+    def test_missing_sidecar_is_never_cached(
+        self, tmp_path, small_kb, cute_scenario
+    ):
+        pipeline = IngestPipeline(
+            kb=small_kb,
+            journal=CorpusJournal(tmp_path / "j"),
+            occurrence_threshold=1,
+            provenance=False,
+        )
+        report = pipeline.ingest(
+            cute_corpus(cute_scenario).documents
+        )
+        path = save(report.table, tmp_path / "op.json")
+        service = OpinionService(report.table, source_path=path)
+        assert service._sidecar_signature(path) is None
+        assert service._load_sidecar(path) is None
+        assert service._sidecar_cache is None
+
+
+# ---------------------------------------------------------------------------
+# repro top: ingest panel
+# ---------------------------------------------------------------------------
+
+def _sample(at, series_values, health):
+    series = {"#types": {}}
+    for name, value in series_values.items():
+        if isinstance(value, list):
+            series[name] = value
+        else:
+            series[name] = [({}, float(value), None)]
+    return Sample(at=at, series=series, health=health)
+
+
+HEALTH = {
+    "status": "healthy",
+    "generation": 2,
+    "opinions": 10,
+    "admission": {"inflight": 0},
+    "latency": {
+        "window_seconds": 300.0,
+        "count": 1,
+        "p50": 0.001,
+        "p95": 0.002,
+        "p99": 0.003,
+    },
+    "slo": {
+        "state": "ok",
+        "availability": {
+            "burn_rates": {"fast": 0.0, "slow": 0.0},
+            "state": "ok",
+        },
+        "latency": {
+            "burn_rates": {"fast": 0.0, "slow": 0.0},
+            "state": "ok",
+        },
+    },
+}
+
+
+class TestIngestPanel:
+    SERIES = {
+        "repro_serve_requests_total": 0,
+        "repro_ingest_documents_total": 120,
+        "repro_ingest_dirty_combinations": 3,
+        "repro_ingest_journal_offset": 119,
+        "repro_ingest_freshness_seconds_bucket": [
+            ({"le": "0.25"}, 4.0, None),
+            ({"le": "0.5"}, 9.0, None),
+            ({"le": "+Inf"}, 10.0, None),
+        ],
+        "repro_ingest_freshness_seconds_count": 10,
+    }
+
+    def test_panel_absent_without_ingest_series(self):
+        prev = _sample(
+            0.0, {"repro_serve_requests_total": 0}, HEALTH
+        )
+        curr = _sample(
+            1.0, {"repro_serve_requests_total": 5}, HEALTH
+        )
+        assert render_ingest_panel(prev, curr) == []
+        assert "ingest:" not in render_frame(
+            prev, curr, _history()
+        )
+
+    def test_panel_summarizes_ingest_state(self):
+        prev = _sample(
+            0.0,
+            dict(self.SERIES, repro_ingest_documents_total=100),
+            HEALTH,
+        )
+        curr = _sample(2.0, self.SERIES, HEALTH)
+        (line,) = render_ingest_panel(prev, curr)
+        assert "120 docs" in line
+        assert "10.0/s" in line
+        assert "journal offset 119" in line
+        assert "dirty combos 3" in line
+        assert "freshness p50" in line
+        assert "500" in line or "0.5" in line  # p50 bucket bound
+        assert "ingest:" in render_frame(prev, curr, _history())
+
+
+def _history():
+    from repro.obs.live import BurnHistory
+
+    history = BurnHistory()
+    history.push(HEALTH)
+    return history
