@@ -76,7 +76,9 @@ python -m repro mine "$PARITY_DIR/docs.txt" \
     --out "$PARITY_DIR/opinions.json" --threshold 1 \
     --strict --strict-parity > /dev/null
 
-echo "== serve lane (HTTP API smoke: boot, query, observability, reload, shutdown) =="
+echo "== serve lane (async core smoke: boot, query, observability, reload, shutdown) =="
+# `repro serve` defaults to the asyncio event-loop core, so this lane
+# exercises the async single-worker server end to end.
 SERVE_DIR="$(mktemp -d)"
 trap 'rm -rf "$OBS_DIR" "$BENCH_DIR" "$PARITY_DIR" "$SERVE_DIR"' EXIT
 printf '%s\n' \
@@ -247,7 +249,236 @@ finally:
 print("serve lane OK")
 PYEOF
 
-echo "== chaos lane (fault injection: corrupt reload -> degraded -> rollback -> healthy) =="
+echo "== admission lane (async core sheds 429/503 instead of queueing) =="
+# Overload must be refused explicitly: a client over its token-bucket
+# budget gets 429 with a Retry-After hint, requests beyond the
+# in-flight limit get 503 overloaded — and /healthz stays ungated
+# through both.
+python - "$SERVE_DIR/opinions.json" <<'PYEOF'
+import json, subprocess, sys, threading, time, urllib.error, urllib.request
+
+opinions = sys.argv[1]
+
+
+def boot(extra):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", opinions,
+         "--port", "0", *extra],
+        stderr=subprocess.PIPE, text=True,
+    )
+    for _ in range(5):
+        banner = proc.stderr.readline()
+        if "repro serve: serving" in banner:
+            break
+    assert "repro serve: serving" in banner, banner
+    return proc, int(banner.rsplit(":", 1)[1])
+
+
+def get(port, path, headers=None):
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}" + path, headers=headers or {}
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as r:
+            return r.status, dict(r.headers), r.read()
+    except urllib.error.HTTPError as e:
+        return e.code, dict(e.headers), e.read()
+
+
+def drain(proc):
+    proc.terminate()
+    stderr = proc.communicate(timeout=15)[1]
+    assert proc.returncode == 0, (proc.returncode, stderr)
+    assert "shut down cleanly" in stderr, stderr
+
+
+# --- 429: per-client budget of 2, third request is rate-limited ---
+proc, port = boot(["--client-rate", "0.001", "--client-burst", "2"])
+try:
+    headers = {"X-Client-Id": "ci-chatty"}
+    codes = [get(port, "/query?q=cute+animals", headers)[0]
+             for _ in range(3)]
+    assert codes == [200, 200, 429], codes
+    status, resp_headers, body = get(
+        port, "/query?q=cute+animals", headers
+    )
+    assert status == 429, (status, body)
+    envelope = json.loads(body)
+    assert envelope["code"] == "rate_limited", envelope
+    assert int(resp_headers["Retry-After"]) >= 1, resp_headers
+    # The exhausted client can still probe health.
+    assert get(port, "/healthz", headers)[0] == 200
+    drain(proc)
+finally:
+    if proc.poll() is None:
+        proc.kill()
+        proc.wait(timeout=10)
+
+# --- 503: one slot, no queue, every request slowed 400 ms ---
+proc, port = boot([
+    "--max-inflight", "1", "--queue-depth", "0",
+    "--request-deadline-ms", "5000",
+    "--fault-inject", "slow_every=1,slow_ms=400,seed=0",
+])
+try:
+    results = []
+
+    def fire():
+        results.append(get(port, "/query?q=cute+animals"))
+
+    first = threading.Thread(target=fire)
+    first.start()
+    time.sleep(0.1)  # let the slow request occupy the only slot
+    status, _, body = get(port, "/query?q=cute+animals")
+    assert status == 503, (status, body)
+    assert json.loads(body)["code"] == "overloaded", body
+    # Probes bypass admission even while the slot is held.
+    assert get(port, "/healthz")[0] == 200
+    first.join(timeout=10)
+    assert results and results[0][0] == 200, results
+    drain(proc)
+finally:
+    if proc.poll() is None:
+        proc.kill()
+        proc.wait(timeout=10)
+print("admission lane OK")
+PYEOF
+
+echo "== multi-worker lane (--workers 2, SO_REUSEPORT, coherent swap + merged metrics) =="
+# Two forked asyncio workers share the listen port; /admin/reload on
+# whichever worker answers must swap every sibling (epoch file +
+# SIGUSR1 -> parent SIGHUP broadcast), operator SIGHUP swaps the
+# fleet, and /metrics merges all workers' registries.
+python - "$SERVE_DIR/opinions.json" <<'PYEOF'
+import json, re, signal, subprocess, sys, time, urllib.error, urllib.request
+
+opinions = sys.argv[1]
+proc = subprocess.Popen(
+    [sys.executable, "-m", "repro", "serve", opinions, "--port", "0",
+     "--workers", "2"],
+    stderr=subprocess.PIPE, text=True,
+)
+try:
+    for _ in range(5):
+        banner = proc.stderr.readline()
+        if "repro serve: serving" in banner:
+            break
+    assert "repro serve: serving" in banner, banner
+    port = int(banner.rsplit(":", 1)[1])
+    base = f"http://127.0.0.1:{port}"
+
+    def get(path):
+        with urllib.request.urlopen(base + path, timeout=10) as r:
+            return r.status, r.read()
+
+    def generations(probes=20):
+        return {
+            json.loads(get("/healthz")[1])["generation"]
+            for _ in range(probes)
+        }
+
+    def await_generation(expected):
+        deadline = time.monotonic() + 10
+        while generations() != {expected}:
+            assert time.monotonic() < deadline, (
+                f"workers did not converge on generation {expected}"
+            )
+            time.sleep(0.1)
+
+    assert get("/healthz")[0] == 200
+    status, body = get("/query?q=cute+animals")
+    assert status == 200, body
+    assert json.loads(body)["hits"], body
+    req = urllib.request.Request(
+        base + "/batch",
+        data=json.dumps({"queries": ["cute animals"]}).encode(),
+        method="POST",
+    )
+    with urllib.request.urlopen(req, timeout=10) as r:
+        assert json.loads(r.read())["results"][0]["hits"]
+
+    # Spread some load, give the periodic snapshot dump a beat, then
+    # check the scrape merges both workers' counters.
+    sent = 20
+    for _ in range(sent):
+        get("/query?q=cute+animals")
+    time.sleep(1.0)
+    exposition = get("/metrics")[1].decode()
+    assert "repro_serve_workers 2" in exposition, exposition[:400]
+    match = re.search(
+        r"^repro_serve_requests_total (\d+)", exposition, re.M
+    )
+    assert match and int(match.group(1)) >= sent, (
+        "merged requests_total missing the fleet's traffic",
+        match and match.group(0),
+    )
+
+    # HTTP reload on one worker swaps every worker.
+    req = urllib.request.Request(
+        base + "/admin/reload", data=b"{}", method="POST"
+    )
+    with urllib.request.urlopen(req, timeout=10) as r:
+        assert json.loads(r.read())["generation"] == 2
+    await_generation(2)
+
+    # Operator SIGHUP to the parent swaps the whole fleet again.
+    proc.send_signal(signal.SIGHUP)
+    await_generation(3)
+
+    started = time.monotonic()
+    proc.terminate()
+    stderr = proc.communicate(timeout=15)[1]
+    elapsed = time.monotonic() - started
+    assert proc.returncode == 0, (proc.returncode, stderr)
+    assert "shut down cleanly" in stderr, stderr
+    assert elapsed < 10, f"drain took {elapsed:.1f}s"
+finally:
+    if proc.poll() is None:
+        proc.kill()
+        proc.wait(timeout=10)
+print("multi-worker lane OK")
+PYEOF
+
+echo "== legacy-threaded lane (thread-per-connection core still serves) =="
+python - "$SERVE_DIR/opinions.json" <<'PYEOF'
+import json, subprocess, sys, urllib.request
+
+opinions = sys.argv[1]
+proc = subprocess.Popen(
+    [sys.executable, "-m", "repro", "serve", opinions, "--port", "0",
+     "--legacy-threaded"],
+    stderr=subprocess.PIPE, text=True,
+)
+try:
+    for _ in range(5):
+        banner = proc.stderr.readline()
+        if "repro serve: serving" in banner:
+            break
+    assert "repro serve: serving" in banner, banner
+    port = int(banner.rsplit(":", 1)[1])
+    base = f"http://127.0.0.1:{port}"
+
+    def get(path):
+        with urllib.request.urlopen(base + path, timeout=10) as r:
+            return r.status, r.read()
+
+    assert get("/healthz")[0] == 200
+    status, body = get("/query?q=cute+animals")
+    assert status == 200 and json.loads(body)["hits"], body
+    assert b"repro_serve_requests_total" in get("/metrics")[1]
+
+    proc.terminate()
+    stderr = proc.communicate(timeout=15)[1]
+    assert proc.returncode == 0, (proc.returncode, stderr)
+    assert "shut down cleanly" in stderr, stderr
+finally:
+    if proc.poll() is None:
+        proc.kill()
+        proc.wait(timeout=10)
+print("legacy-threaded lane OK")
+PYEOF
+
+echo "== chaos lane (fault injection on the async core: corrupt reload -> degraded -> rollback -> healthy) =="
 # Boots the server with a fault injector that corrupts every reload,
 # then walks the incident lifecycle end to end: the bad artefact is
 # quarantined, queries keep answering from the last good snapshot with

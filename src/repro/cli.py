@@ -592,14 +592,28 @@ def cmd_diff(args: argparse.Namespace) -> int:
     return 1 if report.flips else 0
 
 
-def cmd_serve(args: argparse.Namespace) -> int:
-    """Serve a mined opinion table over HTTP until SIGTERM/Ctrl-C."""
-    from .serve import (
-        OpinionService,
-        build_server,
-        install_signal_handlers,
-        load_provenance_sidecar,
-    )
+def _worker_path(path: str | None, index: int | None) -> str | None:
+    """Per-worker sidecar path (worker 0 keeps the plain path)."""
+    if path is None or not index:
+        return path
+    return f"{path}.w{index}"
+
+
+def _build_serve_components(
+    args: argparse.Namespace,
+    *,
+    quiet: bool = False,
+    worker_index: int | None = None,
+):
+    """The ``OpinionService`` plus its observability sidecars.
+
+    One call per serving *process*: in ``--workers N`` mode every
+    forked worker builds its own service (own metrics registry, own
+    access-log / trace files via a ``.w<n>`` suffix) over the same
+    artefacts. Returns ``(service, table, tracer, access_log,
+    ingest_factory)``.
+    """
+    from .serve import OpinionService, load_provenance_sidecar
 
     table = load(args.opinions)
     if not isinstance(table, OpinionTable):
@@ -628,29 +642,38 @@ def cmd_serve(args: argparse.Namespace) -> int:
         from .serve import AccessLog
 
         access_log = AccessLog(
-            args.access_log,
+            _worker_path(args.access_log, worker_index),
             max_bytes=args.access_log_max_bytes,
         )
     provenance = load_provenance_sidecar(args.opinions)
-    if provenance is not None:
+    if provenance is not None and not quiet:
         print(
             f"repro serve: loaded evidence lineage "
             f"({provenance.n_pairs} pairs) for /explain",
             file=sys.stderr,
         )
     ingest_pipeline = None
+    ingest_factory = None
     if args.ingest_journal:
         from .ingest import IngestPipeline, CorpusJournal
 
-        journal = CorpusJournal(args.ingest_journal)
-        ingest_pipeline = IngestPipeline(
-            kb=_load_kb(args.ingest_kb),
-            journal=journal,
-            occurrence_threshold=args.ingest_threshold,
-            warm_start=args.ingest_warm_start,
-            registry=registry,
-        )
-        if ingest_pipeline.state.fresh:
+        def ingest_factory() -> IngestPipeline:
+            # Rebuilds pick their persisted state back up from the
+            # journal directory (a sibling worker may have advanced
+            # it; see AsyncReproServer._resync_pipeline).
+            return IngestPipeline(
+                kb=_load_kb(args.ingest_kb),
+                journal=CorpusJournal(args.ingest_journal),
+                occurrence_threshold=args.ingest_threshold,
+                warm_start=args.ingest_warm_start,
+                registry=registry,
+            )
+
+        ingest_pipeline = ingest_factory()
+        journal = ingest_pipeline.journal
+        if quiet:
+            pass
+        elif ingest_pipeline.state.fresh:
             # Accepted batches publish tables built from *journaled*
             # evidence only; an empty journal would wipe the batch
             # answers on the first POST /admin/ingest.
@@ -688,6 +711,85 @@ def cmd_serve(args: argparse.Namespace) -> int:
         trace_sample=args.trace_sample,
         trace_slow_seconds=args.trace_slow_ms / 1000.0,
     )
+    return service, table, tracer, access_log, ingest_factory
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a mined opinion table over HTTP until SIGTERM/Ctrl-C.
+
+    Three run modes share every request/response contract:
+
+    * default — the asyncio core (``repro.serve.aio``), one process;
+    * ``--workers N`` — N forked asyncio workers on ``SO_REUSEPORT``
+      sockets under a supervisor (``repro.serve.workers``);
+    * ``--legacy-threaded`` — the thread-per-connection core kept
+      until the migration window closes.
+    """
+    if args.workers < 1:
+        raise _fail(f"--workers must be >= 1, got {args.workers}")
+    if args.legacy_threaded and args.workers > 1:
+        raise _fail(
+            "--legacy-threaded serves from a single process; drop "
+            "--workers or use the async core"
+        )
+    if args.workers > 1:
+        return _serve_multiworker(args)
+    service, table, tracer, access_log, ingest_factory = (
+        _build_serve_components(args)
+    )
+    if args.legacy_threaded:
+        return _serve_threaded(
+            args, service, table, tracer, access_log
+        )
+    import asyncio
+
+    from .serve.aio import serve_async
+
+    def _banner(port: int) -> None:
+        # Parsable by scripts (and tests): the bound port is
+        # authoritative when --port 0 asked for an ephemeral one.
+        print(
+            f"repro serve: serving {len(table)} opinions "
+            f"on http://{args.host}:{port}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    code = 0
+    try:
+        code = asyncio.run(
+            serve_async(
+                service,
+                host=args.host,
+                port=args.port,
+                drain_timeout=args.drain_timeout,
+                ingest_factory=ingest_factory,
+                on_started=_banner,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if tracer is not None and args.trace:
+            tracer.write_jsonl(args.trace)
+        if access_log is not None:
+            # After the drain: every in-flight request has logged its
+            # line, so closing here flushes a complete record.
+            access_log.close()
+        print("repro serve: shut down cleanly", file=sys.stderr)
+    return code
+
+
+def _serve_threaded(
+    args: argparse.Namespace,
+    service,
+    table,
+    tracer,
+    access_log,
+) -> int:
+    """The legacy thread-per-connection core (``--legacy-threaded``)."""
+    from .serve import build_server, install_signal_handlers
+
     server = build_server(service, host=args.host, port=args.port)
     install_signal_handlers(service, server)
     # Parsable by scripts (and tests): the bound port is authoritative
@@ -723,6 +825,89 @@ def cmd_serve(args: argparse.Namespace) -> int:
             access_log.close()
         print("repro serve: shut down cleanly", file=sys.stderr)
     return 0
+
+
+def _serve_multiworker(args: argparse.Namespace) -> int:
+    """``--workers N``: fork N asyncio workers on one port.
+
+    The parent validates the artefact and flags once, binds the port
+    (so ``--port 0`` is reported exactly once, before any child
+    races it), prints the banner, and supervises; each worker then
+    builds its own service over the same artefacts.
+    """
+    import os
+
+    from .serve.workers import (
+        WorkerRuntime,
+        make_reuseport_socket,
+        supervise,
+    )
+
+    table = load(args.opinions)
+    if not isinstance(table, OpinionTable):
+        raise SystemExit(f"{args.opinions} is not an opinions artefact")
+    if args.fault_inject:
+        from .serve import ServeFaultInjector
+
+        try:
+            ServeFaultInjector.parse(args.fault_inject)
+        except ValueError as error:
+            raise _fail(str(error))
+    n_opinions = len(table)
+    parent_pid = os.getpid()
+
+    def child_main(
+        index: int, port: int, runtime_dir: str, ready_fd: int
+    ) -> int:
+        import asyncio
+
+        from .serve.aio import serve_async
+
+        runtime = WorkerRuntime(
+            runtime_dir, index, args.workers, parent_pid
+        )
+        service, _, tracer, access_log, ingest_factory = (
+            _build_serve_components(
+                args, quiet=True, worker_index=index
+            )
+        )
+        sock = make_reuseport_socket(args.host, port)
+        try:
+            return asyncio.run(
+                serve_async(
+                    service,
+                    sock=sock,
+                    drain_timeout=args.drain_timeout,
+                    runtime=runtime,
+                    ingest_factory=ingest_factory,
+                    quiet=True,
+                    on_started=lambda _port: os.write(
+                        ready_fd, b"1"
+                    ),
+                )
+            )
+        finally:
+            if tracer is not None and args.trace:
+                tracer.write_jsonl(_worker_path(args.trace, index))
+            if access_log is not None:
+                access_log.close()
+
+    def _banner(port: int) -> None:
+        print(
+            f"repro serve: serving {n_opinions} opinions "
+            f"on http://{args.host}:{port}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return supervise(
+        args.host,
+        args.port,
+        args.workers,
+        args.drain_timeout,
+        child_main,
+        banner=_banner,
+    )
 
 
 def cmd_top(args: argparse.Namespace) -> int:
@@ -1081,6 +1266,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8080,
                        help="0 binds an ephemeral port (printed on "
                             "stderr)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="forked asyncio worker processes sharing "
+                            "the port via SO_REUSEPORT (default 1 = "
+                            "single process, no supervisor)")
+    serve.add_argument("--legacy-threaded", action="store_true",
+                       help="serve with the legacy thread-per-"
+                            "connection core instead of the asyncio "
+                            "event loop (single worker only)")
     serve.add_argument("--cache-size", type=int, default=1024,
                        help="LRU result-cache entries (default 1024)")
     serve.add_argument("--max-inflight", type=int, default=32,

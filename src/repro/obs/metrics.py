@@ -178,6 +178,9 @@ CATALOG: dict[str, MetricSpec] = _catalog(
                "generation of the live opinion index"),
     MetricSpec("repro_serve_index_opinions", "gauge",
                "opinions held by the live index"),
+    MetricSpec("repro_serve_workers", "gauge",
+               "serving worker processes sharing this listen "
+               "address (1 unless --workers)"),
     MetricSpec("repro_serve_rate_limited_total", "counter",
                "requests rejected by per-client rate limiting (429)"),
     MetricSpec("repro_serve_deadline_exceeded_total", "counter",

@@ -4,10 +4,14 @@ Mine once with ``repro run``, then serve many low-latency subjective
 queries: :class:`OpinionIndex` answers conjunctive/negated top-k queries
 from pre-built posting structures (bit-identical to the one-shot
 :class:`~repro.core.query.QueryEngine`), :class:`QueryCache` absorbs
-repeated queries, and :class:`OpinionService` / :class:`ReproServer`
-put both behind a threaded JSON HTTP API with admission control
-(per-client token buckets + bounded queue), per-request deadlines,
-safe hot-reload with one-step rollback, and a seeded chaos injector.
+repeated queries, and :class:`OpinionService` puts both behind a JSON
+HTTP API with admission control (per-client token buckets + bounded
+queue), per-request deadlines, safe hot-reload with one-step
+rollback, and a seeded chaos injector. The default front end is the
+asyncio event loop (:class:`AsyncReproServer` /
+:func:`serve_async`, with ``--workers N`` forking SO_REUSEPORT
+workers via :mod:`repro.serve.workers`); :class:`ReproServer` is the
+legacy thread-per-connection core behind ``--legacy-threaded``.
 Every request carries an ``X-Request-Id`` joining its access-log line
 (:class:`AccessLog`), histogram exemplar, and trace span; SLO burn
 rates surface in ``/healthz`` and ``/metrics``. See docs/serving.md,
@@ -24,11 +28,14 @@ from .admission import (
     DEFAULT_REQUEST_DEADLINE,
     AdmissionController,
     AdmissionDecision,
+    AsyncAdmissionController,
     CircuitBreaker,
+    ClientBuckets,
     Deadline,
     DeadlineExceeded,
     TokenBucket,
 )
+from .aio import AsyncReproServer, serve_async
 from .cache import DEFAULT_MAX_ENTRIES, QueryCache
 from .faults import (
     InjectedDisconnect,
@@ -57,6 +64,7 @@ from .server import (
     new_request_id,
     resolve_opinion,
 )
+from .workers import WorkerRuntime, make_reuseport_socket, supervise
 
 __all__ = [
     "ACCESS_LOG_FIELDS",
@@ -64,7 +72,10 @@ __all__ = [
     "AccessLog",
     "AdmissionController",
     "AdmissionDecision",
+    "AsyncAdmissionController",
+    "AsyncReproServer",
     "CircuitBreaker",
+    "ClientBuckets",
     "DEFAULT_MAX_ENTRIES",
     "DEFAULT_MAX_INFLIGHT",
     "DEFAULT_REQUEST_DEADLINE",
@@ -81,6 +92,7 @@ __all__ = [
     "ServeError",
     "ServeFaultInjector",
     "TokenBucket",
+    "WorkerRuntime",
     "ask_response",
     "batch_response",
     "build_server",
@@ -90,7 +102,10 @@ __all__ = [
     "install_signal_handlers",
     "listing_response",
     "load_provenance_sidecar",
+    "make_reuseport_socket",
     "new_request_id",
     "read_access_log",
     "resolve_opinion",
+    "serve_async",
+    "supervise",
 ]

@@ -21,6 +21,13 @@ docs/robustness.md, "Serving resilience"):
   used by graceful shutdown. Every rejection is a typed
   :class:`AdmissionDecision` carrying the HTTP status, error code, and
   ``Retry-After`` hint the response should surface.
+* :class:`AsyncAdmissionController` — the same decisions, re-expressed
+  for an event loop: plain counters and a deque of waiter futures
+  instead of a semaphore and condition variables, so the asyncio
+  server's hot path takes **no locks at all**. It shares
+  :class:`TokenBucket`, the LRU bucket map, and every rejection
+  message with the threaded controller, so ``/healthz`` admission
+  stats and error envelopes are byte-identical across both cores.
 * :class:`CircuitBreaker` — consecutive-failure breaker for the
   storage/reload path: once reloads keep failing, further attempts
   fail fast for a cooldown instead of hammering a broken artefact
@@ -32,9 +39,10 @@ deterministic; nothing here imports the HTTP layer.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 
 from ..core.errors import ReproError
@@ -155,6 +163,88 @@ class AdmissionDecision:
 
 
 ADMITTED = AdmissionDecision(admitted=True)
+
+
+def _draining_decision() -> AdmissionDecision:
+    return AdmissionDecision(
+        admitted=False,
+        status=503,
+        code="draining",
+        message="server is draining; connection will not be "
+        "served",
+    )
+
+
+def _overloaded_decision() -> AdmissionDecision:
+    return AdmissionDecision(
+        admitted=False,
+        status=503,
+        code="overloaded",
+        message="server is at its in-flight request "
+        "limit; retry shortly",
+        retry_after=1.0,
+    )
+
+
+def _rate_limited_decision(
+    client_id: str, retry_after: float
+) -> AdmissionDecision:
+    return AdmissionDecision(
+        admitted=False,
+        status=429,
+        code="rate_limited",
+        message=f"client {client_id!r} is over its rate "
+        "limit; slow down",
+        retry_after=retry_after,
+    )
+
+
+class ClientBuckets:
+    """LRU-bounded per-client :class:`TokenBucket` map.
+
+    Not internally locked: the threaded controller calls it under its
+    mutex, the async controller from the single event-loop thread.
+    Shared so both cores evict, refill, and hint ``Retry-After``
+    identically (and so one test suite covers both).
+    """
+
+    __slots__ = ("rate", "burst", "max_clients", "_clock", "_buckets")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        max_clients: int,
+        clock=time.monotonic,
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.max_clients = int(max_clients)
+        self._clock = clock
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def check(self, client_id: str) -> float | None:
+        """None = allowed; else the client's Retry-After in seconds.
+
+        Touching a client refreshes it in the LRU; past
+        ``max_clients`` the coldest bucket is evicted, so an
+        adversarial client-id stream cannot grow memory (an evicted
+        idle client simply starts over with a full burst).
+        """
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, self._clock)
+            self._buckets[client_id] = bucket
+            while len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+        else:
+            self._buckets.move_to_end(client_id)
+        if bucket.try_take():
+            return None
+        return bucket.retry_after()
 
 
 class CircuitBreaker:
@@ -293,7 +383,9 @@ class AdmissionController:
         self._slots = threading.Semaphore(self.max_inflight)
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
-        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+        self._buckets = ClientBuckets(
+            client_rate or 1.0, client_burst, max_clients, clock
+        )
         self._inflight = 0
         self._waiting = 0
         self._draining = False
@@ -307,42 +399,17 @@ class AdmissionController:
     def _client_allowed(self, client_id: str) -> float | None:
         """None = allowed; else the client's Retry-After in seconds."""
         with self._lock:
-            bucket = self._buckets.get(client_id)
-            if bucket is None:
-                bucket = TokenBucket(
-                    self.client_rate, self.client_burst, self._clock
-                )
-                self._buckets[client_id] = bucket
-                while len(self._buckets) > self.max_clients:
-                    self._buckets.popitem(last=False)
-            else:
-                self._buckets.move_to_end(client_id)
-            if bucket.try_take():
-                return None
-            return bucket.retry_after()
+            return self._buckets.check(client_id)
 
     def admit(self, client_id: str | None = None) -> AdmissionDecision:
         """One admission attempt; pair every success with :meth:`release`."""
         if self._draining:
-            return AdmissionDecision(
-                admitted=False,
-                status=503,
-                code="draining",
-                message="server is draining; connection will not be "
-                "served",
-            )
+            return _draining_decision()
         if self.client_rate > 0 and client_id:
             retry_after = self._client_allowed(client_id)
             if retry_after is not None:
                 self.rate_limited_total += 1
-                return AdmissionDecision(
-                    admitted=False,
-                    status=429,
-                    code="rate_limited",
-                    message=f"client {client_id!r} is over its rate "
-                    "limit; slow down",
-                    retry_after=retry_after,
-                )
+                return _rate_limited_decision(client_id, retry_after)
         acquired = self._slots.acquire(blocking=False)
         if not acquired:
             with self._lock:
@@ -353,14 +420,7 @@ class AdmissionController:
                     self._waiting += 1
             if queue_full:
                 self.shed_total += 1
-                return AdmissionDecision(
-                    admitted=False,
-                    status=503,
-                    code="overloaded",
-                    message="server is at its in-flight request "
-                    "limit; retry shortly",
-                    retry_after=1.0,
-                )
+                return _overloaded_decision()
             try:
                 acquired = self._slots.acquire(
                     timeout=self.queue_timeout
@@ -370,24 +430,11 @@ class AdmissionController:
                     self._waiting -= 1
             if not acquired:
                 self.shed_total += 1
-                return AdmissionDecision(
-                    admitted=False,
-                    status=503,
-                    code="overloaded",
-                    message="server is at its in-flight request "
-                    "limit; retry shortly",
-                    retry_after=1.0,
-                )
+                return _overloaded_decision()
         if self._draining:
             # Lost the race with begin_drain(): give the slot back.
             self._slots.release()
-            return AdmissionDecision(
-                admitted=False,
-                status=503,
-                code="draining",
-                message="server is draining; connection will not be "
-                "served",
-            )
+            return _draining_decision()
         with self._lock:
             self._inflight += 1
             self.admitted_total += 1
@@ -442,3 +489,224 @@ class AdmissionController:
                 "shed": self.shed_total,
                 "draining": self._draining,
             }
+
+
+class AsyncAdmissionController:
+    """Event-loop-native admission: same decisions, zero locks.
+
+    The threaded :class:`AdmissionController` pays a semaphore and a
+    mutex per request; on an event loop every touch happens on the one
+    loop thread, so this variant uses plain integer slot accounting
+    and a deque of waiter futures instead. ``release`` hands a freed
+    slot directly to the oldest live waiter (FIFO, no wakeup storm).
+
+    The decision surface is identical to the sync controller: the same
+    :class:`AdmissionDecision` messages, the same :class:`TokenBucket`
+    refill maths through the shared :class:`ClientBuckets` LRU, and a
+    :meth:`stats` snapshot with the same keys, so ``/healthz`` and
+    error envelopes do not change between serving cores.
+
+    Protocol: call :meth:`poll` first. A decision settles the request
+    immediately; ``None`` means "the queue has room — ``await``
+    :meth:`wait_for_slot`" (which resolves to a decision within
+    ``queue_timeout``). Pair every admitted decision with
+    :meth:`release`. :meth:`admit` is the sync-compatible facade used
+    by shared tests and :class:`~repro.serve.server.OpinionService`
+    delegation; unable to block, it sheds where the threaded
+    controller would have queued.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 32,
+        *,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        queue_timeout: float = DEFAULT_QUEUE_TIMEOUT,
+        client_rate: float = 0.0,
+        client_burst: float = DEFAULT_CLIENT_BURST,
+        max_clients: int = DEFAULT_MAX_CLIENTS,
+        clock=time.monotonic,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be at least 1, got {max_inflight}"
+            )
+        if queue_depth < 0:
+            raise ValueError(
+                f"queue_depth must be non-negative, got {queue_depth}"
+            )
+        if queue_timeout < 0:
+            raise ValueError(
+                f"queue_timeout must be non-negative, got {queue_timeout}"
+            )
+        if client_rate < 0:
+            raise ValueError(
+                f"client_rate must be non-negative, got {client_rate}"
+            )
+        if max_clients < 1:
+            raise ValueError(
+                f"max_clients must be at least 1, got {max_clients}"
+            )
+        self.max_inflight = int(max_inflight)
+        self.queue_depth = int(queue_depth)
+        self.queue_timeout = float(queue_timeout)
+        self.client_rate = float(client_rate)
+        self.client_burst = float(client_burst)
+        self.max_clients = int(max_clients)
+        self._clock = clock
+        self._buckets = ClientBuckets(
+            client_rate or 1.0, client_burst, max_clients, clock
+        )
+        self._available = self.max_inflight
+        self._waiters: deque[asyncio.Future] = deque()
+        self._inflight = 0
+        self._draining = False
+        self._idle_event: asyncio.Event | None = None
+        self.admitted_total = 0
+        self.rate_limited_total = 0
+        self.shed_total = 0
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def poll(self, client_id: str | None = None) -> AdmissionDecision | None:
+        """One lock-free admission attempt.
+
+        Returns a decision (truthy = admitted, pair with
+        :meth:`release`), or ``None`` when the request should wait for
+        a slot via :meth:`wait_for_slot`.
+        """
+        if self._draining:
+            return _draining_decision()
+        if self.client_rate > 0 and client_id:
+            retry_after = self._buckets.check(client_id)
+            if retry_after is not None:
+                self.rate_limited_total += 1
+                return _rate_limited_decision(client_id, retry_after)
+        if self._available > 0:
+            self._available -= 1
+            self._inflight += 1
+            self.admitted_total += 1
+            return ADMITTED
+        if (
+            self.queue_timeout <= 0
+            or len(self._waiters) >= self.queue_depth
+        ):
+            self.shed_total += 1
+            return _overloaded_decision()
+        return None
+
+    async def wait_for_slot(self) -> AdmissionDecision:
+        """Wait (bounded by ``queue_timeout``) for a freed slot.
+
+        Resolves to ``ADMITTED`` when :meth:`release` hands this
+        waiter a slot in time, else the same ``overloaded`` 503 the
+        threaded controller sheds with.
+        """
+        fut = asyncio.get_running_loop().create_future()
+        self._waiters.append(fut)
+        try:
+            await asyncio.wait_for(fut, self.queue_timeout)
+        except asyncio.TimeoutError:
+            self._discard(fut)
+            self.shed_total += 1
+            return _overloaded_decision()
+        except asyncio.CancelledError:
+            self._discard(fut)
+            raise
+        if self._draining:
+            # Lost the race with begin_drain(): give the slot back.
+            self._return_slot()
+            return _draining_decision()
+        self._inflight += 1
+        self.admitted_total += 1
+        return ADMITTED
+
+    def _discard(self, fut: asyncio.Future) -> None:
+        try:
+            self._waiters.remove(fut)
+        except ValueError:
+            # Already granted by release(); the abandoned grant's slot
+            # goes back into circulation.
+            if fut.done() and not fut.cancelled():
+                self._return_slot()
+
+    def _return_slot(self) -> None:
+        while self._waiters:
+            fut = self._waiters.popleft()
+            if not fut.done():
+                fut.set_result(True)
+                return
+        self._available += 1
+
+    def admit(self, client_id: str | None = None) -> AdmissionDecision:
+        """Sync-compatible attempt (never waits; sheds instead)."""
+        decision = self.poll(client_id)
+        if decision is None:
+            self.shed_total += 1
+            return _overloaded_decision()
+        return decision
+
+    def release(self) -> None:
+        self._inflight -= 1
+        self._return_slot()
+        if self._inflight <= 0 and self._idle_event is not None:
+            self._idle_event.set()
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+    def begin_drain(self) -> None:
+        self._draining = True
+        if self._inflight <= 0 and self._idle_event is not None:
+            self._idle_event.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Sync facade: in-flight work can only finish while the loop
+        runs, so this cannot block — it reports the current state.
+        The async drain path awaits :meth:`wait_idle_async`."""
+        return self._inflight <= 0
+
+    async def wait_idle_async(
+        self, timeout: float | None = None
+    ) -> bool:
+        """Wait until no request is in flight; False on timeout."""
+        if self._inflight <= 0:
+            return True
+        if self._idle_event is None:
+            self._idle_event = asyncio.Event()
+        try:
+            await asyncio.wait_for(
+                self._idle_event.wait(), timeout
+            )
+        except asyncio.TimeoutError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, float | int | bool]:
+        """Snapshot for ``/healthz`` (same keys as the threaded
+        controller)."""
+        return {
+            "max_inflight": self.max_inflight,
+            "inflight": self._inflight,
+            "waiting": len(self._waiters),
+            "queue_depth": self.queue_depth,
+            "client_rate": self.client_rate,
+            "client_burst": self.client_burst,
+            "clients_tracked": len(self._buckets),
+            "admitted": self.admitted_total,
+            "rate_limited": self.rate_limited_total,
+            "shed": self.shed_total,
+            "draining": self._draining,
+        }

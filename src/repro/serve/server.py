@@ -3,7 +3,16 @@
 The paper's motivating workload — search queries like ``safe cities``
 answered from structured data — is a *serving* workload: mine once,
 answer millions of low-latency lookups. This module is that serving
-layer, stdlib-only:
+layer, stdlib-only.
+
+:class:`OpinionService` is the engine for *both* serving cores: the
+asyncio event loop in :mod:`repro.serve.aio` (the ``repro serve``
+default, with ``--workers N`` multi-process mode) routes requests
+into the same service object this module's threaded
+:class:`ReproServer` does, so every response contract below is shared
+byte-for-byte. The thread-per-connection front end survives behind
+``--legacy-threaded`` until the migration window closes; new
+front-end behaviour belongs in :mod:`repro.serve.aio`.
 
 * :class:`OpinionService` — the engine: an immutable
   :class:`~repro.serve.index.OpinionIndex` snapshot, a generation-

@@ -1,0 +1,460 @@
+"""Tests for the asyncio serving core and multi-worker runtime.
+
+The async core (:class:`AsyncReproServer`) must be a drop-in
+replacement for the threaded :class:`ReproServer`: same bytes on the
+wire for every route, same admission envelopes, same keep-alive
+semantics. These tests drive both cores over raw sockets and compare
+responses directly, then cover what is new in PR 10 — ungated probe
+routes under a saturated admission queue (the regression the issue
+calls out), and the :class:`WorkerRuntime` epoch/metrics protocol
+behind ``--workers N``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pickle
+import socket
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    AsyncReproServer,
+    OpinionService,
+    build_server,
+)
+from repro.serve.workers import (
+    WorkerRuntime,
+    make_reuseport_socket,
+    publish_epoch,
+    read_epoch,
+)
+
+from .test_serve import demo_provenance, demo_table
+
+
+# ---------------------------------------------------------------------------
+# Harnesses: one threaded server, one async server, raw-socket client
+# ---------------------------------------------------------------------------
+
+class ThreadedHarness:
+    def __init__(self, service):
+        self.service = service
+        self.server = build_server(service)
+        self.port = self.server.server_address[1]
+        self.thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self.thread.start()
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+        self.thread.join(timeout=5)
+
+
+class AsyncHarness:
+    """:class:`AsyncReproServer` on a dedicated event-loop thread."""
+
+    def __init__(self, service):
+        self.service = service
+        self.server = AsyncReproServer(service)
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._stop = None
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        assert self._ready.wait(timeout=10), "server failed to start"
+        self.port = self.server.port
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+        try:
+            self.loop.run_until_complete(self._main())
+        finally:
+            self.loop.close()
+
+    async def _main(self):
+        self._stop = asyncio.Event()
+        await self.server.start("127.0.0.1", 0)
+        self._ready.set()
+        await self._stop.wait()
+        self.server.close_listener()
+        self.server.close_connections()
+        await self.server.wait_closed()
+
+    def close(self):
+        self.loop.call_soon_threadsafe(self._stop.set)
+        self.thread.join(timeout=10)
+
+
+def _request_bytes(method, target, body=None, headers=None, keep=True):
+    lines = [f"{method} {target} HTTP/1.1", "Host: test"]
+    for key, value in (headers or {}).items():
+        lines.append(f"{key}: {value}")
+    payload = b""
+    if body is not None:
+        payload = (
+            body.encode()
+            if isinstance(body, str)
+            else json.dumps(body).encode()
+        )
+        lines.append(f"Content-Length: {len(payload)}")
+        lines.append("Content-Type: application/json")
+    if not keep:
+        lines.append("Connection: close")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode() + payload
+
+
+def http_on(sock, method, target, body=None, headers=None, keep=True):
+    """One request on an existing connection; returns
+    ``(status, headers, body)``."""
+    sock.sendall(_request_bytes(method, target, body, headers, keep))
+    buffer = b""
+    while b"\r\n\r\n" not in buffer:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError(f"closed early: {buffer!r}")
+        buffer += chunk
+    head, _, rest = buffer.partition(b"\r\n\r\n")
+    head_lines = head.split(b"\r\n")
+    status = int(head_lines[0].split()[1])
+    response_headers = {}
+    for line in head_lines[1:]:
+        key, _, value = line.partition(b": ")
+        response_headers[key.decode().lower()] = value.decode()
+    length = int(response_headers["content-length"])
+    while len(rest) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("body truncated")
+        rest += chunk
+    return status, response_headers, rest[:length]
+
+
+def http(port, method, target, body=None, headers=None, keep=True):
+    sock = socket.create_connection(("127.0.0.1", port), timeout=5)
+    try:
+        return http_on(sock, method, target, body, headers, keep)
+    finally:
+        sock.close()
+
+
+def _demo_service():
+    return OpinionService(
+        demo_table(), provenance=demo_provenance()
+    )
+
+
+@pytest.fixture()
+def pair():
+    """A threaded and an async server over the same demo world."""
+    threaded = ThreadedHarness(_demo_service())
+    async_ = AsyncHarness(_demo_service())
+    try:
+        yield threaded, async_
+    finally:
+        threaded.close()
+        async_.close()
+
+
+# ---------------------------------------------------------------------------
+# Byte parity: every route identical across cores
+# ---------------------------------------------------------------------------
+
+PARITY_CASES = [
+    ("GET", "/query?q=cute+animals", None),
+    ("GET", "/query?q=cute+animals&top=2", None),
+    ("GET", "/query?q=big+animals", None),  # degraded combination
+    ("GET", "/query?q=", None),
+    ("GET", "/query", None),
+    ("GET", "/query?q=calm+cities&explain=1", None),
+    ("GET", "/explain?q=cute+animals&entity=/animal/kitten", None),
+    ("GET", "/nope", None),
+    ("POST", "/batch", {"queries": ["cute animals", "calm cities"]}),
+    ("POST", "/batch", {"queries": []}),
+    ("POST", "/batch", "notadict"),
+]
+
+
+class TestByteParity:
+    @pytest.mark.parametrize(
+        "method,target,body",
+        PARITY_CASES,
+        ids=[f"{m} {t}"[:60] for m, t, _ in PARITY_CASES],
+    )
+    def test_routes_identical(self, pair, method, target, body):
+        threaded, async_ = pair
+        headers = {"X-Request-Id": "pin-0001"}
+        status_t, headers_t, body_t = http(
+            threaded.port, method, target, body, headers
+        )
+        status_a, headers_a, body_a = http(
+            async_.port, method, target, body, headers
+        )
+        assert status_t == status_a
+        assert body_t == body_a
+        for name in (
+            "content-type",
+            "x-request-id",
+            "x-cache",
+            "retry-after",
+        ):
+            assert headers_t.get(name) == headers_a.get(name), name
+
+    def test_healthz_same_shape(self, pair):
+        threaded, async_ = pair
+        _, _, body_t = http(threaded.port, "GET", "/healthz")
+        _, _, body_a = http(async_.port, "GET", "/healthz")
+        health_t, health_a = json.loads(body_t), json.loads(body_a)
+        assert health_t.keys() == health_a.keys()
+        for key in ("status", "generation", "opinions",
+                    "degraded_combinations"):
+            assert health_t[key] == health_a[key], key
+
+    def test_rate_limit_envelope_identical(self):
+        def burst(port):
+            headers = {
+                "X-Client-Id": "chatty",
+                "X-Request-Id": "pin-0002",
+            }
+            responses = [
+                http(port, "GET", "/query?q=cute+animals",
+                     headers=headers)
+                for _ in range(3)
+            ]
+            limited = [r for r in responses if r[0] == 429]
+            assert limited, "burst of 3 never hit the 2-token limit"
+            return limited[0]
+
+        def service():
+            return OpinionService(
+                demo_table(), client_rate=0.001, client_burst=2.0
+            )
+
+        threaded = ThreadedHarness(service())
+        async_ = AsyncHarness(service())
+        try:
+            status_t, headers_t, body_t = burst(threaded.port)
+            status_a, headers_a, body_a = burst(async_.port)
+        finally:
+            threaded.close()
+            async_.close()
+        assert status_t == status_a == 429
+        envelope_t, envelope_a = json.loads(body_t), json.loads(body_a)
+        # The retry hint is clock-derived (tokens refill between the
+        # two bursts), so compare it approximately and everything
+        # else exactly.
+        hint_t = envelope_t.pop("retry_after")
+        hint_a = envelope_a.pop("retry_after")
+        assert hint_t == pytest.approx(hint_a, rel=0.01)
+        assert envelope_t == envelope_a
+        assert headers_t["retry-after"] == headers_a["retry-after"]
+
+
+# ---------------------------------------------------------------------------
+# Async-core behaviour
+# ---------------------------------------------------------------------------
+
+class TestAsyncCore:
+    def test_keepalive_and_cache_header(self, pair):
+        _, async_ = pair
+        sock = socket.create_connection(
+            ("127.0.0.1", async_.port), timeout=5
+        )
+        try:
+            status1, headers1, body1 = http_on(
+                sock, "GET", "/query?q=cute+animals&top=1"
+            )
+            status2, headers2, body2 = http_on(
+                sock, "GET", "/query?q=cute+animals&top=1"
+            )
+        finally:
+            sock.close()
+        assert status1 == status2 == 200
+        assert headers1["x-cache"] == "miss"
+        assert headers2["x-cache"] == "hit"
+        assert body1 == body2
+
+    def test_connection_close_honoured(self, pair):
+        _, async_ = pair
+        _, headers, _ = http(
+            async_.port, "GET", "/query?q=cute+animals", keep=False
+        )
+        assert headers.get("connection") == "close"
+
+    def test_draining_rejects_queries_with_503(self, pair):
+        _, async_ = pair
+        async_.service.admission.begin_drain()
+        status, _, body = http(
+            async_.port, "GET", "/query?q=cute+animals"
+        )
+        assert status == 503
+        assert json.loads(body)["code"] == "draining"
+        # The health probe still answers, reporting the drain.
+        status, _, body = http(async_.port, "GET", "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "draining"
+
+
+# ---------------------------------------------------------------------------
+# Satellite regression: probes stay ungated under saturation
+# ---------------------------------------------------------------------------
+
+class TestUngatedUnderSaturation:
+    """/healthz and /metrics must never 429/503, even with every
+    admission slot held and the wait queue full — on both cores."""
+
+    @pytest.mark.parametrize("flavour", ["threaded", "async"])
+    def test_probes_survive_saturated_admission(self, flavour):
+        service = OpinionService(
+            demo_table(), max_inflight=1, queue_depth=0
+        )
+        harness = (
+            ThreadedHarness(service)
+            if flavour == "threaded"
+            else AsyncHarness(service)
+        )
+        try:
+            # Hold the only slot from outside, as a stuck in-flight
+            # request would.
+            assert service.admission.admit()
+            try:
+                status, _, body = http(
+                    harness.port, "GET", "/query?q=cute+animals"
+                )
+                assert status == 503
+                assert json.loads(body)["code"] == "overloaded"
+                for _ in range(3):
+                    status, _, body = http(
+                        harness.port, "GET", "/healthz"
+                    )
+                    assert status == 200
+                    health = json.loads(body)
+                    assert health["status"] == "healthy"
+                    assert health["admission"]["inflight"] == 1
+                    status, _, body = http(
+                        harness.port, "GET", "/metrics"
+                    )
+                    assert status == 200
+                    assert b"repro_serve" in body
+            finally:
+                service.admission.release()
+            # With the slot back, queries flow again.
+            status, _, _ = http(
+                harness.port, "GET", "/query?q=cute+animals"
+            )
+            assert status == 200
+        finally:
+            harness.close()
+
+    @pytest.mark.parametrize("flavour", ["threaded", "async"])
+    def test_probes_ignore_client_rate_limits(self, flavour):
+        service = OpinionService(
+            demo_table(), client_rate=0.001, client_burst=1.0
+        )
+        harness = (
+            ThreadedHarness(service)
+            if flavour == "threaded"
+            else AsyncHarness(service)
+        )
+        headers = {"X-Client-Id": "greedy"}
+        try:
+            assert http(
+                harness.port, "GET", "/query?q=cute+animals",
+                headers=headers,
+            )[0] == 200
+            assert http(
+                harness.port, "GET", "/query?q=cute+animals&top=2",
+                headers=headers,
+            )[0] == 429
+            # The exhausted client can still probe health and metrics.
+            assert http(
+                harness.port, "GET", "/healthz", headers=headers
+            )[0] == 200
+            assert http(
+                harness.port, "GET", "/metrics", headers=headers
+            )[0] == 200
+        finally:
+            harness.close()
+
+
+# ---------------------------------------------------------------------------
+# Worker runtime: epoch protocol + metrics merge
+# ---------------------------------------------------------------------------
+
+class TestWorkerRuntime:
+    def test_epoch_publish_and_read(self, tmp_path):
+        directory = str(tmp_path)
+        assert read_epoch(directory) is None
+        first = publish_epoch(directory, "reload")
+        second = publish_epoch(directory, "ingest", path="/x.json")
+        assert (first, second) == (1, 2)
+        record = read_epoch(directory)
+        assert record["epoch"] == 2
+        assert record["kind"] == "ingest"
+        assert record["path"] == "/x.json"
+
+    def test_runtime_tracks_last_seen_epoch(self, tmp_path):
+        runtime = WorkerRuntime(str(tmp_path), 0, 2, 12345)
+        epoch = runtime.publish_epoch("reload")
+        assert epoch == 1
+        assert runtime.last_epoch == 1
+        assert runtime.read_epoch()["epoch"] == 1
+
+    def test_registry_dump_and_peer_roundtrip(self, tmp_path):
+        directory = str(tmp_path)
+        zero = WorkerRuntime(directory, 0, 2, 12345)
+        one = WorkerRuntime(directory, 1, 2, 12345)
+        registry = MetricsRegistry()
+        registry.inc("repro_serve_requests_total", 7)
+        zero.dump_registry(registry)
+        peers = one.peer_registries()
+        assert len(peers) == 1
+        assert peers[0].counter_value(
+            "repro_serve_requests_total"
+        ) == 7
+        # A torn/corrupt snapshot is skipped, not fatal.
+        (tmp_path / "metrics" / "worker-0.pkl").write_bytes(b"junk")
+        assert one.peer_registries() == []
+
+    def test_render_metrics_merges_peers(self, tmp_path):
+        directory = str(tmp_path)
+        peer = WorkerRuntime(directory, 1, 2, 12345)
+        peer_registry = MetricsRegistry()
+        peer_registry.inc("repro_serve_requests_total", 5)
+        peer.dump_registry(peer_registry)
+
+        registry = MetricsRegistry()
+        service = OpinionService(demo_table(), registry=registry)
+        server = AsyncReproServer(
+            service, runtime=WorkerRuntime(directory, 0, 2, 12345)
+        )
+        registry.inc("repro_serve_requests_total", 3)
+        exposition = server.render_metrics()
+        assert "repro_serve_requests_total 8" in exposition
+        assert "repro_serve_workers 2" in exposition
+
+    def test_reuseport_sockets_share_a_port(self):
+        first = make_reuseport_socket("127.0.0.1", 0)
+        try:
+            port = first.getsockname()[1]
+            second = make_reuseport_socket("127.0.0.1", port)
+            second.close()
+        finally:
+            first.close()
+
+    def test_worker_snapshot_is_a_plain_pickle(self, tmp_path):
+        """The dump format is a pickled MetricsRegistry — the merge
+        path depends on __getstate__/__setstate__ round-tripping."""
+        runtime = WorkerRuntime(str(tmp_path), 0, 1, 12345)
+        registry = MetricsRegistry()
+        registry.set_gauge("repro_serve_index_opinions", 42)
+        runtime.dump_registry(registry)
+        path = tmp_path / "metrics" / "worker-0.pkl"
+        with open(path, "rb") as handle:
+            loaded = pickle.load(handle)
+        assert isinstance(loaded, MetricsRegistry)
